@@ -1,0 +1,111 @@
+//! Figure-regeneration benchmarks: each paper table/figure's runner at a
+//! reduced scale, so `cargo bench` exercises the exact code paths the
+//! figure binaries use and tracks their cost over time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpil::MpilConfig;
+use mpil_analysis::AnalysisModel;
+use mpil_bench::perturb::{run_system, PerturbRun, System};
+use mpil_bench::static_exp::{insertion_behavior, lookup_behavior, paper_insert_config, Family};
+
+fn small_perturb(idle: u64, offline: u64, p: f64) -> PerturbRun {
+    PerturbRun {
+        nodes: 150,
+        operations: 15,
+        idle_secs: idle,
+        offline_secs: offline,
+        probability: p,
+        deadline_cap_secs: 60,
+        loss_probability: 0.0,
+        seed: 5,
+    }
+}
+
+fn bench_fig1_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_pastry_point");
+    g.sample_size(10);
+    g.bench_function("pastry_30_30_p05", |b| {
+        b.iter(|| black_box(run_system(System::Pastry, small_perturb(30, 30, 0.5))))
+    });
+    g.finish();
+}
+
+fn bench_fig7_fig8_analysis(c: &mut Criterion) {
+    c.bench_function("fig7_curve", |b| {
+        let model = AnalysisModel::base4();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in (10..=100).step_by(10) {
+                acc += model.expected_local_maxima_regular(16000, d);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fig8_curve", |b| {
+        let model = AnalysisModel::base4();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in (1..=8).map(|k| k * 2000) {
+                acc += model.expected_replicas_complete(n);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fig9_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_insertion_point");
+    g.sample_size(10);
+    g.bench_function("power_law_500", |b| {
+        b.iter(|| {
+            black_box(insertion_behavior(
+                Family::PowerLaw,
+                500,
+                1,
+                20,
+                paper_insert_config(),
+                3,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tables_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_lookup_point");
+    g.sample_size(10);
+    g.bench_function("power_law_500_mf10_r3", |b| {
+        let lookup = MpilConfig::default().with_max_flows(10).with_num_replicas(3);
+        b.iter(|| {
+            black_box(lookup_behavior(
+                Family::PowerLaw,
+                500,
+                1,
+                20,
+                paper_insert_config(),
+                lookup,
+                4,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig11_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_point");
+    g.sample_size(10);
+    g.bench_function("mpil_no_ds_300_300_p1", |b| {
+        b.iter(|| black_box(run_system(System::MpilNoDs, small_perturb(300, 300, 1.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_point,
+    bench_fig7_fig8_analysis,
+    bench_fig9_point,
+    bench_tables_point,
+    bench_fig11_point
+);
+criterion_main!(benches);

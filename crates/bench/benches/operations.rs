@@ -1,0 +1,117 @@
+//! Whole-operation benchmarks: MPIL insert/lookup over the paper's
+//! overlay families, Pastry routing, and topology generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpil::{MpilConfig, StaticEngine};
+use mpil_id::Id;
+use mpil_overlay::{generators, NodeIdx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_static_insert(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("static_insert");
+    group.sample_size(20);
+    let configs = [
+        ("power_law", generators::power_law(2000, Default::default(), &mut rng).unwrap()),
+        ("random_100", generators::random_regular(2000, 100, &mut rng).unwrap()),
+    ];
+    for (name, topo) in &configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |bench, _| {
+            let cfg = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
+            let mut engine = StaticEngine::new(topo, cfg, 7);
+            let mut k = 0u64;
+            bench.iter(|| {
+                k += 1;
+                let object = Id::from_low_u64(k);
+                let origin = NodeIdx::new((k % 2000) as u32);
+                black_box(engine.insert(origin, object))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_lookup(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("static_lookup");
+    group.sample_size(20);
+    let topo = generators::power_law(2000, Default::default(), &mut rng).unwrap();
+    let cfg = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
+    let mut engine = StaticEngine::new(&topo, cfg, 9);
+    let objects: Vec<Id> = (0..100).map(|k| Id::from_low_u64(k + 1)).collect();
+    for &o in &objects {
+        engine.insert(NodeIdx::new(rng.gen_range(0..2000)), o);
+    }
+    engine.set_config(MpilConfig::default().with_max_flows(10).with_num_replicas(5));
+    group.bench_function("power_law_2000", |bench| {
+        let mut k = 0usize;
+        bench.iter(|| {
+            k += 1;
+            let object = objects[k % objects.len()];
+            let origin = NodeIdx::new((k * 37 % 2000) as u32);
+            black_box(engine.lookup(origin, object))
+        })
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.bench_function("power_law_4000", |bench| {
+        let mut seed = 0;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            black_box(generators::power_law(4000, Default::default(), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("random_regular_4000_d100", |bench| {
+        let mut seed = 0;
+        bench.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            black_box(generators::random_regular(4000, 100, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pastry_route(c: &mut Criterion) {
+    use mpil_pastry::{build_converged_states, PastryConfig};
+    let mut rng = SmallRng::seed_from_u64(3);
+    let config = PastryConfig::default();
+    let ids = mpil_pastry::bootstrap::random_ids(1000, &mut rng);
+    let states = build_converged_states(&ids, &config, &mut rng);
+    c.bench_function("pastry_next_hop_1000", |bench| {
+        let mut k = 0u64;
+        bench.iter(|| {
+            k += 1;
+            let key = Id::from_low_u64(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            black_box(states[(k % 1000) as usize].next_hop(config.space, key, |_| false))
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    use mpil_analysis::AnalysisModel;
+    c.bench_function("analysis_local_max_probability", |bench| {
+        let model = AnalysisModel::base4();
+        bench.iter(|| black_box(model.local_max_probability(black_box(100))))
+    });
+    c.bench_function("analysis_complete_replicas_16000", |bench| {
+        let model = AnalysisModel::base4();
+        bench.iter(|| black_box(model.expected_replicas_complete(black_box(16000))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_static_insert,
+    bench_static_lookup,
+    bench_generators,
+    bench_pastry_route,
+    bench_analysis
+);
+criterion_main!(benches);

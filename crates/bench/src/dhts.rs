@@ -1,0 +1,424 @@
+//! Cross-DHT experiment runners (extensions beyond the paper).
+//!
+//! The paper demonstrates overlay-independence by running MPIL over the
+//! MSPastry overlay. With Chord and Kademlia implemented as additional
+//! substrates, two stronger statements become testable:
+//!
+//! * **overlay-independence, widened** — MPIL over the frozen neighbor
+//!   graph of *any* structured overlay (Pastry's leaf sets ∪ routing
+//!   tables, Chord's successors ∪ fingers, Kademlia's buckets) and of
+//!   the unstructured families, with comparable success/cost;
+//! * **baseline-independence** — the Figure 11 result (redundant flows
+//!   beat maintained single-path routing under perturbation) holds
+//!   against Chord and single-copy Kademlia too, not just MSPastry.
+
+use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
+use mpil_chord::{ChordConfig, ChordSim};
+use mpil_id::Id;
+use mpil_kademlia::{KademliaConfig, KademliaSim};
+use mpil_overlay::{generators, NodeIdx, Topology};
+use mpil_pastry::PastryConfig;
+use mpil_sim::{AlwaysOn, ConstantLatency, Flapping, FlappingConfig, SimDuration};
+use mpil_workload::RunningStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::perturb::{PerturbResult, PerturbRun};
+
+/// A source of frozen neighbor graphs for MPIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlaySource {
+    /// Pastry leaf sets ∪ routing tables.
+    Pastry,
+    /// Chord successors ∪ fingers ∪ predecessor.
+    Chord,
+    /// Kademlia bucket contents.
+    Kademlia,
+    /// Random regular graph with the given degree.
+    RandomRegular(usize),
+    /// Inet-style power-law graph.
+    PowerLaw,
+}
+
+impl OverlaySource {
+    /// Label used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            OverlaySource::Pastry => "Pastry overlay".into(),
+            OverlaySource::Chord => "Chord overlay".into(),
+            OverlaySource::Kademlia => "Kademlia overlay".into(),
+            OverlaySource::RandomRegular(d) => format!("random d={d}"),
+            OverlaySource::PowerLaw => "power-law".into(),
+        }
+    }
+
+    /// Builds the frozen (ids, neighbor lists) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generator fails for the requested size (degree too
+    /// large for `nodes`, etc.).
+    pub fn build(&self, nodes: usize, seed: u64) -> (Vec<Id>, Vec<Vec<NodeIdx>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            OverlaySource::Pastry => {
+                let config = PastryConfig::default();
+                let ids = mpil_pastry::bootstrap::random_ids(nodes, &mut rng);
+                let states = mpil_pastry::build_converged_states(&ids, &config, &mut rng);
+                let nbrs = states.iter().map(|s| s.neighbor_list()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::Chord => {
+                let config = ChordConfig::default();
+                let ids = mpil_chord::random_ids(nodes, &mut rng);
+                let states = mpil_chord::build_converged_states(&ids, &config);
+                let nbrs = states.iter().map(|s| s.neighbor_list()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::Kademlia => {
+                let config = KademliaConfig::default();
+                let ids = mpil_chord::random_ids(nodes, &mut rng);
+                let tables = mpil_kademlia::build_converged_tables(&ids, &config);
+                let nbrs = tables.iter().map(|t| t.iter().collect()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::RandomRegular(d) => {
+                let topo = generators::random_regular(nodes, *d, &mut rng).expect("generator");
+                let nbrs = topo
+                    .iter_nodes()
+                    .map(|n| topo.neighbors(n).to_vec())
+                    .collect();
+                (topo.ids().to_vec(), nbrs)
+            }
+            OverlaySource::PowerLaw => {
+                let topo =
+                    generators::power_law(nodes, Default::default(), &mut rng).expect("generator");
+                let nbrs = topo
+                    .iter_nodes()
+                    .map(|n| topo.neighbors(n).to_vec())
+                    .collect();
+                (topo.ids().to_vec(), nbrs)
+            }
+        }
+    }
+}
+
+/// Runs MPIL (no maintenance) over the frozen neighbor graph of
+/// `source` under the flapping parameters of `run`.
+pub fn run_mpil_over(source: OverlaySource, run: PerturbRun) -> PerturbResult {
+    let (ids, neighbors) = source.build(run.nodes, run.seed);
+    let mut rng = SmallRng::seed_from_u64(run.seed ^ 0xdada);
+    let mpil_config = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(5)
+        .with_duplicate_suppression(false);
+    let mut net = DynamicNetwork::new(
+        ids,
+        neighbors,
+        DynamicConfig {
+            mpil: mpil_config,
+            heartbeat_period: None,
+        },
+        Box::new(AlwaysOn),
+        Box::new(ConstantLatency(SimDuration::from_millis(20))),
+        run.seed ^ 0x5151,
+    );
+
+    let origin = NodeIdx::new(0);
+    let objects: Vec<Id> = (0..run.operations)
+        .map(|_| Id::random(&mut rng))
+        .collect();
+    for &o in &objects {
+        net.insert(origin, o);
+    }
+    net.run_to_quiescence();
+    let mean_replicas = {
+        let mut s = RunningStats::new();
+        for &o in &objects {
+            s.push(net.replica_holders(o).len() as f64);
+        }
+        s.mean()
+    };
+
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: net.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    net.set_availability(Box::new(flap));
+    net.set_loss_probability(run.loss_probability);
+    let start = net.now();
+    let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
+    let window = SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
+
+    let before = net.stats();
+    let before_net = net.net_stats();
+    let mut handles = Vec::with_capacity(objects.len());
+    for (i, &o) in objects.iter().enumerate() {
+        let at = start + period * (i as u64 + 1);
+        net.run_until(at);
+        handles.push(net.issue_lookup(origin, o, at + window));
+    }
+    net.run_until(net.now() + window + SimDuration::from_secs(30));
+
+    let mut hops = RunningStats::new();
+    let mut ok = 0u64;
+    for &h in &handles {
+        if let LookupStatus::Succeeded { hops: hp, .. } = net.lookup_status(h) {
+            ok += 1;
+            hops.push(f64::from(hp));
+        }
+    }
+    let after = net.stats();
+    let after_net = net.net_stats();
+    PerturbResult {
+        success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
+        lookup_messages: after.lookup_messages - before.lookup_messages,
+        total_messages: after_net.sent - before_net.sent,
+        mean_reply_hops: hops.mean(),
+        mean_replicas,
+    }
+}
+
+/// Which maintained DHT baseline to run natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// MSPastry with full maintenance.
+    Pastry,
+    /// Chord with stabilize/fix-fingers/check-predecessor.
+    Chord,
+    /// Kademlia with the given `(k, alpha)`.
+    Kademlia {
+        /// Bucket size / replication factor.
+        k: usize,
+        /// Lookup parallelism.
+        alpha: usize,
+    },
+}
+
+impl Baseline {
+    /// Label used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            Baseline::Pastry => "MSPastry".into(),
+            Baseline::Chord => "Chord".into(),
+            Baseline::Kademlia { k, alpha } => format!("Kademlia k={k} α={alpha}"),
+        }
+    }
+}
+
+/// Runs a maintained DHT baseline under the flapping parameters of
+/// `run`, mirroring the paper's two-stage methodology.
+pub fn run_baseline(baseline: Baseline, run: PerturbRun) -> f64 {
+    match baseline {
+        Baseline::Pastry => crate::perturb::run_pastry(crate::perturb::System::Pastry, run).success_rate,
+        Baseline::Chord => run_chord(run),
+        Baseline::Kademlia { k, alpha } => run_kademlia(run, k, alpha),
+    }
+}
+
+fn run_chord(run: PerturbRun) -> f64 {
+    let config = ChordConfig::default();
+    let mut rng = SmallRng::seed_from_u64(run.seed);
+    let ids = mpil_chord::random_ids(run.nodes, &mut rng);
+    let states = mpil_chord::build_converged_states(&ids, &config);
+    let mut sim = ChordSim::new(
+        ids,
+        states,
+        config,
+        Box::new(AlwaysOn),
+        Box::new(ConstantLatency(SimDuration::from_millis(20))),
+        run.seed ^ 0x5151,
+    );
+    let origin = NodeIdx::new(0);
+    let objects: Vec<Id> = (0..run.operations)
+        .map(|_| Id::random(&mut rng))
+        .collect();
+    for &o in &objects {
+        sim.insert(origin, o);
+    }
+    sim.run_to_quiescence();
+    sim.start_maintenance();
+
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: sim.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    sim.set_availability(Box::new(flap));
+    sim.set_loss_probability(run.loss_probability);
+    let start = sim.now();
+    let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
+    let window = SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
+
+    let mut handles = Vec::with_capacity(objects.len());
+    for (i, &o) in objects.iter().enumerate() {
+        let at = start + period * (i as u64 + 1);
+        sim.run_until(at);
+        handles.push(sim.issue_lookup(origin, o, at + window));
+    }
+    sim.run_until(sim.now() + window + SimDuration::from_secs(30));
+    let ok = handles
+        .iter()
+        .filter(|&&h| matches!(sim.lookup_outcome(h), mpil_chord::LookupOutcome::Succeeded { .. }))
+        .count();
+    100.0 * ok as f64 / handles.len().max(1) as f64
+}
+
+fn run_kademlia(run: PerturbRun, k: usize, alpha: usize) -> f64 {
+    let config = KademliaConfig::default().with_k(k).with_alpha(alpha);
+    let mut rng = SmallRng::seed_from_u64(run.seed);
+    let ids = mpil_chord::random_ids(run.nodes, &mut rng);
+    let tables = mpil_kademlia::build_converged_tables(&ids, &config);
+    let mut sim = KademliaSim::new(
+        ids,
+        tables,
+        config,
+        Box::new(AlwaysOn),
+        Box::new(ConstantLatency(SimDuration::from_millis(20))),
+        run.seed ^ 0x5151,
+    );
+    let origin = NodeIdx::new(0);
+    let objects: Vec<Id> = (0..run.operations)
+        .map(|_| Id::random(&mut rng))
+        .collect();
+    for &o in &objects {
+        sim.insert(origin, o);
+    }
+    sim.run_to_quiescence();
+    sim.start_maintenance();
+
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: sim.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    sim.set_availability(Box::new(flap));
+    sim.set_loss_probability(run.loss_probability);
+    let start = sim.now();
+    let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
+    let window = SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
+
+    let mut handles = Vec::with_capacity(objects.len());
+    for (i, &o) in objects.iter().enumerate() {
+        let at = start + period * (i as u64 + 1);
+        sim.run_until(at);
+        handles.push(sim.issue_lookup(origin, o, at + window));
+    }
+    sim.run_until(sim.now() + window + SimDuration::from_secs(30));
+    let ok = handles
+        .iter()
+        .filter(|&&h| {
+            matches!(
+                sim.lookup_outcome(h),
+                mpil_kademlia::LookupOutcome::Succeeded { .. }
+            )
+        })
+        .count();
+    100.0 * ok as f64 / handles.len().max(1) as f64
+}
+
+/// Builds a [`Topology`] from a frozen neighbor-list pair by
+/// symmetrizing directed pointers (diagnostics/degree stats for the
+/// tables).
+pub fn mean_out_degree(neighbors: &[Vec<NodeIdx>]) -> f64 {
+    if neighbors.is_empty() {
+        return 0.0;
+    }
+    neighbors.iter().map(Vec::len).sum::<usize>() as f64 / neighbors.len() as f64
+}
+
+/// Convenience used by tests: a small static topology.
+pub fn small_topology(seed: u64) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::random_regular(60, 8, &mut rng).expect("generator")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini(p: f64) -> PerturbRun {
+        PerturbRun {
+            nodes: 120,
+            operations: 15,
+            idle_secs: 30,
+            offline_secs: 30,
+            probability: p,
+            deadline_cap_secs: 60,
+            loss_probability: 0.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn every_source_builds_a_usable_graph() {
+        for src in [
+            OverlaySource::Pastry,
+            OverlaySource::Chord,
+            OverlaySource::Kademlia,
+            OverlaySource::RandomRegular(8),
+            OverlaySource::PowerLaw,
+        ] {
+            let (ids, nbrs) = src.build(100, 5);
+            assert_eq!(ids.len(), 100, "{}", src.label());
+            assert_eq!(nbrs.len(), 100);
+            assert!(mean_out_degree(&nbrs) >= 1.0, "{}", src.label());
+            for (i, list) in nbrs.iter().enumerate() {
+                assert!(
+                    !list.contains(&NodeIdx::new(i as u32)),
+                    "{}: node {i} lists itself",
+                    src.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpil_is_near_perfect_on_every_overlay_unperturbed() {
+        for src in [
+            OverlaySource::Pastry,
+            OverlaySource::Chord,
+            OverlaySource::Kademlia,
+            OverlaySource::RandomRegular(8),
+            OverlaySource::PowerLaw,
+        ] {
+            let r = run_mpil_over(src, mini(0.0));
+            assert!(
+                r.success_rate >= 90.0,
+                "{}: {}",
+                src.label(),
+                r.success_rate
+            );
+        }
+    }
+
+    #[test]
+    fn chord_baseline_runs_and_degrades() {
+        let calm = run_baseline(Baseline::Chord, mini(0.0));
+        let storm = run_baseline(Baseline::Chord, mini(0.95));
+        assert!(calm >= 90.0, "calm {calm}");
+        assert!(storm <= calm, "storm {storm} calm {calm}");
+    }
+
+    #[test]
+    fn kademlia_single_copy_baseline_runs() {
+        let calm = run_baseline(Baseline::Kademlia { k: 1, alpha: 1 }, mini(0.0));
+        assert!(calm >= 85.0, "calm {calm}");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(Baseline::Kademlia { k: 8, alpha: 3 }.label().contains("k=8"));
+        assert!(OverlaySource::RandomRegular(16).label().contains("16"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Perturbation experiment runners (Sections 3 and 6.2: Figures 1, 11,
+//! 12).
+//!
+//! Methodology, following the paper: 1000 nodes over a GT-ITM-style
+//! transit-stub Internet topology. Stage 1 inserts 1000 objects from one
+//! designated origin node on the static overlay. Stage 2 turns on
+//! periodic flapping (the origin is exempt — it is the experimenter's
+//! observation point) and issues one lookup per flapping period for the
+//! same objects. Success = a positive reply before the deadline
+//! (`min(period, 60 s)`, the cap standing in for MSPastry's application
+//! timeout; see EXPERIMENTS.md).
+
+use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
+use mpil_overlay::transit_stub::{self, TransitStubConfig};
+use mpil_overlay::NodeIdx;
+use mpil_pastry::{build_converged_states, LookupOutcome, PastryConfig, PastrySim};
+use mpil_sim::{
+    AlwaysOn, Flapping, FlappingConfig, SimDuration, TransitStubLatency,
+};
+use mpil_workload::RunningStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The four systems Figure 11 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum System {
+    /// MSPastry with all maintenance (Figure 1 / "MSPastry").
+    Pastry,
+    /// MSPastry plus Replication on Route.
+    PastryRr,
+    /// MPIL over the frozen Pastry overlay, duplicate suppression on.
+    MpilDs,
+    /// MPIL over the frozen Pastry overlay, duplicate suppression off.
+    MpilNoDs,
+}
+
+impl System {
+    /// The label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::Pastry => "MSPastry",
+            System::PastryRr => "MSPastry with RR",
+            System::MpilDs => "MPIL with DS",
+            System::MpilNoDs => "MPIL without DS",
+        }
+    }
+
+    /// All four systems, in the paper's legend order.
+    pub fn all() -> [System; 4] {
+        [System::Pastry, System::PastryRr, System::MpilDs, System::MpilNoDs]
+    }
+}
+
+/// One perturbation run's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbRun {
+    /// Overlay size (1000 in the paper).
+    pub nodes: usize,
+    /// Insert/lookup pairs (1000 in the paper).
+    pub operations: usize,
+    /// Idle (online) seconds per flapping period.
+    pub idle_secs: u64,
+    /// Offline seconds per flapping period.
+    pub offline_secs: u64,
+    /// Flapping probability.
+    pub probability: f64,
+    /// Cap on the per-lookup deadline in seconds (60 by default).
+    pub deadline_cap_secs: u64,
+    /// Independent per-message link-loss probability injected in stage 2
+    /// (0 = lossless; Castro et al.'s dependability study sweeps this).
+    pub loss_probability: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PerturbRun {
+    /// A run with the paper's defaults for everything but the sweep
+    /// variables.
+    pub fn new(idle_secs: u64, offline_secs: u64, probability: f64) -> Self {
+        PerturbRun {
+            nodes: 1000,
+            operations: 1000,
+            idle_secs,
+            offline_secs,
+            probability,
+            deadline_cap_secs: 60,
+            loss_probability: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Sets the stage-2 link-loss probability.
+    pub fn with_loss(mut self, loss_probability: f64) -> Self {
+        self.loss_probability = loss_probability;
+        self
+    }
+
+    fn period(&self) -> SimDuration {
+        SimDuration::from_secs(self.idle_secs + self.offline_secs)
+    }
+
+    fn deadline_window(&self) -> SimDuration {
+        SimDuration::from_secs((self.idle_secs + self.offline_secs).min(self.deadline_cap_secs))
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbResult {
+    /// Percentage of lookups answered positively before their deadline.
+    pub success_rate: f64,
+    /// Lookup-message transmissions (Figure 12, left).
+    pub lookup_messages: u64,
+    /// All messages sent, including maintenance and acks (Figure 12,
+    /// right).
+    pub total_messages: u64,
+    /// Mean forward-path hops of successful replies.
+    pub mean_reply_hops: f64,
+    /// Mean replicas per object after stage 1.
+    pub mean_replicas: f64,
+}
+
+/// Runs MSPastry (optionally with RR) under flapping perturbation.
+pub fn run_pastry(system: System, run: PerturbRun) -> PerturbResult {
+    assert!(matches!(system, System::Pastry | System::PastryRr));
+    let mut rng = SmallRng::seed_from_u64(run.seed);
+    let config = PastryConfig::default()
+        .with_replication_on_route(matches!(system, System::PastryRr));
+    let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
+    let states = build_converged_states(&ids, &config, &mut rng);
+    let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
+        .expect("transit-stub generation");
+    let latency = TransitStubLatency::new(ts, 0.1);
+    let mut sim = PastrySim::new(
+        ids,
+        states,
+        config,
+        Box::new(AlwaysOn),
+        Box::new(latency),
+        run.seed ^ 0x5151,
+    );
+
+    // Stage 1: inserts on the static overlay, all from the origin.
+    let origin = NodeIdx::new(0);
+    let objects: Vec<_> = (0..run.operations)
+        .map(|_| mpil_id::Id::random(&mut rng))
+        .collect();
+    for &object in &objects {
+        sim.insert(origin, object);
+    }
+    sim.run_to_quiescence();
+    let mean_replicas = {
+        let mut s = RunningStats::new();
+        for &object in &objects {
+            s.push(sim.replica_holders(object).len() as f64);
+        }
+        s.mean()
+    };
+
+    // Stage 2: maintenance + flapping + one lookup per period.
+    sim.start_maintenance();
+    let warmup = sim.now() + SimDuration::from_secs(90);
+    sim.run_until(warmup);
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: sim.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    sim.set_availability(Box::new(flap));
+    sim.set_loss_probability(run.loss_probability);
+    let flap_start = sim.now();
+
+    let before = sim.stats();
+    let mut lookup_ids = Vec::with_capacity(objects.len());
+    for (i, &object) in objects.iter().enumerate() {
+        let issue_at = flap_start + run.period() * (i as u64 + 1);
+        sim.run_until(issue_at);
+        let deadline = issue_at + run.deadline_window();
+        lookup_ids.push(sim.issue_lookup(origin, object, deadline));
+    }
+    let tail = sim.now() + run.deadline_window() + SimDuration::from_secs(30);
+    sim.run_until(tail);
+
+    let mut hops = RunningStats::new();
+    let mut ok = 0u64;
+    for &lk in &lookup_ids {
+        if let LookupOutcome::Succeeded { hops: h, .. } = sim.lookup_outcome(lk) {
+            ok += 1;
+            hops.push(f64::from(h));
+        }
+    }
+    let after = sim.stats();
+    PerturbResult {
+        success_rate: 100.0 * ok as f64 / lookup_ids.len().max(1) as f64,
+        lookup_messages: after.lookup_messages - before.lookup_messages,
+        total_messages: after.total_messages() - before.total_messages(),
+        mean_reply_hops: hops.mean(),
+        mean_replicas,
+    }
+}
+
+/// Runs MPIL over the frozen Pastry overlay (no maintenance) under
+/// flapping perturbation — "MPIL with/without DS" in Figures 11–12.
+pub fn run_mpil_over_pastry(system: System, run: PerturbRun) -> PerturbResult {
+    assert!(matches!(system, System::MpilDs | System::MpilNoDs));
+    let mut rng = SmallRng::seed_from_u64(run.seed);
+    // Build the same structured overlay MSPastry would have...
+    let pastry_config = PastryConfig::default();
+    let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
+    let states = build_converged_states(&ids, &pastry_config, &mut rng);
+    let neighbors: Vec<Vec<NodeIdx>> = states.iter().map(|s| s.neighbor_list()).collect();
+    let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
+        .expect("transit-stub generation");
+    let latency = TransitStubLatency::new(ts, 0.1);
+    // ...then route on it with MPIL and zero maintenance.
+    let mpil_config = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(5)
+        .with_duplicate_suppression(matches!(system, System::MpilDs));
+    let mut net = DynamicNetwork::new(
+        ids,
+        neighbors,
+        DynamicConfig {
+            mpil: mpil_config,
+            heartbeat_period: None,
+        },
+        Box::new(AlwaysOn),
+        Box::new(latency),
+        run.seed ^ 0x5151,
+    );
+
+    let origin = NodeIdx::new(0);
+    let objects: Vec<_> = (0..run.operations)
+        .map(|_| mpil_id::Id::random(&mut rng))
+        .collect();
+    for &object in &objects {
+        net.insert(origin, object);
+    }
+    net.run_to_quiescence();
+    let mean_replicas = {
+        let mut s = RunningStats::new();
+        for &object in &objects {
+            s.push(net.replica_holders(object).len() as f64);
+        }
+        s.mean()
+    };
+
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: net.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    net.set_availability(Box::new(flap));
+    net.set_loss_probability(run.loss_probability);
+    let flap_start = net.now();
+
+    let before = net.stats();
+    let before_net = net.net_stats();
+    let mut lookup_ids = Vec::with_capacity(objects.len());
+    for (i, &object) in objects.iter().enumerate() {
+        let issue_at = flap_start + run.period() * (i as u64 + 1);
+        net.run_until(issue_at);
+        let deadline = issue_at + run.deadline_window();
+        lookup_ids.push(net.issue_lookup(origin, object, deadline));
+    }
+    let tail = net.now() + run.deadline_window() + SimDuration::from_secs(30);
+    net.run_until(tail);
+
+    let mut hops = RunningStats::new();
+    let mut ok = 0u64;
+    for &lk in &lookup_ids {
+        if let LookupStatus::Succeeded { hops: h, .. } = net.lookup_status(lk) {
+            ok += 1;
+            hops.push(f64::from(h));
+        }
+    }
+    let after = net.stats();
+    let after_net = net.net_stats();
+    PerturbResult {
+        success_rate: 100.0 * ok as f64 / lookup_ids.len().max(1) as f64,
+        lookup_messages: after.lookup_messages - before.lookup_messages,
+        total_messages: after_net.sent - before_net.sent,
+        mean_reply_hops: hops.mean(),
+        mean_replicas,
+    }
+}
+
+/// Dispatches to the right runner for a system.
+pub fn run_system(system: System, run: PerturbRun) -> PerturbResult {
+    match system {
+        System::Pastry | System::PastryRr => run_pastry(system, run),
+        System::MpilDs | System::MpilNoDs => run_mpil_over_pastry(system, run),
+    }
+}
+
+/// Runs several (system, probability) points in parallel with a bounded
+/// worker pool, preserving input order in the output.
+pub fn run_points(points: &[(System, PerturbRun)], workers: usize) -> Vec<PerturbResult> {
+    assert!(workers >= 1);
+    let results: Vec<std::sync::Mutex<Option<PerturbResult>>> =
+        points.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(points.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= points.len() {
+                    break;
+                }
+                let (system, run) = points[i];
+                let r = run_system(system, run);
+                *results[i].lock().expect("poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("all points run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(idle: u64, offline: u64, p: f64) -> PerturbRun {
+        PerturbRun {
+            nodes: 120,
+            operations: 20,
+            idle_secs: idle,
+            offline_secs: offline,
+            probability: p,
+            deadline_cap_secs: 60,
+            loss_probability: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn pastry_near_perfect_without_perturbation() {
+        let r = run_pastry(System::Pastry, small_run(30, 30, 0.0));
+        assert!(r.success_rate > 95.0, "p=0 success {}", r.success_rate);
+        assert!((r.mean_replicas - 1.0).abs() < 1e-9, "single root replica");
+    }
+
+    #[test]
+    fn mpil_near_perfect_without_perturbation() {
+        let r = run_mpil_over_pastry(System::MpilDs, small_run(30, 30, 0.0));
+        assert!(r.success_rate > 95.0, "p=0 success {}", r.success_rate);
+        assert!(r.mean_replicas > 1.5, "MPIL should store multiple replicas");
+    }
+
+    #[test]
+    fn perturbation_hurts_pastry_more_than_mpil() {
+        let run = small_run(300, 300, 1.0);
+        let pastry = run_pastry(System::Pastry, run);
+        let mpil = run_mpil_over_pastry(System::MpilNoDs, run);
+        assert!(
+            mpil.success_rate > pastry.success_rate,
+            "MPIL {} vs Pastry {}",
+            mpil.success_rate,
+            pastry.success_rate
+        );
+    }
+
+    #[test]
+    fn rr_stores_more_replicas() {
+        let plain = run_pastry(System::Pastry, small_run(30, 30, 0.0));
+        let rr = run_pastry(System::PastryRr, small_run(30, 30, 0.0));
+        assert!(rr.mean_replicas > plain.mean_replicas);
+    }
+
+    #[test]
+    fn run_points_matches_sequential() {
+        let pts = vec![
+            (System::MpilDs, small_run(30, 30, 0.5)),
+            (System::Pastry, small_run(30, 30, 0.5)),
+        ];
+        let par = run_points(&pts, 2);
+        let seq: Vec<_> = pts.iter().map(|&(s, r)| run_system(s, r)).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = System::all().iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

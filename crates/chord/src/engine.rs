@@ -1,0 +1,1102 @@
+//! The event-driven Chord simulation.
+//!
+//! Implements the full protocol of Stoica et al. (SIGCOMM 2001) on the
+//! [`mpil_sim`] kernel: greedy finger routing with successor-interval
+//! delivery, the stabilize / fix-fingers / check-predecessor maintenance
+//! trio, per-hop acks with retransmission, probe-based failure
+//! declaration, successor-list failover, a join protocol, and optional
+//! DHash-style successor replication.
+//!
+//! The engine mirrors the Pastry baseline's (`mpil_pastry::PastrySim`)
+//! shape and counters so the two can be compared message-for-message
+//! under the paper's perturbation model.
+
+use std::collections::{HashMap, HashSet};
+
+use mpil_id::Id;
+use mpil_overlay::NodeIdx;
+use mpil_sim::{Availability, Event, LatencyModel, Network, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ChordConfig;
+use crate::state::ChordState;
+
+/// Application payload of a routed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Payload {
+    /// Store the object pointer at the key's root.
+    Insert { object: Id },
+    /// Find the object pointer; reply to `origin`.
+    Lookup {
+        object: Id,
+        lookup_id: u64,
+        origin: NodeIdx,
+    },
+    /// Resolve the root of a finger start; reply to `origin`.
+    FingerFix { index: u16, origin: NodeIdx },
+    /// Find `joiner`'s successor; the root welcomes the joiner.
+    JoinFind { joiner: NodeIdx },
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// A routed message (one per-hop transmission).
+    Route {
+        key: Id,
+        payload: Payload,
+        hops: u32,
+        uid: u64,
+    },
+    /// Per-hop acknowledgment of a `Route` transmission.
+    RouteAck { uid: u64 },
+    /// Liveness probe (check-predecessor and join announcements).
+    Probe { token: u64 },
+    /// Probe response.
+    ProbeReply { token: u64 },
+    /// Stabilize request: asks the successor for its predecessor and
+    /// successor list.
+    StabRequest { token: u64 },
+    /// Stabilize reply.
+    StabReply {
+        token: u64,
+        predecessor: Option<NodeIdx>,
+        successors: Vec<NodeIdx>,
+    },
+    /// Chord's `notify`: the sender believes it is the receiver's
+    /// predecessor.
+    Notify,
+    /// Successor replication of an object pointer (DHash-style).
+    Replicate { object: Id },
+    /// Answer to a routed `FingerFix`.
+    FingerReply { index: u16, node: NodeIdx },
+    /// The join root's successor-list transfer; ends the join.
+    JoinWelcome { successors: Vec<NodeIdx> },
+    /// Lookup result sent directly to the origin.
+    LookupReply {
+        lookup_id: u64,
+        found: bool,
+        hops: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    /// Periodic successor-pointer repair.
+    Stabilize,
+    /// Periodic finger refresh (one random finger per firing).
+    FixFingers,
+    /// Periodic predecessor liveness check.
+    CheckPredecessor,
+    /// A probe went unanswered.
+    ProbeTimeout { token: u64 },
+    /// A stabilize request went unanswered.
+    StabTimeout { token: u64 },
+    /// A routed transmission went unacknowledged.
+    RouteRetry { uid: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingRoute {
+    from: NodeIdx,
+    to: NodeIdx,
+    key: Id,
+    payload: Payload,
+    hops: u32,
+    attempts: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingProbe {
+    prober: NodeIdx,
+    target: NodeIdx,
+    attempts: u32,
+}
+
+/// Counters split by traffic class (field-for-field comparable to the
+/// Pastry baseline's `PastryStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChordStats {
+    /// Route transmissions carrying lookups (incl. retransmissions).
+    pub lookup_messages: u64,
+    /// Route transmissions carrying inserts, plus replication pushes.
+    pub insert_messages: u64,
+    /// Acks for routed messages.
+    pub ack_messages: u64,
+    /// Probes, stabilize exchanges, notifies, finger fixes, joins.
+    pub maintenance_messages: u64,
+    /// Direct lookup replies.
+    pub reply_messages: u64,
+    /// Nodes declared failed (table removals triggered by timeouts).
+    pub failure_declarations: u64,
+    /// Routed messages dropped by the hop limit.
+    pub hop_limit_drops: u64,
+    /// Lookups delivered at a root that held no object.
+    pub misdeliveries: u64,
+}
+
+impl ChordStats {
+    /// Everything the overlay sent.
+    pub fn total_messages(&self) -> u64 {
+        self.lookup_messages
+            + self.insert_messages
+            + self.ack_messages
+            + self.maintenance_messages
+            + self.reply_messages
+    }
+}
+
+/// Outcome of one lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupOutcome {
+    /// No terminal event yet.
+    Pending,
+    /// Found before the deadline.
+    Succeeded {
+        /// Forward-path overlay hops.
+        hops: u32,
+        /// Issue-to-reply latency.
+        latency: SimDuration,
+    },
+    /// A negative reply arrived, the deadline passed, or the message was
+    /// lost.
+    Failed,
+}
+
+#[derive(Debug)]
+struct LookupState {
+    issued_at: SimTime,
+    deadline: SimTime,
+    outcome: LookupOutcome,
+}
+
+/// The Chord overlay simulation.
+///
+/// Drive it like the paper's experiments: build a converged ring
+/// ([`crate::bootstrap::build_converged_states`]), insert on the static
+/// overlay, swap in a flapping availability model, start maintenance,
+/// then issue lookups and run the clock.
+pub struct ChordSim {
+    config: ChordConfig,
+    ids: Vec<Id>,
+    states: Vec<ChordState>,
+    stores: Vec<HashSet<Id>>,
+    net: Network<Msg, Timer>,
+    pending_routes: HashMap<u64, PendingRoute>,
+    pending_probes: HashMap<u64, PendingProbe>,
+    pending_stabs: HashMap<u64, PendingProbe>,
+    probing_pairs: HashSet<(NodeIdx, NodeIdx)>,
+    seen_uids: Vec<HashSet<u64>>,
+    lookups: HashMap<u64, LookupState>,
+    next_uid: u64,
+    next_token: u64,
+    next_lookup: u64,
+    maintenance_started: bool,
+    stats: ChordStats,
+}
+
+impl ChordSim {
+    /// Builds the simulation from pre-built per-node states (see
+    /// [`crate::bootstrap::build_converged_states`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` and `states` disagree in length or the
+    /// configuration is invalid.
+    pub fn new(
+        ids: Vec<Id>,
+        states: Vec<ChordState>,
+        config: ChordConfig,
+        availability: Box<dyn Availability>,
+        latency: Box<dyn LatencyModel>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(ids.len(), states.len(), "ids/states length mismatch");
+        config.assert_valid();
+        let n = ids.len();
+        ChordSim {
+            config,
+            states,
+            stores: vec![HashSet::new(); n],
+            net: Network::new(n, availability, latency, seed),
+            pending_routes: HashMap::new(),
+            pending_probes: HashMap::new(),
+            pending_stabs: HashMap::new(),
+            probing_pairs: HashSet::new(),
+            seen_uids: vec![HashSet::new(); n],
+            lookups: HashMap::new(),
+            next_uid: 0,
+            next_token: 0,
+            next_lookup: 0,
+            maintenance_started: false,
+            ids,
+            stats: ChordStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ChordStats {
+        self.stats
+    }
+
+    /// Kernel counters.
+    pub fn net_stats(&self) -> mpil_sim::NetStats {
+        self.net.stats()
+    }
+
+    /// Swaps the availability model (static stage → flapping stage).
+    pub fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        self.net.set_availability(availability);
+    }
+
+    /// Sets the independent per-message link-loss probability (failure
+    /// injection; see [`mpil_sim::Network::set_loss_probability`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.net.set_loss_probability(p);
+    }
+
+    /// Nodes currently storing the pointer for `object`.
+    pub fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        (0..self.ids.len() as u32)
+            .map(NodeIdx::new)
+            .filter(|n| self.stores[n.index()].contains(&object))
+            .collect()
+    }
+
+    /// Each node's frozen neighbor list (successors ∪ fingers ∪
+    /// predecessor) — the overlay MPIL routes on in the
+    /// overlay-independence experiments.
+    pub fn neighbor_lists(&self) -> Vec<Vec<NodeIdx>> {
+        self.states.iter().map(|s| s.neighbor_list()).collect()
+    }
+
+    /// The global ID table.
+    pub fn ids(&self) -> &[Id] {
+        &self.ids
+    }
+
+    /// Read access to a node's routing state (tests, diagnostics).
+    pub fn state(&self, node: NodeIdx) -> &ChordState {
+        &self.states[node.index()]
+    }
+
+    /// Starts the periodic maintenance timers on every node, staggered
+    /// uniformly over one period to avoid lockstep rounds.
+    pub fn start_maintenance(&mut self) {
+        assert!(!self.maintenance_started, "maintenance already started");
+        self.maintenance_started = true;
+        let n = self.ids.len();
+        for i in 0..n as u32 {
+            let node = NodeIdx::new(i);
+            let st = {
+                let p = self.config.stabilize_period.as_micros();
+                SimDuration::from_micros(self.net.rng().gen_range(0..p))
+            };
+            self.net.schedule(node, st, Timer::Stabilize);
+            let ff = {
+                let p = self.config.fix_fingers_period.as_micros();
+                SimDuration::from_micros(self.net.rng().gen_range(0..p))
+            };
+            self.net.schedule(node, ff, Timer::FixFingers);
+            let cp = {
+                let p = self.config.check_predecessor_period.as_micros();
+                SimDuration::from_micros(self.net.rng().gen_range(0..p))
+            };
+            self.net.schedule(node, cp, Timer::CheckPredecessor);
+        }
+    }
+
+    /// Starts routing an insertion of `object` from `origin`.
+    pub fn insert(&mut self, origin: NodeIdx, object: Id) {
+        let payload = Payload::Insert { object };
+        self.route_step(origin, object, payload, 0);
+    }
+
+    /// Issues a lookup of `object` from `origin` with the given deadline.
+    pub fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> u64 {
+        let lookup_id = self.next_lookup;
+        self.next_lookup += 1;
+        self.lookups.insert(
+            lookup_id,
+            LookupState {
+                issued_at: self.net.now(),
+                deadline,
+                outcome: LookupOutcome::Pending,
+            },
+        );
+        let payload = Payload::Lookup {
+            object,
+            lookup_id,
+            origin,
+        };
+        self.route_step(origin, object, payload, 0);
+        lookup_id
+    }
+
+    /// Outcome of a lookup; `Pending` past its deadline reads as
+    /// `Failed`.
+    pub fn lookup_outcome(&self, lookup_id: u64) -> LookupOutcome {
+        match self.lookups.get(&lookup_id) {
+            None => LookupOutcome::Failed,
+            Some(s) => match s.outcome {
+                LookupOutcome::Pending if self.net.now() >= s.deadline => LookupOutcome::Failed,
+                o => o,
+            },
+        }
+    }
+
+    /// Starts the Chord join protocol: `joiner` (a node constructed with
+    /// empty state) locates its successor through `bootstrap`; the root
+    /// transfers its successor list, and stabilization integrates the
+    /// joiner into predecessor pointers and fingers over time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joiner == bootstrap`.
+    pub fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) {
+        assert_ne!(joiner, bootstrap, "cannot bootstrap from self");
+        let key = self.ids[joiner.index()];
+        self.stats.maintenance_messages += 1;
+        let uid = self.fresh_uid();
+        self.transmit(
+            joiner,
+            bootstrap,
+            key,
+            Payload::JoinFind { joiner },
+            0,
+            uid,
+        );
+    }
+
+    /// Runs the event loop until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.net.next_before(deadline) {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs until no events remain (only terminates before maintenance
+    /// starts).
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            !self.maintenance_started,
+            "periodic maintenance never quiesces; use run_until"
+        );
+        while let Some(ev) = self.net.next() {
+            self.dispatch(ev);
+        }
+    }
+
+    // --- routing ----------------------------------------------------------
+
+    fn fresh_uid(&mut self) -> u64 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    fn count_route(&mut self, payload: &Payload) {
+        match payload {
+            Payload::Insert { .. } => self.stats.insert_messages += 1,
+            Payload::Lookup { .. } => self.stats.lookup_messages += 1,
+            Payload::FingerFix { .. } | Payload::JoinFind { .. } => {
+                self.stats.maintenance_messages += 1
+            }
+        }
+    }
+
+    /// One routing decision at `at`: deliver locally if `at` is the root
+    /// (or has no better hop), otherwise forward with per-hop reliability.
+    fn route_step(&mut self, at: NodeIdx, key: Id, payload: Payload, hops: u32) {
+        // A lookup can be satisfied by any replica holder on the path.
+        if let Payload::Lookup {
+            object,
+            lookup_id,
+            origin,
+        } = payload
+        {
+            if self.stores[at.index()].contains(&object) {
+                self.reply_lookup(at, origin, lookup_id, true, hops);
+                return;
+            }
+        }
+        if self.states[at.index()].owns(key, &self.ids) {
+            self.deliver(at, payload, hops);
+            return;
+        }
+        if hops >= self.config.max_hops {
+            self.stats.hop_limit_drops += 1;
+            return;
+        }
+        let Some(next) = self.states[at.index()].next_hop(key, &self.ids) else {
+            // No known peers at all: act as root.
+            self.deliver(at, payload, hops);
+            return;
+        };
+        let uid = self.fresh_uid();
+        self.count_route(&payload);
+        self.transmit(at, next, key, payload, hops + 1, uid);
+    }
+
+    fn transmit(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        key: Id,
+        payload: Payload,
+        hops: u32,
+        uid: u64,
+    ) {
+        self.pending_routes.insert(
+            uid,
+            PendingRoute {
+                from,
+                to,
+                key,
+                payload,
+                hops,
+                attempts: 0,
+            },
+        );
+        self.net.send(
+            from,
+            to,
+            Msg::Route {
+                key,
+                payload,
+                hops,
+                uid,
+            },
+        );
+        self.net
+            .schedule(from, self.config.probe_timeout, Timer::RouteRetry { uid });
+    }
+
+    /// The message has reached its root.
+    fn deliver(&mut self, at: NodeIdx, payload: Payload, hops: u32) {
+        match payload {
+            Payload::Insert { object } => {
+                self.stores[at.index()].insert(object);
+                if self.config.replication > 1 {
+                    let copies: Vec<NodeIdx> = self.states[at.index()]
+                        .successors()
+                        .iter()
+                        .copied()
+                        .take(self.config.replication - 1)
+                        .collect();
+                    for s in copies {
+                        self.stats.insert_messages += 1;
+                        self.net.send(at, s, Msg::Replicate { object });
+                    }
+                }
+            }
+            Payload::Lookup {
+                object,
+                lookup_id,
+                origin,
+            } => {
+                let found = self.stores[at.index()].contains(&object);
+                if !found {
+                    self.stats.misdeliveries += 1;
+                }
+                self.reply_lookup(at, origin, lookup_id, found, hops);
+            }
+            Payload::FingerFix { index, origin } => {
+                if origin == at {
+                    self.states[at.index()].set_finger(usize::from(index), at);
+                } else {
+                    self.stats.maintenance_messages += 1;
+                    self.net
+                        .send(at, origin, Msg::FingerReply { index, node: at });
+                }
+            }
+            Payload::JoinFind { joiner } => {
+                if joiner == at {
+                    return; // degenerate: the joiner routed to itself
+                }
+                let mut successors = vec![at];
+                successors.extend(self.states[at.index()].successors().iter().copied());
+                self.stats.maintenance_messages += 1;
+                self.net.send(at, joiner, Msg::JoinWelcome { successors });
+            }
+        }
+    }
+
+    fn reply_lookup(
+        &mut self,
+        at: NodeIdx,
+        origin: NodeIdx,
+        lookup_id: u64,
+        found: bool,
+        hops: u32,
+    ) {
+        if at == origin {
+            self.complete_lookup(lookup_id, found, hops);
+        } else {
+            self.stats.reply_messages += 1;
+            self.net.send(
+                at,
+                origin,
+                Msg::LookupReply {
+                    lookup_id,
+                    found,
+                    hops,
+                },
+            );
+        }
+    }
+
+    fn complete_lookup(&mut self, lookup_id: u64, found: bool, hops: u32) {
+        let now = self.net.now();
+        if let Some(state) = self.lookups.get_mut(&lookup_id) {
+            if matches!(state.outcome, LookupOutcome::Pending) {
+                state.outcome = if found && now <= state.deadline {
+                    LookupOutcome::Succeeded {
+                        hops,
+                        latency: now.duration_since(state.issued_at),
+                    }
+                } else {
+                    LookupOutcome::Failed
+                };
+            }
+        }
+    }
+
+    // --- failure handling ---------------------------------------------------
+
+    fn start_probe(&mut self, prober: NodeIdx, target: NodeIdx) {
+        if prober == target || !self.probing_pairs.insert((prober, target)) {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_probes.insert(
+            token,
+            PendingProbe {
+                prober,
+                target,
+                attempts: 0,
+            },
+        );
+        self.stats.maintenance_messages += 1;
+        self.net.send(prober, target, Msg::Probe { token });
+        self.net
+            .schedule(prober, self.config.probe_timeout, Timer::ProbeTimeout { token });
+    }
+
+    fn declare_failed(&mut self, at: NodeIdx, dead: NodeIdx) {
+        if self.states[at.index()].remove_node(dead) {
+            self.stats.failure_declarations += 1;
+        }
+    }
+
+    // --- event dispatch ------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event<Msg, Timer>) {
+        match ev {
+            Event::Message { from, to, msg } => self.on_message(from, to, msg),
+            Event::Timer { node, timer } => self.on_timer(node, timer),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeIdx, to: NodeIdx, msg: Msg) {
+        // Any message from a peer is evidence it is alive: re-admit it to
+        // the successor list if it improves it (passive re-integration).
+        if from != to {
+            self.states[to.index()].offer_successor(from, &self.ids);
+        }
+        match msg {
+            Msg::Route {
+                key,
+                payload,
+                hops,
+                uid,
+            } => {
+                self.stats.ack_messages += 1;
+                self.net.send(to, from, Msg::RouteAck { uid });
+                if !self.seen_uids[to.index()].insert(uid) {
+                    return;
+                }
+                self.route_step(to, key, payload, hops);
+            }
+            Msg::RouteAck { uid } => {
+                self.pending_routes.remove(&uid);
+            }
+            Msg::Probe { token } => {
+                self.stats.maintenance_messages += 1;
+                self.net.send(to, from, Msg::ProbeReply { token });
+            }
+            Msg::ProbeReply { token } => {
+                if let Some(p) = self.pending_probes.remove(&token) {
+                    self.probing_pairs.remove(&(p.prober, p.target));
+                }
+            }
+            Msg::StabRequest { token } => {
+                let st = &self.states[to.index()];
+                let reply = Msg::StabReply {
+                    token,
+                    predecessor: st.predecessor(),
+                    successors: st.successors().to_vec(),
+                };
+                self.stats.maintenance_messages += 1;
+                self.net.send(to, from, reply);
+            }
+            Msg::StabReply {
+                token,
+                predecessor,
+                successors,
+            } => {
+                let Some(p) = self.pending_stabs.remove(&token) else {
+                    return;
+                };
+                self.finish_stabilize(p.prober, p.target, predecessor, &successors);
+            }
+            Msg::Notify => {
+                let fid = self.ids[from.index()];
+                self.states[to.index()].offer_predecessor(from, fid, &self.ids);
+            }
+            Msg::Replicate { object } => {
+                self.stores[to.index()].insert(object);
+            }
+            Msg::FingerReply { index, node } => {
+                self.states[to.index()].set_finger(usize::from(index), node);
+            }
+            Msg::JoinWelcome { successors } => {
+                if let Some((&head, rest)) = successors.split_first() {
+                    self.states[to.index()].adopt_successor_list(head, rest, &self.ids);
+                    self.stats.maintenance_messages += 1;
+                    self.net.send(to, head, Msg::Notify);
+                }
+            }
+            Msg::LookupReply {
+                lookup_id,
+                found,
+                hops,
+            } => {
+                self.complete_lookup(lookup_id, found, hops);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeIdx, timer: Timer) {
+        match timer {
+            Timer::Stabilize => {
+                if self.net.is_online(node) {
+                    if let Some(succ) = self.states[node.index()].successor() {
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.pending_stabs.insert(
+                            token,
+                            PendingProbe {
+                                prober: node,
+                                target: succ,
+                                attempts: 0,
+                            },
+                        );
+                        self.stats.maintenance_messages += 1;
+                        self.net.send(node, succ, Msg::StabRequest { token });
+                        self.net.schedule(
+                            node,
+                            self.config.probe_timeout,
+                            Timer::StabTimeout { token },
+                        );
+                    }
+                }
+                self.net
+                    .schedule(node, self.config.stabilize_period, Timer::Stabilize);
+            }
+            Timer::FixFingers => {
+                if self.net.is_online(node) {
+                    let index = self.net.rng().gen_range(0..mpil_id::ID_BITS) as u16;
+                    let key = crate::ring::finger_start(self.ids[node.index()], usize::from(index));
+                    self.route_step(node, key, Payload::FingerFix { index, origin: node }, 0);
+                }
+                self.net
+                    .schedule(node, self.config.fix_fingers_period, Timer::FixFingers);
+            }
+            Timer::CheckPredecessor => {
+                if self.net.is_online(node) {
+                    if let Some(p) = self.states[node.index()].predecessor() {
+                        self.start_probe(node, p);
+                    }
+                }
+                self.net.schedule(
+                    node,
+                    self.config.check_predecessor_period,
+                    Timer::CheckPredecessor,
+                );
+            }
+            Timer::ProbeTimeout { token } => {
+                let Some(pending) = self.pending_probes.get(&token).copied() else {
+                    return;
+                };
+                if !self.net.is_online(pending.prober) {
+                    self.pending_probes.remove(&token);
+                    self.probing_pairs.remove(&(pending.prober, pending.target));
+                    return;
+                }
+                if pending.attempts < self.config.probe_retries {
+                    self.pending_probes
+                        .get_mut(&token)
+                        .expect("checked above")
+                        .attempts += 1;
+                    self.stats.maintenance_messages += 1;
+                    self.net
+                        .send(pending.prober, pending.target, Msg::Probe { token });
+                    self.net.schedule(
+                        pending.prober,
+                        self.config.probe_timeout,
+                        Timer::ProbeTimeout { token },
+                    );
+                } else {
+                    self.pending_probes.remove(&token);
+                    self.probing_pairs.remove(&(pending.prober, pending.target));
+                    self.declare_failed(pending.prober, pending.target);
+                }
+            }
+            Timer::StabTimeout { token } => {
+                let Some(pending) = self.pending_stabs.get(&token).copied() else {
+                    return;
+                };
+                if !self.net.is_online(pending.prober) {
+                    self.pending_stabs.remove(&token);
+                    return;
+                }
+                if pending.attempts < self.config.probe_retries {
+                    self.pending_stabs
+                        .get_mut(&token)
+                        .expect("checked above")
+                        .attempts += 1;
+                    self.stats.maintenance_messages += 1;
+                    self.net
+                        .send(pending.prober, pending.target, Msg::StabRequest { token });
+                    self.net.schedule(
+                        pending.prober,
+                        self.config.probe_timeout,
+                        Timer::StabTimeout { token },
+                    );
+                } else {
+                    self.pending_stabs.remove(&token);
+                    // The successor is dead: drop it and fail over to the
+                    // next successor at the following stabilize round.
+                    self.declare_failed(pending.prober, pending.target);
+                }
+            }
+            Timer::RouteRetry { uid } => {
+                let Some(pending) = self.pending_routes.get(&uid).cloned() else {
+                    return;
+                };
+                if !self.net.is_online(pending.from) {
+                    self.pending_routes.remove(&uid);
+                    return;
+                }
+                if pending.attempts < self.config.probe_retries {
+                    self.pending_routes
+                        .get_mut(&uid)
+                        .expect("checked above")
+                        .attempts += 1;
+                    self.count_route(&pending.payload);
+                    self.net.send(
+                        pending.from,
+                        pending.to,
+                        Msg::Route {
+                            key: pending.key,
+                            payload: pending.payload,
+                            hops: pending.hops,
+                            uid,
+                        },
+                    );
+                    self.net.schedule(
+                        pending.from,
+                        self.config.probe_timeout,
+                        Timer::RouteRetry { uid },
+                    );
+                } else {
+                    self.pending_routes.remove(&uid);
+                    self.declare_failed(pending.from, pending.to);
+                    self.route_step(pending.from, pending.key, pending.payload, pending.hops);
+                }
+            }
+        }
+    }
+
+    /// Applies a stabilize reply at `node` (its successor was `target`).
+    fn finish_stabilize(
+        &mut self,
+        node: NodeIdx,
+        target: NodeIdx,
+        succ_pred: Option<NodeIdx>,
+        succ_list: &[NodeIdx],
+    ) {
+        let my_id = self.ids[node.index()];
+        let target_id = self.ids[target.index()];
+        let better = succ_pred.filter(|&p| {
+            p != node && crate::ring::in_open(my_id, self.ids[p.index()], target_id)
+        });
+        match better {
+            Some(p) => {
+                // The successor's predecessor slots between us: adopt it
+                // as our new first successor, keeping the old one next.
+                let mut rest = vec![target];
+                rest.extend_from_slice(succ_list);
+                self.states[node.index()].adopt_successor_list(p, &rest, &self.ids);
+            }
+            None => {
+                self.states[node.index()].adopt_successor_list(target, succ_list, &self.ids);
+            }
+        }
+        if let Some(new_succ) = self.states[node.index()].successor() {
+            self.stats.maintenance_messages += 1;
+            self.net.send(node, new_succ, Msg::Notify);
+        }
+    }
+}
+
+impl std::fmt::Debug for ChordSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChordSim")
+            .field("nodes", &self.ids.len())
+            .field("now", &self.net.now())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{build_converged_states, random_ids};
+    use mpil_sim::{AlwaysOn, ConstantLatency};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, config: ChordConfig, seed: u64) -> ChordSim {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ids = random_ids(n, &mut rng);
+        let states = build_converged_states(&ids, &config);
+        ChordSim::new(
+            ids,
+            states,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(ConstantLatency(SimDuration::from_millis(10))),
+            seed,
+        )
+    }
+
+    #[test]
+    fn insert_places_exactly_one_replica_without_replication() {
+        let mut sim = build(50, ChordConfig::default(), 1);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let object = Id::random(&mut rng);
+            sim.insert(NodeIdx::new(0), object);
+            sim.run_to_quiescence();
+            assert_eq!(sim.replica_holders(object).len(), 1);
+        }
+    }
+
+    #[test]
+    fn replica_lands_on_the_ring_successor() {
+        let mut sim = build(64, ChordConfig::default(), 2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sorted: Vec<Id> = sim.ids().to_vec();
+        sorted.sort();
+        for _ in 0..10 {
+            let object = Id::random(&mut rng);
+            sim.insert(NodeIdx::new(3), object);
+            sim.run_to_quiescence();
+            let holders = sim.replica_holders(object);
+            assert_eq!(holders.len(), 1);
+            let expect = *sorted.iter().find(|&&id| id >= object).unwrap_or(&sorted[0]);
+            assert_eq!(sim.ids()[holders[0].index()], expect);
+        }
+    }
+
+    #[test]
+    fn replication_factor_spreads_to_successors() {
+        let config = ChordConfig::default().with_replication(3);
+        let mut sim = build(40, config, 3);
+        let object = Id::from_low_u64(0xabcd);
+        sim.insert(NodeIdx::new(1), object);
+        sim.run_to_quiescence();
+        assert_eq!(sim.replica_holders(object).len(), 3);
+    }
+
+    #[test]
+    fn lookups_succeed_on_a_stable_ring() {
+        let mut sim = build(100, ChordConfig::default(), 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let objects: Vec<Id> = (0..30).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(5), o);
+        }
+        sim.run_to_quiescence();
+        let deadline = SimTime::from_secs(1_000);
+        let handles: Vec<u64> = objects
+            .iter()
+            .map(|&o| sim.issue_lookup(NodeIdx::new(42), o, deadline))
+            .collect();
+        sim.run_until(deadline);
+        for h in handles {
+            assert!(
+                matches!(sim.lookup_outcome(h), LookupOutcome::Succeeded { .. }),
+                "lookup {h} failed on a stable ring"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let mut sim = build(256, ChordConfig::default(), 5);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let objects: Vec<Id> = (0..50).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+        }
+        sim.run_to_quiescence();
+        let deadline = SimTime::from_secs(10_000);
+        let handles: Vec<u64> = objects
+            .iter()
+            .map(|&o| sim.issue_lookup(NodeIdx::new(9), o, deadline))
+            .collect();
+        sim.run_until(deadline);
+        let mut total = 0u32;
+        for h in handles {
+            match sim.lookup_outcome(h) {
+                LookupOutcome::Succeeded { hops, .. } => {
+                    assert!(hops <= 16, "hop count {hops} not O(log n) for n=256");
+                    total += hops;
+                }
+                o => panic!("lookup failed: {o:?}"),
+            }
+        }
+        // Average must be around (1/2) log2(256) = 4, generously bounded.
+        assert!(total / 50 <= 8);
+    }
+
+    #[test]
+    fn missing_object_reports_failure_not_hang() {
+        let mut sim = build(30, ChordConfig::default(), 6);
+        let deadline = SimTime::from_secs(100);
+        let h = sim.issue_lookup(NodeIdx::new(2), Id::from_low_u64(42), deadline);
+        sim.run_until(deadline);
+        assert_eq!(sim.lookup_outcome(h), LookupOutcome::Failed);
+        assert!(sim.stats().misdeliveries >= 1);
+    }
+
+    #[test]
+    fn maintenance_preserves_a_stable_ring() {
+        let mut sim = build(40, ChordConfig::default(), 7);
+        let before = sim.neighbor_lists();
+        sim.start_maintenance();
+        sim.run_until(SimTime::from_secs(300));
+        // Ten stabilize rounds on a fully-converged static ring must not
+        // perturb the successor structure.
+        for (i, st) in (0..40u32).map(|i| (i, sim.state(NodeIdx::new(i)))) {
+            assert_eq!(
+                st.successor(),
+                before[i as usize].first().copied(),
+                "successor changed on a static ring"
+            );
+        }
+        assert!(sim.stats().failure_declarations == 0);
+    }
+
+    #[test]
+    fn join_integrates_a_new_node() {
+        let config = ChordConfig::default();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut ids = random_ids(33, &mut rng);
+        let joiner_id = ids.pop().expect("33 ids");
+        let mut states = build_converged_states(&ids, &config);
+        // The joiner starts empty.
+        ids.push(joiner_id);
+        states.push(ChordState::new(
+            NodeIdx::new(32),
+            joiner_id,
+            config.successor_list_len,
+        ));
+        let mut sim = ChordSim::new(
+            ids,
+            states,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(ConstantLatency(SimDuration::from_millis(10))),
+            12,
+        );
+        sim.join(NodeIdx::new(32), NodeIdx::new(0));
+        sim.run_to_quiescence();
+        // The joiner knows its true successor.
+        let mut sorted: Vec<Id> = sim.ids()[..32].to_vec();
+        sorted.sort();
+        let expect = *sorted.iter().find(|&&id| id >= joiner_id).unwrap_or(&sorted[0]);
+        let succ = sim.state(NodeIdx::new(32)).successor().expect("joined");
+        assert_eq!(sim.ids()[succ.index()], expect);
+        // After stabilization rounds the successor's predecessor is the joiner.
+        sim.start_maintenance();
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(sim.state(succ).predecessor(), Some(NodeIdx::new(32)));
+    }
+
+    #[test]
+    fn stats_classify_traffic() {
+        let mut sim = build(50, ChordConfig::default(), 8);
+        let object = Id::from_low_u64(77);
+        sim.insert(NodeIdx::new(0), object);
+        sim.run_to_quiescence();
+        let s = sim.stats();
+        assert!(s.insert_messages >= 1);
+        assert_eq!(s.lookup_messages, 0);
+        assert!(s.ack_messages >= s.insert_messages);
+        let h = sim.issue_lookup(NodeIdx::new(1), object, SimTime::from_secs(500));
+        sim.run_until(SimTime::from_secs(500));
+        assert!(matches!(
+            sim.lookup_outcome(h),
+            LookupOutcome::Succeeded { .. }
+        ));
+        let s = sim.stats();
+        assert!(s.lookup_messages >= 1);
+        assert!(s.total_messages() >= s.lookup_messages + s.insert_messages);
+    }
+
+    #[test]
+    fn neighbor_lists_are_nonempty_and_self_free() {
+        let sim = build(64, ChordConfig::default(), 9);
+        for (i, nl) in sim.neighbor_lists().into_iter().enumerate() {
+            assert!(!nl.is_empty());
+            assert!(!nl.contains(&NodeIdx::new(i as u32)));
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_fails_pending_lookups() {
+        let mut sim = build(20, ChordConfig::default(), 10);
+        let object = Id::from_low_u64(5);
+        sim.insert(NodeIdx::new(0), object);
+        sim.run_to_quiescence();
+        // Deadline in the past relative to message latency.
+        let h = sim.issue_lookup(NodeIdx::new(3), object, sim.now());
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.lookup_outcome(h), LookupOutcome::Failed);
+    }
+}

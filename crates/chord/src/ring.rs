@@ -1,0 +1,152 @@
+//! Interval predicates on the 160-bit identifier ring.
+//!
+//! Chord's correctness hinges on careful open/half-open interval tests
+//! modulo 2^160 (Stoica et al., Section 4). We express every test through
+//! the clockwise distance `dist_cw(a, x) = (x - a) mod 2^160`, which turns
+//! cyclic interval membership into plain integer comparison and makes the
+//! wrap-around cases explicit.
+
+use mpil_id::{wrapping_sub, Id};
+
+/// Clockwise distance from `a` to `x` on the ring: `(x - a) mod 2^160`.
+///
+/// `dist_cw(a, a) == 0`; the distance is asymmetric by design (the ring is
+/// directed).
+///
+/// ```
+/// use mpil_chord::ring::dist_cw;
+/// use mpil_id::Id;
+/// assert_eq!(dist_cw(Id::from_low_u64(10), Id::from_low_u64(13)), Id::from_low_u64(3));
+/// // Going clockwise from MAX wraps through ZERO.
+/// assert_eq!(dist_cw(Id::MAX, Id::ZERO), Id::from_low_u64(1));
+/// ```
+pub fn dist_cw(a: Id, x: Id) -> Id {
+    wrapping_sub(x, a)
+}
+
+/// Is `x` in the open interval `(a, b)` walking clockwise from `a`?
+///
+/// When `a == b` the interval covers the whole ring except `a` itself
+/// (Chord's single-node degenerate case: everything is "between" a node
+/// and itself).
+pub fn in_open(a: Id, x: Id, b: Id) -> bool {
+    let dx = dist_cw(a, x);
+    if dx.is_zero() {
+        return false;
+    }
+    let db = dist_cw(a, b);
+    if db.is_zero() {
+        // Full circle: every x != a lies strictly between.
+        return true;
+    }
+    dx < db
+}
+
+/// Is `x` in the half-open interval `(a, b]` walking clockwise from `a`?
+///
+/// This is the ownership test: key `k` belongs to node `s` iff
+/// `k ∈ (predecessor(s), s]`. When `a == b` the interval is the full ring
+/// (a single node owns every key, including its own ID).
+pub fn in_half_open(a: Id, x: Id, b: Id) -> bool {
+    let db = dist_cw(a, b);
+    if db.is_zero() {
+        // Full circle: a single node owns everything.
+        return true;
+    }
+    let dx = dist_cw(a, x);
+    !dx.is_zero() && dx <= db
+}
+
+/// The finger start `a + 2^i mod 2^160` (Stoica et al., Table 1:
+/// `finger[i].start = (n + 2^(i-1)) mod 2^m`, zero-indexed here).
+///
+/// # Panics
+///
+/// Panics if `i >= 160`.
+pub fn finger_start(a: Id, i: usize) -> Id {
+    assert!(i < mpil_id::ID_BITS, "finger index {i} out of range");
+    let mut bytes = [0u8; mpil_id::ID_BYTES];
+    // Bit i counting from the least significant end.
+    let byte = mpil_id::ID_BYTES - 1 - i / 8;
+    bytes[byte] = 1u8 << (i % 8);
+    mpil_id::wrapping_add(a, Id::from_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u64) -> Id {
+        Id::from_low_u64(v)
+    }
+
+    #[test]
+    fn dist_cw_basics() {
+        assert_eq!(dist_cw(id(5), id(5)), Id::ZERO);
+        assert_eq!(dist_cw(id(5), id(8)), id(3));
+        // Counter-clockwise neighbors are far away clockwise.
+        assert_eq!(dist_cw(id(8), id(5)), wrapping_sub(Id::ZERO, id(3)));
+    }
+
+    #[test]
+    fn open_interval_no_wrap() {
+        assert!(in_open(id(10), id(15), id(20)));
+        assert!(!in_open(id(10), id(10), id(20)));
+        assert!(!in_open(id(10), id(20), id(20)));
+        assert!(!in_open(id(10), id(25), id(20)));
+        assert!(!in_open(id(10), id(5), id(20)));
+    }
+
+    #[test]
+    fn open_interval_wraps() {
+        // (MAX-1, 5): contains MAX, 0, 4, not 5 or MAX-1.
+        let a = wrapping_sub(Id::MAX, id(1));
+        assert!(in_open(a, Id::MAX, id(5)));
+        assert!(in_open(a, Id::ZERO, id(5)));
+        assert!(in_open(a, id(4), id(5)));
+        assert!(!in_open(a, id(5), id(5)));
+        assert!(!in_open(a, a, id(5)));
+        assert!(!in_open(a, id(100), id(5)));
+    }
+
+    #[test]
+    fn degenerate_full_circle() {
+        // (a, a) = everything except a; (a, a] = everything.
+        assert!(in_open(id(7), id(8), id(7)));
+        assert!(in_open(id(7), Id::MAX, id(7)));
+        assert!(!in_open(id(7), id(7), id(7)));
+        assert!(in_half_open(id(7), id(7), id(7)));
+        assert!(in_half_open(id(7), id(1234), id(7)));
+    }
+
+    #[test]
+    fn half_open_includes_right_end() {
+        assert!(in_half_open(id(10), id(20), id(20)));
+        assert!(!in_half_open(id(10), id(10), id(20)));
+        assert!(in_half_open(id(10), id(11), id(20)));
+        assert!(!in_half_open(id(10), id(21), id(20)));
+    }
+
+    #[test]
+    fn finger_start_doubles() {
+        let n = id(100);
+        assert_eq!(finger_start(n, 0), id(101));
+        assert_eq!(finger_start(n, 1), id(102));
+        assert_eq!(finger_start(n, 10), id(100 + 1024));
+        // The top finger reaches half-way around the ring.
+        let half = finger_start(Id::ZERO, 159);
+        assert_eq!(half.to_bytes()[0], 0x80);
+    }
+
+    #[test]
+    fn finger_start_wraps_modulo() {
+        let start = finger_start(Id::MAX, 0);
+        assert_eq!(start, Id::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn finger_start_rejects_large_index() {
+        finger_start(Id::ZERO, 160);
+    }
+}

@@ -1,0 +1,74 @@
+//! `mpilctl analyze` — Section 5 closed forms.
+
+use mpil_analysis::AnalysisModel;
+use mpil_bench::Args;
+
+use crate::CliError;
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError`] on an unknown `--what`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let what = args.value("what").unwrap_or("local-maxima").to_string();
+    let nodes = args.value_or("nodes", 16_000usize);
+    let model = if args.flag("base16") {
+        AnalysisModel::base16()
+    } else {
+        AnalysisModel::base4()
+    };
+    match what.as_str() {
+        "local-maxima" | "local_maxima" => {
+            let degree = args.value_or("degree", 50usize);
+            let strict = model.expected_local_maxima_regular(nodes, degree);
+            let ties = model.expected_local_maxima_regular_with_ties(nodes, degree);
+            let hops = model.expected_hops_regular(degree);
+            Ok(format!(
+                "random regular overlay, N = {nodes}, degree = {degree} (base-{})\n\
+                 E[#local maxima]          = {strict:.1}   (paper's strict-dominance formula, Fig. 7)\n\
+                 E[#local maxima w/ ties]  = {ties:.1}   (MPIL's actual tie-allowing definition)\n\
+                 E[hops to a local max]    = {hops:.2}   (random walk, 1/C)\n",
+                if args.flag("base16") { 16 } else { 4 },
+            ))
+        }
+        "replicas" => {
+            let r = model.expected_replicas_complete(nodes);
+            Ok(format!(
+                "complete overlay, N = {nodes} (base-{})\n\
+                 E[#replicas] = {r:.4}   (paper's Figure 8 band: 1.55-1.63)\n",
+                if args.flag("base16") { 16 } else { 4 },
+            ))
+        }
+        other => Err(CliError(format!(
+            "unknown analysis {other:?} (want local-maxima|replicas)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn local_maxima_matches_figure_7() {
+        let out = run(&args("--what local-maxima --nodes 16000 --degree 100")).expect("ok");
+        // Figure 7 reads ≈120 for N=16000, d=100.
+        assert!(out.contains("118."), "got:\n{out}");
+    }
+
+    #[test]
+    fn replicas_inside_figure_8_band() {
+        let out = run(&args("--what replicas --nodes 8000")).expect("ok");
+        assert!(out.contains("1.59"), "got:\n{out}");
+    }
+
+    #[test]
+    fn unknown_what_is_an_error() {
+        assert!(run(&args("--what entropy")).is_err());
+    }
+}

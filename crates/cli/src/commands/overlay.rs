@@ -1,0 +1,92 @@
+//! `mpilctl overlay` — generate an overlay and print its statistics.
+
+use mpil_bench::dhts::{mean_out_degree, OverlaySource};
+use mpil_bench::Args;
+use mpil_overlay::stats;
+
+use crate::CliError;
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError`] on unknown families or infeasible parameters.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let family = args.value("family").unwrap_or("powerlaw").to_string();
+    let nodes = args.value_or("nodes", 1000usize);
+    let degree = args.value_or("degree", 16usize);
+    let seed = args.value_or("seed", 42u64);
+
+    // Structured overlays report directed out-degree statistics.
+    let structured = match family.as_str() {
+        "pastry" => Some(OverlaySource::Pastry),
+        "chord" => Some(OverlaySource::Chord),
+        "kademlia" => Some(OverlaySource::Kademlia),
+        _ => None,
+    };
+    if let Some(src) = structured {
+        let (_, nbrs) = src.build(nodes, seed);
+        let mut degrees: Vec<usize> = nbrs.iter().map(Vec::len).collect();
+        degrees.sort_unstable();
+        return Ok(format!(
+            "{} overlay: {} nodes (directed pointer graph)\n\
+             out-degree: mean {:.1}, min {}, median {}, max {}\n",
+            family,
+            nodes,
+            mean_out_degree(&nbrs),
+            degrees.first().copied().unwrap_or(0),
+            degrees[degrees.len() / 2],
+            degrees.last().copied().unwrap_or(0),
+        ));
+    }
+
+    let topo = super::build_topology(&family, nodes, degree, seed)?;
+    let hist = stats::degree_histogram(&topo);
+    let (min_d, max_d) = (
+        hist.iter().position(|&c| c > 0).unwrap_or(0),
+        hist.iter().rposition(|&c| c > 0).unwrap_or(0),
+    );
+    Ok(format!(
+        "{} overlay: {} nodes, {} edges\n\
+         degree: mean {:.1}, min {}, max {}\n\
+         connected: {}\n\
+         diameter (sampled): {}\n",
+        family,
+        topo.len(),
+        topo.edge_count(),
+        stats::mean_degree(&topo),
+        min_d,
+        max_d,
+        stats::is_connected(&topo),
+        stats::estimate_diameter(&topo, 8),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn powerlaw_overlay_reports_stats() {
+        let out = run(&args("--family powerlaw --nodes 200 --seed 1")).expect("ok");
+        assert!(out.contains("200 nodes"));
+        assert!(out.contains("connected: true"));
+    }
+
+    #[test]
+    fn chord_overlay_reports_out_degree() {
+        let out = run(&args("--family chord --nodes 100 --seed 1")).expect("ok");
+        assert!(out.contains("directed pointer graph"));
+        assert!(out.contains("out-degree"));
+    }
+
+    #[test]
+    fn unknown_family_is_an_error() {
+        let err = run(&args("--family banana")).expect_err("must fail");
+        assert!(err.0.contains("banana"));
+    }
+}

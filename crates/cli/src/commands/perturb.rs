@@ -1,0 +1,91 @@
+//! `mpilctl perturb` — one perturbation run (Sections 3 / 6.2, plus the
+//! Chord/Kademlia extension baselines).
+
+use mpil_bench::dhts::{run_baseline, run_mpil_over, Baseline, OverlaySource};
+use mpil_bench::perturb::{run_system, PerturbRun, System};
+use mpil_bench::Args;
+
+use crate::CliError;
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError`] on an unknown `--system`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let system = args.value("system").unwrap_or("mpil").to_string();
+    let run = PerturbRun {
+        nodes: args.value_or("nodes", 300usize),
+        operations: args.value_or("ops", 60usize),
+        idle_secs: args.value_or("idle", 30u64),
+        offline_secs: args.value_or("offline", 30u64),
+        probability: args.value_or("p", 0.5f64),
+        deadline_cap_secs: args.value_or("deadline", 60u64),
+        loss_probability: args.value_or("loss", 0.0f64),
+        seed: args.value_or("seed", 42u64),
+    };
+    let header = format!(
+        "{} nodes, {} lookups, idle:offline={}:{}, flap p={}, loss={}\n",
+        run.nodes, run.operations, run.idle_secs, run.offline_secs, run.probability,
+        run.loss_probability
+    );
+    let body = match system.as_str() {
+        "pastry" => detail(run_system(System::Pastry, run)),
+        "pastry-rr" => detail(run_system(System::PastryRr, run)),
+        "mpil" => detail(run_system(System::MpilNoDs, run)),
+        "mpil-ds" => detail(run_system(System::MpilDs, run)),
+        "mpil-chord" => detail(run_mpil_over(OverlaySource::Chord, run)),
+        "mpil-kademlia" => detail(run_mpil_over(OverlaySource::Kademlia, run)),
+        "chord" => rate_only(run_baseline(Baseline::Chord, run)),
+        "kademlia" => rate_only(run_baseline(Baseline::Kademlia { k: 8, alpha: 3 }, run)),
+        "kademlia-1" => rate_only(run_baseline(Baseline::Kademlia { k: 1, alpha: 1 }, run)),
+        other => {
+            return Err(CliError(format!(
+                "unknown system {other:?} (want pastry|pastry-rr|chord|kademlia|kademlia-1|\
+                 mpil|mpil-ds|mpil-chord|mpil-kademlia)"
+            )))
+        }
+    };
+    Ok(format!("{system}: {header}{body}"))
+}
+
+fn detail(r: mpil_bench::perturb::PerturbResult) -> String {
+    format!(
+        "success rate     = {:.1}%\n\
+         lookup traffic   = {} msgs\n\
+         total traffic    = {} msgs\n\
+         reply hops       = {:.2}\n\
+         replicas/object  = {:.1}\n",
+        r.success_rate, r.lookup_messages, r.total_messages, r.mean_reply_hops, r.mean_replicas
+    )
+}
+
+fn rate_only(rate: f64) -> String {
+    format!("success rate     = {rate:.1}%\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn mpil_run_reports_success() {
+        let out = run(&args("--system mpil --nodes 120 --ops 10 --p 0.0")).expect("ok");
+        assert!(out.contains("success rate"), "got:\n{out}");
+    }
+
+    #[test]
+    fn chord_baseline_runs() {
+        let out = run(&args("--system chord --nodes 100 --ops 8 --p 0.0")).expect("ok");
+        assert!(out.contains("success rate"), "got:\n{out}");
+    }
+
+    #[test]
+    fn unknown_system_is_an_error() {
+        assert!(run(&args("--system gnutella2")).is_err());
+    }
+}

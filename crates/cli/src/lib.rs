@@ -1,0 +1,86 @@
+//! # mpil-cli
+//!
+//! Implementation of `mpilctl`, the command-line driver of the MPIL
+//! reproduction. Each subcommand is a plain function from parsed
+//! arguments to a rendered [`String`], so the whole surface is testable
+//! without spawning processes:
+//!
+//! ```text
+//! mpilctl overlay  --family powerlaw --nodes 4000 [--degree D] [--seed S]
+//! mpilctl analyze  --what local-maxima --nodes 16000 --degree 50
+//! mpilctl analyze  --what replicas --nodes 8000
+//! mpilctl simulate --family random --nodes 1000 --ops 100 [--max-flows 10] [--replicas 5]
+//! mpilctl perturb  --system mpil --nodes 300 --ops 50 --idle 30 --offline 30 --p 0.5 [--loss 0.1]
+//! mpilctl live     --nodes 32 --degree 6 --ops 5 [--udp]
+//! ```
+//!
+//! Run `mpilctl help` for the same synopsis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+use mpil_bench::Args;
+
+/// A subcommand failure, rendered to stderr by `main`.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The synopsis printed by `mpilctl help`.
+pub const USAGE: &str = "\
+mpilctl — MPIL resource discovery toolkit
+
+USAGE:
+  mpilctl <command> [--key value]...
+
+COMMANDS:
+  overlay   generate an overlay and print its statistics
+            --family powerlaw|random|regular|complete|pastry|chord|kademlia
+            --nodes N [--degree D] [--seed S]
+  analyze   closed-form expectations from the paper's Section 5
+            --what local-maxima --nodes N --degree D [--base4|--base16]
+            --what replicas --nodes N
+  simulate  one static insert/lookup campaign (paper Section 6.1)
+            --family powerlaw|random|regular|complete --nodes N --ops K
+            [--degree D] [--max-flows F] [--replicas R] [--no-ds] [--seed S]
+  perturb   one perturbation run (paper Sections 3/6.2)
+            --system pastry|pastry-rr|chord|kademlia|mpil|mpil-ds
+            --nodes N --ops K --idle S --offline S --p P [--loss L] [--seed S]
+  live      spawn a real thread-per-node cluster and run operations
+            --nodes N [--degree D] [--ops K] [--udp] [--seed S]
+  help      print this message
+";
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`CliError`] with a user-facing message on unknown commands or
+/// invalid parameters.
+pub fn dispatch<I: IntoIterator<Item = String>>(args: I) -> Result<String, CliError> {
+    let mut iter = args.into_iter();
+    let Some(command) = iter.next() else {
+        return Ok(USAGE.to_string());
+    };
+    let rest = Args::parse(iter);
+    match command.as_str() {
+        "overlay" => commands::overlay::run(&rest),
+        "analyze" => commands::analyze::run(&rest),
+        "simulate" => commands::simulate::run(&rest),
+        "perturb" => commands::perturb::run(&rest),
+        "live" => commands::live::run(&rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!(
+            "unknown command {other:?}; run `mpilctl help`"
+        ))),
+    }
+}

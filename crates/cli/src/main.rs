@@ -1,0 +1,12 @@
+//! `mpilctl` — the command-line driver (see [`mpil_cli`] for the
+//! synopsis).
+
+fn main() {
+    match mpil_cli::dispatch(std::env::args().skip(1)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("mpilctl: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Top-level dispatch tests: command routing, help, and error paths.
+
+fn dispatch(s: &str) -> Result<String, mpil_cli::CliError> {
+    mpil_cli::dispatch(s.split_whitespace().map(String::from))
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = mpil_cli::dispatch(std::iter::empty::<String>()).expect("usage");
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("perturb"));
+}
+
+#[test]
+fn help_variants_print_usage() {
+    for h in ["help", "--help", "-h"] {
+        assert!(dispatch(h).expect("usage").contains("mpilctl"));
+    }
+}
+
+#[test]
+fn unknown_command_errors_with_hint() {
+    let err = dispatch("frobnicate").expect_err("must fail");
+    assert!(err.to_string().contains("frobnicate"));
+    assert!(err.to_string().contains("help"));
+}
+
+#[test]
+fn overlay_command_routes() {
+    let out = dispatch("overlay --family random --nodes 100 --degree 8").expect("ok");
+    assert!(out.contains("100 nodes"));
+}
+
+#[test]
+fn analyze_command_routes() {
+    let out = dispatch("analyze --what local-maxima --nodes 4000 --degree 10").expect("ok");
+    // Figure 7's leftmost point: ≈299 for N=4000, d=10.
+    assert!(out.contains("299"), "got:\n{out}");
+}
+
+#[test]
+fn simulate_command_routes() {
+    let out = dispatch("simulate --family random --nodes 150 --degree 10 --ops 10").expect("ok");
+    assert!(out.contains("lookup success"));
+}
+
+#[test]
+fn errors_from_subcommands_propagate() {
+    assert!(dispatch("overlay --family banana").is_err());
+    assert!(dispatch("analyze --what banana").is_err());
+    assert!(dispatch("perturb --system banana").is_err());
+}

@@ -1,0 +1,644 @@
+//! Event-driven MPIL over the [`mpil_sim`] kernel.
+//!
+//! This is the engine behind the paper's Section 6.2 experiments: MPIL
+//! routing over an arbitrary (possibly Pastry-derived) neighbor graph,
+//! with real message latencies and perturbed (flapping) nodes. Messages
+//! sent to offline nodes are lost — MPIL never retransmits; its
+//! robustness comes entirely from redundant flows and replicas.
+
+use std::collections::{HashMap, HashSet};
+
+use mpil_id::Id;
+use mpil_overlay::{NodeIdx, Topology};
+use mpil_sim::{Availability, LatencyModel, Network, SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::config::MpilConfig;
+use crate::deletion::ReplicaRegistry;
+use crate::flow::plan_forwarding;
+use crate::message::{Message, MessageId, MessageKind};
+use crate::routing::routing_decision_policy;
+
+/// Configuration of a [`DynamicNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct DynamicConfig {
+    /// The MPIL algorithm parameters.
+    pub mpil: MpilConfig,
+    /// Heartbeat period for the deletion protocol; `None` disables
+    /// heartbeats (the perturbation experiments run without them).
+    pub heartbeat_period: Option<SimDuration>,
+}
+
+
+/// Protocol-level counters (the kernel's [`mpil_sim::NetStats`] counts raw
+/// sends/drops; these attribute them to operations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicStats {
+    /// Insert messages forwarded.
+    pub insert_messages: u64,
+    /// Lookup messages forwarded (the left panel of Figure 12).
+    pub lookup_messages: u64,
+    /// Direct replies sent by replica holders.
+    pub replies_sent: u64,
+    /// Messages dropped by duplicate suppression.
+    pub duplicates_suppressed: u64,
+    /// Duplicate receptions observed (suppressed or not).
+    pub duplicates_seen: u64,
+    /// Heartbeat messages sent.
+    pub heartbeats_sent: u64,
+    /// Delete messages sent.
+    pub deletes_sent: u64,
+}
+
+/// Outcome of a lookup issued through [`DynamicNetwork::issue_lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupStatus {
+    /// No reply yet (and the deadline has not been declared passed).
+    Pending,
+    /// A replica holder's reply reached the origin before the deadline.
+    Succeeded {
+        /// Forward-path hops of the first reply.
+        hops: u32,
+        /// Time from issue to first reply.
+        latency: SimDuration,
+    },
+    /// The deadline passed with no reply.
+    Failed,
+}
+
+#[derive(Debug, Clone)]
+enum Wire {
+    Forward(Message),
+    Reply {
+        msg_id: MessageId,
+        hops: u32,
+    },
+    Heartbeat {
+        object: Id,
+        holder: NodeIdx,
+    },
+    Delete {
+        object: Id,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    Heartbeat { object: Id },
+}
+
+#[derive(Debug)]
+struct LookupState {
+    issued_at: SimTime,
+    deadline: SimTime,
+    status: LookupStatus,
+}
+
+/// MPIL agents on every node of a (frozen) neighbor graph, driven by the
+/// discrete-event kernel.
+///
+/// The neighbor graph is arbitrary: build it from a [`Topology`]
+/// ([`DynamicNetwork::from_topology`]) or hand in explicit per-node
+/// neighbor lists ([`DynamicNetwork::new`]) — e.g. the union of a Pastry
+/// node's leaf set and routing table, which is how the paper runs "MPIL
+/// over the overlay of MSPastry ... without any of the overlay
+/// maintenance techniques".
+pub struct DynamicNetwork {
+    ids: Vec<Id>,
+    neighbors: Vec<Vec<NodeIdx>>,
+    config: DynamicConfig,
+    stores: Vec<HashMap<Id, NodeIdx>>,
+    forwarded: Vec<HashSet<MessageId>>,
+    net: Network<Wire, Timer>,
+    next_msg_id: u64,
+    lookups: HashMap<MessageId, LookupState>,
+    registries: Vec<ReplicaRegistry>,
+    stats: DynamicStats,
+}
+
+impl DynamicNetwork {
+    /// Builds a network whose neighbor lists come from `topo`.
+    pub fn from_topology(
+        topo: &Topology,
+        config: DynamicConfig,
+        availability: Box<dyn Availability>,
+        latency: Box<dyn LatencyModel>,
+        seed: u64,
+    ) -> Self {
+        let neighbors = topo
+            .iter_nodes()
+            .map(|n| topo.neighbors(n).to_vec())
+            .collect();
+        Self::new(topo.ids().to_vec(), neighbors, config, availability, latency, seed)
+    }
+
+    /// Builds a network from explicit per-node neighbor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` and `neighbors` disagree in length, any neighbor
+    /// index is out of range, or the MPIL configuration is invalid.
+    pub fn new(
+        ids: Vec<Id>,
+        neighbors: Vec<Vec<NodeIdx>>,
+        config: DynamicConfig,
+        availability: Box<dyn Availability>,
+        latency: Box<dyn LatencyModel>,
+        seed: u64,
+    ) -> Self {
+        config.mpil.validate().expect("invalid MPIL configuration");
+        assert_eq!(ids.len(), neighbors.len(), "ids/neighbors length mismatch");
+        let n = ids.len();
+        for list in &neighbors {
+            for nbr in list {
+                assert!(nbr.index() < n, "neighbor {nbr} out of range");
+            }
+        }
+        DynamicNetwork {
+            stores: vec![HashMap::new(); n],
+            forwarded: vec![HashSet::new(); n],
+            registries: vec![ReplicaRegistry::new(); n],
+            net: Network::new(n, availability, latency, seed),
+            ids,
+            neighbors,
+            config,
+            next_msg_id: 0,
+            lookups: HashMap::new(),
+            stats: DynamicStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> DynamicStats {
+        self.stats
+    }
+
+    /// Kernel counters (sends, deliveries, offline drops).
+    pub fn net_stats(&self) -> mpil_sim::NetStats {
+        self.net.stats()
+    }
+
+    /// Replaces the availability model (static stage → flapping stage).
+    pub fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        self.net.set_availability(availability);
+    }
+
+    /// Sets the independent per-message link-loss probability (failure
+    /// injection; see [`mpil_sim::Network::set_loss_probability`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.net.set_loss_probability(p);
+    }
+
+    /// Nodes currently storing a pointer for `object`.
+    pub fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        (0..self.ids.len() as u32)
+            .map(NodeIdx::new)
+            .filter(|n| self.stores[n.index()].contains_key(&object))
+            .collect()
+    }
+
+    /// Starts an insertion of `object` (owned by `origin`). Propagation
+    /// happens as the caller runs the clock.
+    pub fn insert(&mut self, origin: NodeIdx, object: Id) -> MessageId {
+        let msg_id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        let msg = Message::initial(
+            msg_id,
+            MessageKind::Insert,
+            object,
+            origin,
+            self.config.mpil.max_flows,
+            self.config.mpil.num_replicas,
+        );
+        self.handle_forward(origin, msg);
+        msg_id
+    }
+
+    /// Issues a lookup of `object` from `origin`, succeeding only if a
+    /// reply arrives by `deadline`.
+    pub fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> MessageId {
+        let msg_id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        self.lookups.insert(
+            msg_id,
+            LookupState {
+                issued_at: self.net.now(),
+                deadline,
+                status: LookupStatus::Pending,
+            },
+        );
+        let msg = Message::initial(
+            msg_id,
+            MessageKind::Lookup,
+            object,
+            origin,
+            self.config.mpil.max_flows,
+            self.config.mpil.num_replicas,
+        );
+        self.handle_forward(origin, msg);
+        msg_id
+    }
+
+    /// Owner-driven deletion (Section 4.4): `owner` sends explicit delete
+    /// messages to every replica holder it knows of from heartbeats —
+    /// falling back to its own directly-stored copy.
+    pub fn delete(&mut self, owner: NodeIdx, object: Id) {
+        let holders = self.registries[owner.index()].forget(object);
+        for holder in holders {
+            self.stats.deletes_sent += 1;
+            self.net.send(owner, holder, Wire::Delete { object });
+        }
+        self.stores[owner.index()].remove(&object);
+    }
+
+    /// Status of a lookup. A lookup still pending at its deadline counts
+    /// as failed (a reply arriving exactly at the deadline is processed
+    /// before the status query observes `now == deadline`, so it wins).
+    pub fn lookup_status(&self, msg_id: MessageId) -> LookupStatus {
+        match self.lookups.get(&msg_id) {
+            None => LookupStatus::Failed,
+            Some(s) => match s.status {
+                LookupStatus::Pending if self.net.now() >= s.deadline => LookupStatus::Failed,
+                other => other,
+            },
+        }
+    }
+
+    /// Runs the event loop until `deadline` (inclusive); the clock ends at
+    /// `deadline` even if the queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(event) = self.net.next_before(deadline) {
+            self.dispatch(event);
+        }
+    }
+
+    /// Runs until no events remain (only sensible without periodic
+    /// timers, i.e. with heartbeats disabled).
+    pub fn run_to_quiescence(&mut self) {
+        while let Some(event) = self.net.next() {
+            self.dispatch(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: mpil_sim::Event<Wire, Timer>) {
+        match event {
+            mpil_sim::Event::Message { to, msg, .. } => match msg {
+                Wire::Forward(m) => self.handle_forward(to, m),
+                Wire::Reply { msg_id, hops } => self.handle_reply(msg_id, hops),
+                Wire::Heartbeat { object, holder } => {
+                    let now = self.net.now();
+                    self.registries[to.index()].heartbeat(object, holder, now);
+                }
+                Wire::Delete { object } => {
+                    self.stores[to.index()].remove(&object);
+                }
+            },
+            mpil_sim::Event::Timer { node, timer } => match timer {
+                Timer::Heartbeat { object } => self.handle_heartbeat_timer(node, object),
+            },
+        }
+    }
+
+    fn handle_reply(&mut self, msg_id: MessageId, hops: u32) {
+        let now = self.net.now();
+        if let Some(state) = self.lookups.get_mut(&msg_id) {
+            if matches!(state.status, LookupStatus::Pending) && now <= state.deadline {
+                state.status = LookupStatus::Succeeded {
+                    hops,
+                    latency: now.duration_since(state.issued_at),
+                };
+            }
+        }
+    }
+
+    fn handle_heartbeat_timer(&mut self, node: NodeIdx, object: Id) {
+        let Some(period) = self.config.heartbeat_period else {
+            return;
+        };
+        let Some(&owner) = self.stores[node.index()].get(&object) else {
+            return; // replica deleted; stop the heartbeat chain
+        };
+        // A perturbed node cannot send; it resumes on its next timer.
+        if self.net.is_online(node) {
+            self.stats.heartbeats_sent += 1;
+            self.net
+                .send(node, owner, Wire::Heartbeat { object, holder: node });
+        }
+        self.net.schedule(node, period, Timer::Heartbeat { object });
+    }
+
+    /// Core MPIL processing of one message copy at `node` (Figure 5).
+    fn handle_forward(&mut self, node: NodeIdx, msg: Message) {
+        let mut msg = msg;
+        // Duplicate suppression ("DS"): drop anything this node has
+        // already processed, silently.
+        if !self.forwarded[node.index()].insert(msg.msg_id) {
+            self.stats.duplicates_seen += 1;
+            if self.config.mpil.duplicate_suppression {
+                self.stats.duplicates_suppressed += 1;
+                return;
+            }
+        }
+
+        // A lookup stops at any replica holder, which replies directly.
+        if msg.kind == MessageKind::Lookup
+            && self.stores[node.index()].contains_key(&msg.object)
+        {
+            self.stats.replies_sent += 1;
+            let wire = Wire::Reply {
+                msg_id: msg.msg_id,
+                hops: msg.hops,
+            };
+            self.net.send(node, msg.origin, wire);
+            return;
+        }
+
+        let given = if msg.hops == 0 { 0 } else { 1 };
+        let decision = routing_decision_policy(
+            self.config.mpil.space,
+            msg.object,
+            node,
+            &self.neighbors[node.index()],
+            &self.ids,
+            |n| msg.visited(n),
+            self.config.mpil.split_policy,
+            msg.quota + given,
+            self.config.mpil.metric,
+        );
+
+        if decision.is_local_max {
+            if msg.kind == MessageKind::Insert {
+                let newly = self.stores[node.index()]
+                    .insert(msg.object, msg.origin)
+                    .is_none();
+                if newly {
+                    if let Some(period) = self.config.heartbeat_period {
+                        self.net
+                            .schedule(node, period, Timer::Heartbeat { object: msg.object });
+                    }
+                }
+            }
+            msg.replicas_left -= 1;
+            if msg.replicas_left == 0 {
+                return;
+            }
+        }
+
+        if decision.candidates.is_empty() {
+            return;
+        }
+        let plan = plan_forwarding(msg.quota, given, decision.candidates.len());
+        if plan.m == 0 {
+            return;
+        }
+        let chosen: Vec<NodeIdx> = if plan.m as usize == decision.candidates.len() {
+            decision.candidates
+        } else {
+            let mut c = decision.candidates;
+            c.partial_shuffle(self.net.rng(), plan.m as usize);
+            c.truncate(plan.m as usize);
+            c
+        };
+        for (target, &quota) in chosen.iter().zip(plan.child_quotas.iter()) {
+            match msg.kind {
+                MessageKind::Insert => self.stats.insert_messages += 1,
+                MessageKind::Lookup => self.stats.lookup_messages += 1,
+            }
+            let fwd = msg.forwarded(node, quota);
+            self.net.send(node, *target, Wire::Forward(fwd));
+        }
+    }
+}
+
+impl std::fmt::Debug for DynamicNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicNetwork")
+            .field("nodes", &self.ids.len())
+            .field("now", &self.net.now())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpil_overlay::generators;
+    use mpil_sim::{AlwaysOn, ConstantLatency, Flapping, FlappingConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn latency_10ms() -> Box<dyn LatencyModel> {
+        Box::new(ConstantLatency(SimDuration::from_millis(10)))
+    }
+
+    fn build_static(n: usize, d: usize, seed: u64) -> DynamicNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topo = generators::random_regular(n, d, &mut rng).unwrap();
+        DynamicNetwork::from_topology(
+            &topo,
+            DynamicConfig::default(),
+            Box::new(AlwaysOn),
+            latency_10ms(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn insert_then_lookup_succeeds_on_a_static_overlay() {
+        let mut net = build_static(100, 8, 1);
+        let origin = NodeIdx::new(0);
+        let object = Id::from_low_u64(0xabcd);
+        net.insert(origin, object);
+        net.run_to_quiescence();
+        assert!(!net.replica_holders(object).is_empty());
+
+        let deadline = net.now() + SimDuration::from_secs(60);
+        let lk = net.issue_lookup(NodeIdx::new(50), object, deadline);
+        net.run_to_quiescence();
+        match net.lookup_status(lk) {
+            LookupStatus::Succeeded { hops, latency } => {
+                assert!(hops >= 1);
+                assert!(!latency.is_zero());
+            }
+            other => panic!("lookup should succeed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_for_absent_object_fails() {
+        let mut net = build_static(50, 6, 2);
+        let deadline = net.now() + SimDuration::from_secs(10);
+        let lk = net.issue_lookup(NodeIdx::new(3), Id::from_low_u64(1), deadline);
+        net.run_until(deadline);
+        assert_eq!(net.lookup_status(lk), LookupStatus::Failed);
+    }
+
+    #[test]
+    fn replies_after_deadline_do_not_count() {
+        // Latency 10ms per hop, deadline shorter than one hop.
+        let mut net = build_static(50, 6, 3);
+        let object = Id::from_low_u64(2);
+        net.insert(NodeIdx::new(0), object);
+        net.run_to_quiescence();
+        let deadline = net.now() + SimDuration::from_millis(1);
+        let lk = net.issue_lookup(NodeIdx::new(25), object, deadline);
+        net.run_to_quiescence();
+        assert_eq!(net.lookup_status(lk), LookupStatus::Failed);
+    }
+
+    #[test]
+    fn flapping_probability_one_long_offline_blocks_most_lookups() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let topo = generators::random_regular(100, 8, &mut rng).unwrap();
+        let mut net = DynamicNetwork::from_topology(
+            &topo,
+            DynamicConfig::default(),
+            Box::new(AlwaysOn),
+            latency_10ms(),
+            4,
+        );
+        let origin = NodeIdx::new(0);
+        let objects: Vec<Id> = (0..20).map(|k| Id::from_low_u64(k + 10)).collect();
+        for &o in &objects {
+            net.insert(origin, o);
+        }
+        net.run_to_quiescence();
+
+        // Now perturb everything except the origin: long offline periods,
+        // probability 1 — nearly every node offline half the time.
+        let flap_cfg = FlappingConfig::idle_offline_secs(300, 300, 1.0)
+            .starting_at(net.now());
+        let mut flapping = Flapping::new(flap_cfg, 100, 99, &mut rng);
+        flapping.exempt(origin);
+        net.set_availability(Box::new(flapping));
+
+        let mut ok = 0;
+        let mut failed = 0;
+        for (i, &o) in objects.iter().enumerate() {
+            let t = net.now() + SimDuration::from_secs(600);
+            net.run_until(t);
+            let deadline = net.now() + SimDuration::from_secs(60);
+            let lk = net.issue_lookup(origin, o, deadline);
+            net.run_until(deadline);
+            match net.lookup_status(lk) {
+                LookupStatus::Succeeded { .. } => ok += 1,
+                LookupStatus::Failed => failed += 1,
+                LookupStatus::Pending => panic!("deadline passed {i}"),
+            }
+        }
+        // Perturbation hurts but multi-path redundancy keeps some
+        // lookups alive; both outcomes must occur at p=1.0 with 50%
+        // average downtime.
+        assert!(failed > 0, "p=1 300:300 should fail some lookups");
+        assert!(ok + failed == 20);
+    }
+
+    #[test]
+    fn duplicate_suppression_counters_track() {
+        let mut net = build_static(80, 10, 5);
+        let object = Id::from_low_u64(77);
+        net.insert(NodeIdx::new(0), object);
+        net.run_to_quiescence();
+        let s = net.stats();
+        assert_eq!(s.duplicates_seen, s.duplicates_suppressed, "DS on");
+    }
+
+    #[test]
+    fn without_ds_duplicates_are_reprocessed() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let topo = generators::random_regular(80, 10, &mut rng).unwrap();
+        let config = DynamicConfig {
+            mpil: MpilConfig::default().with_duplicate_suppression(false),
+            heartbeat_period: None,
+        };
+        let mut net = DynamicNetwork::from_topology(
+            &topo,
+            config,
+            Box::new(AlwaysOn),
+            latency_10ms(),
+            6,
+        );
+        let object = Id::from_low_u64(88);
+        net.insert(NodeIdx::new(0), object);
+        net.run_to_quiescence();
+        let s = net.stats();
+        assert_eq!(s.duplicates_suppressed, 0);
+    }
+
+    #[test]
+    fn heartbeats_register_holders_and_delete_works() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let topo = generators::random_regular(60, 8, &mut rng).unwrap();
+        let config = DynamicConfig {
+            mpil: MpilConfig::default(),
+            heartbeat_period: Some(SimDuration::from_secs(5)),
+        };
+        let mut net = DynamicNetwork::from_topology(
+            &topo,
+            config,
+            Box::new(AlwaysOn),
+            latency_10ms(),
+            7,
+        );
+        let owner = NodeIdx::new(0);
+        let object = Id::from_low_u64(99);
+        net.insert(owner, object);
+        net.run_until(net.now() + SimDuration::from_secs(12));
+        let holders = net.replica_holders(object);
+        assert!(!holders.is_empty());
+        assert!(net.stats().heartbeats_sent > 0);
+
+        net.delete(owner, object);
+        net.run_until(net.now() + SimDuration::from_secs(12));
+        // All heartbeat-known holders deleted their replicas. (Holders the
+        // owner never heard from — none here, two heartbeat rounds ran —
+        // would survive.)
+        assert!(
+            net.replica_holders(object).is_empty(),
+            "replicas remain: {:?}",
+            net.replica_holders(object)
+        );
+        assert!(net.stats().deletes_sent > 0);
+    }
+
+    #[test]
+    fn stats_attribute_messages_to_operations() {
+        let mut net = build_static(60, 8, 8);
+        let object = Id::from_low_u64(5);
+        net.insert(NodeIdx::new(0), object);
+        net.run_to_quiescence();
+        let after_insert = net.stats();
+        assert!(after_insert.insert_messages > 0);
+        assert_eq!(after_insert.lookup_messages, 0);
+
+        let deadline = net.now() + SimDuration::from_secs(60);
+        net.issue_lookup(NodeIdx::new(30), object, deadline);
+        net.run_to_quiescence();
+        let after_lookup = net.stats();
+        assert!(after_lookup.lookup_messages > 0);
+        assert_eq!(after_lookup.insert_messages, after_insert.insert_messages);
+        assert!(after_lookup.replies_sent >= 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Unstructured-search baselines: TTL-limited flooding and k random
+//! walks.
+//!
+//! Section 1 of the paper positions MPIL against Gnutella-style flooding
+//! ("perturbation-resistant and overlay-independent, \[but\] neither
+//! efficient nor scalable") and Section 2 against the random-walk search
+//! of Lv et al. These baselines make that comparison measurable: all
+//! three run on the same static overlays and store model, so the
+//! `ablation_baselines` bench can put success rate against traffic for
+//! each.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mpil_id::Id;
+use mpil_overlay::{NodeIdx, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::report::LookupReport;
+
+/// A Gnutella-style flooding/random-walk search engine over a static
+/// overlay, sharing MPIL's object-pointer store model.
+///
+/// Objects are stored only at their owner (unstructured systems do not
+/// place pointers); queries must find the owner.
+pub struct UnstructuredEngine<'a> {
+    topo: &'a Topology,
+    stores: Vec<HashMap<Id, NodeIdx>>,
+    rng: SmallRng,
+}
+
+impl<'a> UnstructuredEngine<'a> {
+    /// Creates an engine over `topo`.
+    pub fn new(topo: &'a Topology, seed: u64) -> Self {
+        UnstructuredEngine {
+            topo,
+            stores: vec![HashMap::new(); topo.len()],
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Stores `object` at `owner` (and optionally at `extra_replicas`
+    /// uniformly random nodes, modeling the replication of Lv et al.).
+    pub fn store(&mut self, owner: NodeIdx, object: Id, extra_replicas: usize) {
+        self.stores[owner.index()].insert(object, owner);
+        for _ in 0..extra_replicas {
+            let n = self.rng.gen_range(0..self.topo.len() as u32);
+            self.stores[n as usize].insert(object, owner);
+        }
+    }
+
+    /// Does `node` hold `object`?
+    pub fn has(&self, node: NodeIdx, object: Id) -> bool {
+        self.stores[node.index()].contains_key(&object)
+    }
+
+    /// TTL-limited flooding from `origin`: every node forwards the query
+    /// to all neighbors until the TTL expires. Returns the standard
+    /// lookup report (traffic counts every edge transmission).
+    pub fn flood(&mut self, origin: NodeIdx, object: Id, ttl: u32) -> LookupReport {
+        let mut report = LookupReport::default();
+        let mut seen: HashSet<NodeIdx> = HashSet::new();
+        let mut queue: VecDeque<(NodeIdx, u32, u32)> = VecDeque::new();
+        seen.insert(origin);
+        queue.push_back((origin, ttl, 0));
+        while let Some((at, ttl_left, hops)) = queue.pop_front() {
+            if self.stores[at.index()].contains_key(&object) {
+                if !report.success {
+                    report.success = true;
+                    report.first_reply_hops = Some(hops);
+                    report.messages_until_first_reply = report.messages;
+                }
+                continue;
+            }
+            if ttl_left == 0 {
+                continue;
+            }
+            for &nbr in self.topo.neighbors(at) {
+                report.messages += 1;
+                if !seen.insert(nbr) {
+                    report.duplicates += 1;
+                    continue;
+                }
+                queue.push_back((nbr, ttl_left - 1, hops + 1));
+            }
+        }
+        report
+    }
+
+    /// `k` independent random walks of at most `max_steps` steps each
+    /// (walkers check every node they visit; they do not revisit their
+    /// immediate predecessor when avoidable).
+    pub fn random_walk(
+        &mut self,
+        origin: NodeIdx,
+        object: Id,
+        walkers: usize,
+        max_steps: u32,
+    ) -> LookupReport {
+        let mut report = LookupReport::default();
+        report.flows_created = walkers as u32;
+        for _ in 0..walkers {
+            let mut at = origin;
+            let mut prev: Option<NodeIdx> = None;
+            for step in 0..=max_steps {
+                if self.stores[at.index()].contains_key(&object) {
+                    if !report.success || report.first_reply_hops > Some(step) {
+                        report.success = true;
+                        report.first_reply_hops = Some(step);
+                    }
+                    break;
+                }
+                if step == max_steps {
+                    break;
+                }
+                let nbrs = self.topo.neighbors(at);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = if nbrs.len() == 1 {
+                    nbrs[0]
+                } else {
+                    // Avoid bouncing straight back when possible.
+                    loop {
+                        let cand = nbrs[self.rng.gen_range(0..nbrs.len())];
+                        if Some(cand) != prev {
+                            break cand;
+                        }
+                    }
+                };
+                report.messages += 1;
+                prev = Some(at);
+                at = next;
+            }
+        }
+        // Walk traffic until the first reply is not tracked separately;
+        // report the total.
+        report.messages_until_first_reply = report.messages;
+        report
+    }
+}
+
+impl std::fmt::Debug for UnstructuredEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnstructuredEngine")
+            .field("nodes", &self.topo.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpil_overlay::generators;
+
+    fn topo(n: usize, d: usize, seed: u64) -> Topology {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generators::random_regular(n, d, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn flooding_with_enough_ttl_always_finds() {
+        let t = topo(200, 8, 1);
+        let mut e = UnstructuredEngine::new(&t, 2);
+        let object = Id::from_low_u64(1);
+        e.store(NodeIdx::new(77), object, 0);
+        let r = e.flood(NodeIdx::new(3), object, 10);
+        assert!(r.success);
+        assert!(r.messages > 100, "flooding is expensive: {}", r.messages);
+    }
+
+    #[test]
+    fn flooding_ttl_zero_only_checks_origin() {
+        let t = topo(50, 4, 3);
+        let mut e = UnstructuredEngine::new(&t, 4);
+        let object = Id::from_low_u64(2);
+        e.store(NodeIdx::new(10), object, 0);
+        let miss = e.flood(NodeIdx::new(3), object, 0);
+        assert!(!miss.success);
+        assert_eq!(miss.messages, 0);
+        let hit = e.flood(NodeIdx::new(10), object, 0);
+        assert!(hit.success);
+        assert_eq!(hit.first_reply_hops, Some(0));
+    }
+
+    #[test]
+    fn flooding_respects_ttl_horizon() {
+        // On a ring, TTL t reaches exactly 2t+1 nodes.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = generators::ring(30, &mut rng).unwrap();
+        let mut e = UnstructuredEngine::new(&t, 6);
+        let object = Id::from_low_u64(3);
+        // Store 4 hops away from node 0 (clockwise).
+        e.store(NodeIdx::new(4), object, 0);
+        assert!(!e.flood(NodeIdx::new(0), object, 3).success);
+        assert!(e.flood(NodeIdx::new(0), object, 4).success);
+    }
+
+    #[test]
+    fn random_walks_find_replicated_objects() {
+        let t = topo(200, 8, 7);
+        let mut e = UnstructuredEngine::new(&t, 8);
+        let object = Id::from_low_u64(4);
+        // 10% replication makes short walks effective (Lv et al.'s point).
+        e.store(NodeIdx::new(0), object, 20);
+        let r = e.random_walk(NodeIdx::new(100), object, 8, 50);
+        assert!(r.success);
+        assert!(r.messages <= 8 * 50);
+        assert_eq!(r.flows_created, 8);
+    }
+
+    #[test]
+    fn random_walk_miss_costs_full_budget() {
+        let t = topo(100, 6, 9);
+        let mut e = UnstructuredEngine::new(&t, 10);
+        let r = e.random_walk(NodeIdx::new(0), Id::from_low_u64(5), 4, 25);
+        assert!(!r.success);
+        assert_eq!(r.messages, 4 * 25);
+    }
+
+    #[test]
+    fn flooding_duplicates_counted() {
+        let t = topo(100, 10, 11);
+        let mut e = UnstructuredEngine::new(&t, 12);
+        let r = e.flood(NodeIdx::new(0), Id::from_low_u64(6), 4);
+        assert!(!r.success);
+        assert!(r.duplicates > 0, "dense flooding must collide");
+    }
+}

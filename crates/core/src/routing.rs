@@ -1,0 +1,243 @@
+//! MPIL next-hop selection (Figure 5 of the paper).
+
+use mpil_id::{Id, IdSpace};
+use mpil_overlay::NodeIdx;
+
+use crate::config::{RoutingMetric, SplitPolicy};
+
+/// The routing decision at one node for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingDecision {
+    /// The node's own metric value for the object.
+    pub self_metric: u32,
+    /// Whether the node is a *local maximum*: no neighbor (visited or not)
+    /// has a strictly higher metric (Section 4.4).
+    pub is_local_max: bool,
+    /// Best-metric candidates among unvisited neighbors, in neighbor-list
+    /// order. Empty when every neighbor has been visited.
+    pub candidates: Vec<NodeIdx>,
+    /// The metric value shared by `candidates` (0 when empty).
+    pub candidate_metric: u32,
+}
+
+/// Evaluates the MPIL routing rule at `node` for `object`.
+///
+/// * `neighbors` — the node's full neighbor list;
+/// * `ids` — the global ID table indexed by [`NodeIdx`];
+/// * `visited` — the message's `route` field plus the node itself; a
+///   predicate so callers can use whatever representation is cheap.
+///
+/// Two metric scans are specified by Figure 5: the local-maximum test
+/// runs against **all** neighbors, while forwarding candidates exclude
+/// visited ones.
+pub fn routing_decision(
+    space: IdSpace,
+    object: Id,
+    node: NodeIdx,
+    neighbors: &[NodeIdx],
+    ids: &[Id],
+    visited: impl Fn(NodeIdx) -> bool,
+) -> RoutingDecision {
+    routing_decision_policy(
+        space,
+        object,
+        node,
+        neighbors,
+        ids,
+        visited,
+        SplitPolicy::MetricTies,
+        u32::MAX,
+        RoutingMetric::CommonDigits,
+    )
+}
+
+/// Evaluates one neighbor's closeness under the configured metric
+/// (higher is closer for all three).
+pub fn metric_value(metric: RoutingMetric, space: IdSpace, object: Id, id: Id) -> u32 {
+    match metric {
+        RoutingMetric::CommonDigits => space.common_digits(object, id),
+        RoutingMetric::PrefixMatch => space.prefix_match(object, id),
+        RoutingMetric::SuffixMatch => space.suffix_match(object, id),
+    }
+}
+
+/// Like [`routing_decision`], but parameterized by the forwarding
+/// fan-out rule.
+///
+/// For [`SplitPolicy::MetricTies`] the candidates are the neighbors tied
+/// at the best metric (`budget` is ignored). For [`SplitPolicy::TopK`]
+/// they are the best `budget` unvisited neighbors by metric, in
+/// descending metric order with neighbor-list order breaking ties —
+/// `budget` should be the message's remaining quota plus `given_flows`,
+/// matching what [`crate::flow::plan_forwarding`] may actually use.
+#[allow(clippy::too_many_arguments)]
+pub fn routing_decision_policy(
+    space: IdSpace,
+    object: Id,
+    node: NodeIdx,
+    neighbors: &[NodeIdx],
+    ids: &[Id],
+    visited: impl Fn(NodeIdx) -> bool,
+    policy: SplitPolicy,
+    budget: u32,
+    metric: RoutingMetric,
+) -> RoutingDecision {
+    let self_metric = metric_value(metric, space, object, ids[node.index()]);
+    let mut best_any = 0u32;
+    let mut best_candidate = 0u32;
+    let mut candidates = Vec::new();
+    let mut scored: Vec<(u32, NodeIdx)> = Vec::new();
+    for &nbr in neighbors {
+        let m = metric_value(metric, space, object, ids[nbr.index()]);
+        if m > best_any {
+            best_any = m;
+        }
+        if visited(nbr) || nbr == node {
+            continue;
+        }
+        match policy {
+            SplitPolicy::MetricTies => {
+                use std::cmp::Ordering;
+                match m.cmp(&best_candidate) {
+                    Ordering::Greater => {
+                        best_candidate = m;
+                        candidates.clear();
+                        candidates.push(nbr);
+                    }
+                    Ordering::Equal => candidates.push(nbr),
+                    Ordering::Less => {}
+                }
+            }
+            SplitPolicy::TopK => {
+                best_candidate = best_candidate.max(m);
+                scored.push((m, nbr));
+            }
+        }
+    }
+    if policy == SplitPolicy::TopK && !scored.is_empty() {
+        let take = (budget as usize).min(scored.len()).max(1);
+        // Stable by neighbor-list order within equal metrics.
+        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        scored.truncate(take);
+        candidates = scored.into_iter().map(|(_, n)| n).collect();
+    }
+    RoutingDecision {
+        self_metric,
+        is_local_max: neighbors.is_empty() || self_metric >= best_any,
+        candidates,
+        candidate_metric: best_candidate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the 4-bit toy IDs from the paper's figures, embedded in the
+    /// low bits of 160-bit IDs. All high bits are zero, so they are
+    /// common to every pair and only shift metrics by a constant.
+    fn id4(bits: u64) -> Id {
+        Id::from_low_u64(bits)
+    }
+
+    #[test]
+    fn paper_figure_4_continuous_forwarding() {
+        // Node 1001 holds a lookup for 0110 with neighbors
+        // {1011, 1111, 1101}: prefix routing sees no progress anywhere,
+        // but MPIL picks 1111 (matches "11" in the middle positions).
+        let space = IdSpace::base2();
+        let ids = vec![id4(0b1001), id4(0b1011), id4(0b1111), id4(0b1101)];
+        let node = NodeIdx::new(0);
+        let neighbors = [NodeIdx::new(1), NodeIdx::new(2), NodeIdx::new(3)];
+        let d = routing_decision(space, id4(0b0110), node, &neighbors, &ids, |_| false);
+        assert_eq!(d.candidates, vec![NodeIdx::new(2)], "1111 is the best");
+        assert!(!d.is_local_max);
+    }
+
+    #[test]
+    fn paper_figure_4_redundancy_ties() {
+        // Node 1001 forwards ID 0001; neighbors 1101 and 1011 tie (both
+        // share 2 digits with 0001 in 4-bit space), 1111 shares 1.
+        let space = IdSpace::base2();
+        let ids = vec![id4(0b1001), id4(0b1111), id4(0b1101), id4(0b1011)];
+        let node = NodeIdx::new(0);
+        let neighbors = [NodeIdx::new(1), NodeIdx::new(2), NodeIdx::new(3)];
+        let d = routing_decision(space, id4(0b0001), node, &neighbors, &ids, |_| false);
+        assert_eq!(d.candidates, vec![NodeIdx::new(2), NodeIdx::new(3)]);
+    }
+
+    #[test]
+    fn local_maximum_detected_against_all_neighbors() {
+        let space = IdSpace::base2();
+        // Object equals node 0's ID: metric 160, strictly above any
+        // distinct neighbor.
+        let ids = vec![id4(0b1001), id4(0b1000), id4(0b0001)];
+        let node = NodeIdx::new(0);
+        let neighbors = [NodeIdx::new(1), NodeIdx::new(2)];
+        let d = routing_decision(space, id4(0b1001), node, &neighbors, &ids, |_| false);
+        assert!(d.is_local_max);
+        assert_eq!(d.self_metric, 160);
+        // Candidates still computed (a flow may continue past a maximum);
+        // both neighbors differ from the object by exactly one bit, so
+        // they tie at 159.
+        assert_eq!(d.candidates, vec![NodeIdx::new(1), NodeIdx::new(2)]);
+        assert_eq!(d.candidate_metric, 159);
+    }
+
+    #[test]
+    fn visited_neighbors_are_not_candidates_but_count_for_maximum() {
+        let space = IdSpace::base2();
+        let ids = vec![id4(0b1001), id4(0b1011), id4(0b0000)];
+        let node = NodeIdx::new(0);
+        let neighbors = [NodeIdx::new(1), NodeIdx::new(2)];
+        let object = id4(0b1011);
+        // Neighbor 1 (=object, metric 160) is visited: it cannot be a
+        // candidate, but it still prevents node 0 from being a local max.
+        let d = routing_decision(space, object, node, &neighbors, &ids, |n| {
+            n == NodeIdx::new(1)
+        });
+        assert!(!d.is_local_max);
+        assert_eq!(d.candidates, vec![NodeIdx::new(2)]);
+    }
+
+    #[test]
+    fn all_visited_leaves_no_candidates() {
+        let space = IdSpace::base2();
+        let ids = vec![id4(1), id4(2), id4(3)];
+        let node = NodeIdx::new(0);
+        let neighbors = [NodeIdx::new(1), NodeIdx::new(2)];
+        let d = routing_decision(space, id4(7), node, &neighbors, &ids, |_| true);
+        assert!(d.candidates.is_empty());
+        assert_eq!(d.candidate_metric, 0);
+    }
+
+    #[test]
+    fn isolated_node_is_trivially_local_max() {
+        let space = IdSpace::base4();
+        let ids = vec![id4(5)];
+        let d = routing_decision(space, id4(9), NodeIdx::new(0), &[], &ids, |_| false);
+        assert!(d.is_local_max);
+        assert!(d.candidates.is_empty());
+    }
+
+    #[test]
+    fn tie_with_self_is_still_local_max() {
+        // "none of its neighbor nodes have a higher value" — equal is OK.
+        let space = IdSpace::base2();
+        // Node and neighbor have IDs at equal metric to the object.
+        let ids = vec![id4(0b0011), id4(0b0101)];
+        // object 0001: node 0 shares bits {0,1,3}... compute: 0011 vs 0001
+        // differ in bit 2 (value 2): metric 159. 0101 vs 0001 differ in
+        // bit... 0101^0001=0100: metric 159. Tie.
+        let d = routing_decision(
+            space,
+            id4(0b0001),
+            NodeIdx::new(0),
+            &[NodeIdx::new(1)],
+            &ids,
+            |_| false,
+        );
+        assert_eq!(d.self_metric, 159);
+        assert!(d.is_local_max);
+    }
+}

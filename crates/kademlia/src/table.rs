@@ -1,0 +1,348 @@
+//! k-buckets and the Kademlia routing table.
+
+use mpil_id::{xor_distance, Id, ID_BITS};
+use mpil_overlay::NodeIdx;
+
+/// Index of the bucket that holds IDs at XOR distance `d` from us: the
+/// position of the highest set bit of `d` (bucket `i` covers distances
+/// in `[2^i, 2^(i+1))`). Returns `None` for distance zero (self).
+pub fn bucket_index(a: Id, b: Id) -> Option<usize> {
+    let d = xor_distance(a, b);
+    if d.is_zero() {
+        return None;
+    }
+    Some(ID_BITS - 1 - d.leading_zeros() as usize)
+}
+
+/// What [`KBucket::offer`] wants the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The peer was inserted (or refreshed) in place.
+    Admitted,
+    /// The bucket is full; Kademlia pings the least-recently-seen entry
+    /// and only evicts it if it fails to answer.
+    PingEvictionCandidate(NodeIdx),
+}
+
+/// One k-bucket: peers ordered least-recently-seen first (the original
+/// paper's eviction order).
+#[derive(Debug, Clone, Default)]
+pub struct KBucket {
+    entries: Vec<NodeIdx>,
+}
+
+impl KBucket {
+    /// Number of peers held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the bucket holds no peers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Peers, least-recently-seen first.
+    pub fn iter(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Is `peer` present?
+    pub fn contains(&self, peer: NodeIdx) -> bool {
+        self.entries.contains(&peer)
+    }
+
+    /// Records fresh evidence that `peer` is alive. Present peers move
+    /// to the most-recently-seen end; absent peers are inserted if there
+    /// is room, otherwise the caller is asked to ping the
+    /// least-recently-seen entry.
+    pub fn offer(&mut self, peer: NodeIdx, capacity: usize) -> Admission {
+        if let Some(pos) = self.entries.iter().position(|&e| e == peer) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            return Admission::Admitted;
+        }
+        if self.entries.len() < capacity {
+            self.entries.push(peer);
+            return Admission::Admitted;
+        }
+        Admission::PingEvictionCandidate(self.entries[0])
+    }
+
+    /// Removes `peer` (failure eviction). Returns `true` if present.
+    pub fn remove(&mut self, peer: NodeIdx) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|&e| e != peer);
+        self.entries.len() != before
+    }
+
+    /// Evicts `dead` and admits `replacement` in one step (the
+    /// ping-eviction resolution). No-op if `dead` already left.
+    pub fn replace(&mut self, dead: NodeIdx, replacement: NodeIdx, capacity: usize) {
+        if self.remove(dead) && self.entries.len() < capacity && !self.contains(replacement) {
+            self.entries.push(replacement);
+        }
+    }
+}
+
+/// A node's full routing table: 160 k-buckets.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    node: NodeIdx,
+    id: Id,
+    k: usize,
+    buckets: Vec<KBucket>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for `node` with identifier `id`.
+    pub fn new(node: NodeIdx, id: Id, k: usize) -> Self {
+        assert!(k >= 1, "bucket capacity must be >= 1");
+        RoutingTable {
+            node,
+            id,
+            k,
+            buckets: vec![KBucket::default(); ID_BITS],
+        }
+    }
+
+    /// This node's index.
+    pub fn node(&self) -> NodeIdx {
+        self.node
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// Total peers across all buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(KBucket::len).sum()
+    }
+
+    /// Returns `true` if no peers are known.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(KBucket::is_empty)
+    }
+
+    /// The bucket that would hold `peer_id`, if distinct from us.
+    pub fn bucket_of(&self, peer_id: Id) -> Option<usize> {
+        bucket_index(self.id, peer_id)
+    }
+
+    /// Records fresh evidence that `peer` (with `peer_id`) is alive.
+    pub fn offer(&mut self, peer: NodeIdx, peer_id: Id) -> Admission {
+        match self.bucket_of(peer_id) {
+            None => Admission::Admitted, // self: nothing to store
+            Some(i) => self.buckets[i].offer(peer, self.k),
+        }
+    }
+
+    /// Removes `peer` with `peer_id` from its bucket.
+    pub fn remove(&mut self, peer: NodeIdx, peer_id: Id) -> bool {
+        match self.bucket_of(peer_id) {
+            None => false,
+            Some(i) => self.buckets[i].remove(peer),
+        }
+    }
+
+    /// Resolves a ping-eviction: `dead` is replaced by `replacement`.
+    pub fn replace(&mut self, dead: NodeIdx, dead_id: Id, replacement: NodeIdx) {
+        if let Some(i) = self.bucket_of(dead_id) {
+            let k = self.k;
+            self.buckets[i].replace(dead, replacement, k);
+        }
+    }
+
+    /// The `count` known peers closest to `target` by XOR distance,
+    /// closest first.
+    pub fn closest(&self, target: Id, count: usize, ids: &[Id]) -> Vec<NodeIdx> {
+        let mut all: Vec<NodeIdx> = self.iter().collect();
+        all.sort_by_key(|&p| xor_distance(ids[p.index()], target));
+        all.truncate(count);
+        all
+    }
+
+    /// Every known peer (the frozen neighbor list MPIL routes on).
+    pub fn iter(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.buckets.iter().flat_map(KBucket::iter)
+    }
+
+    /// Direct access to bucket `i` (diagnostics, tests).
+    pub fn bucket(&self, i: usize) -> &KBucket {
+        &self.buckets[i]
+    }
+
+    /// A uniformly random identifier falling in bucket `i`'s distance
+    /// range (used by bucket refresh): distance from us in
+    /// `[2^i, 2^(i+1))`.
+    pub fn random_id_in_bucket<R: rand::Rng + ?Sized>(&self, i: usize, rng: &mut R) -> Id {
+        assert!(i < ID_BITS, "bucket index out of range");
+        // Start from our own ID, flip bit i, randomize bits below i.
+        let mut bytes = self.id.to_bytes();
+        let flip_byte = mpil_id::ID_BYTES - 1 - i / 8;
+        bytes[flip_byte] ^= 1u8 << (i % 8);
+        for b in 0..i {
+            let byte = mpil_id::ID_BYTES - 1 - b / 8;
+            if rng.gen::<bool>() {
+                bytes[byte] ^= 1u8 << (b % 8);
+            }
+        }
+        Id::from_bytes(bytes)
+    }
+}
+
+/// Builds the converged routing table of every node: each bucket holds
+/// up to `k` peers from its distance range (the XOR-closest ones, the
+/// fixed point of a network that has seen plenty of traffic).
+pub fn build_converged_tables(ids: &[Id], config: &crate::KademliaConfig) -> Vec<RoutingTable> {
+    assert!(!ids.is_empty(), "cannot build an empty network");
+    config.assert_valid();
+    let n = ids.len();
+    (0..n)
+        .map(|i| {
+            let mut rt = RoutingTable::new(NodeIdx::new(i as u32), ids[i], config.k);
+            // Group peers by bucket, then admit the k closest per bucket.
+            let mut per_bucket: Vec<Vec<NodeIdx>> = vec![Vec::new(); ID_BITS];
+            for (j, &jid) in ids.iter().enumerate() {
+                if let Some(b) = bucket_index(ids[i], jid) {
+                    per_bucket[b].push(NodeIdx::new(j as u32));
+                }
+            }
+            for (b, mut peers) in per_bucket.into_iter().enumerate() {
+                peers.sort_by_key(|&p| xor_distance(ids[p.index()], ids[i]));
+                for p in peers.into_iter().take(config.k) {
+                    let admission = rt.offer(p, ids[p.index()]);
+                    debug_assert_eq!(admission, Admission::Admitted, "bucket {b} overflow");
+                }
+            }
+            rt
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KademliaConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn n(i: u32) -> NodeIdx {
+        NodeIdx::new(i)
+    }
+
+    #[test]
+    fn bucket_index_is_highest_differing_bit() {
+        let a = Id::from_low_u64(0b1000);
+        let b = Id::from_low_u64(0b1001);
+        assert_eq!(bucket_index(a, b), Some(0));
+        let c = Id::from_low_u64(0b0000);
+        assert_eq!(bucket_index(a, c), Some(3));
+        assert_eq!(bucket_index(a, a), None);
+        // Top bit.
+        let mut bytes = [0u8; mpil_id::ID_BYTES];
+        bytes[0] = 0x80;
+        assert_eq!(bucket_index(Id::ZERO, Id::from_bytes(bytes)), Some(159));
+    }
+
+    #[test]
+    fn bucket_moves_reseen_peers_to_tail() {
+        let mut b = KBucket::default();
+        assert_eq!(b.offer(n(1), 3), Admission::Admitted);
+        assert_eq!(b.offer(n(2), 3), Admission::Admitted);
+        assert_eq!(b.offer(n(3), 3), Admission::Admitted);
+        // Re-seeing n(1) moves it to most-recently-seen.
+        assert_eq!(b.offer(n(1), 3), Admission::Admitted);
+        let order: Vec<NodeIdx> = b.iter().collect();
+        assert_eq!(order, vec![n(2), n(3), n(1)]);
+    }
+
+    #[test]
+    fn full_bucket_asks_to_ping_lru() {
+        let mut b = KBucket::default();
+        b.offer(n(1), 2);
+        b.offer(n(2), 2);
+        assert_eq!(b.offer(n(3), 2), Admission::PingEvictionCandidate(n(1)));
+        assert_eq!(b.len(), 2);
+        // Resolution: the LRU is dead; the newcomer takes its slot.
+        b.replace(n(1), n(3), 2);
+        assert!(b.contains(n(3)));
+        assert!(!b.contains(n(1)));
+    }
+
+    #[test]
+    fn replace_is_noop_when_dead_already_left() {
+        let mut b = KBucket::default();
+        b.offer(n(1), 2);
+        b.offer(n(2), 2);
+        b.replace(n(9), n(3), 2);
+        assert!(!b.contains(n(3)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn table_closest_sorts_by_xor() {
+        let ids: Vec<Id> = [0b0000u64, 0b0001, 0b0010, 0b0100, 0b1000]
+            .iter()
+            .map(|&v| Id::from_low_u64(v))
+            .collect();
+        let mut rt = RoutingTable::new(n(0), ids[0], 8);
+        for i in 1..5u32 {
+            rt.offer(n(i), ids[i as usize]);
+        }
+        let target = Id::from_low_u64(0b0011);
+        let c = rt.closest(target, 3, &ids);
+        // XOR distances from 0b0011: n1→2, n2→1, n3→7, n4→11.
+        assert_eq!(c, vec![n(2), n(1), n(3)]);
+    }
+
+    #[test]
+    fn converged_tables_cover_every_occupied_bucket() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ids: Vec<Id> = (0..64).map(|_| Id::random(&mut rng)).collect();
+        let config = KademliaConfig::default();
+        let tables = build_converged_tables(&ids, &config);
+        for (i, rt) in tables.iter().enumerate() {
+            assert!(rt.len() >= config.k, "node {i} knows too few peers");
+            // No bucket exceeds k, no entry is self.
+            for b in 0..ID_BITS {
+                assert!(rt.bucket(b).len() <= config.k);
+                assert!(!rt.bucket(b).contains(n(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_id_in_bucket_lands_in_range() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let id = Id::random(&mut rng);
+        let rt = RoutingTable::new(n(0), id, 8);
+        for i in [0usize, 7, 63, 100, 159] {
+            for _ in 0..16 {
+                let r = rt.random_id_in_bucket(i, &mut rng);
+                assert_eq!(bucket_index(id, r), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn offer_self_is_ignored() {
+        let id = Id::from_low_u64(42);
+        let mut rt = RoutingTable::new(n(0), id, 4);
+        assert_eq!(rt.offer(n(0), id), Admission::Admitted);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn remove_evicts_from_the_right_bucket() {
+        let ids: Vec<Id> = [5u64, 6, 7].iter().map(|&v| Id::from_low_u64(v)).collect();
+        let mut rt = RoutingTable::new(n(0), ids[0], 4);
+        rt.offer(n(1), ids[1]);
+        rt.offer(n(2), ids[2]);
+        assert!(rt.remove(n(1), ids[1]));
+        assert!(!rt.remove(n(1), ids[1]));
+        assert_eq!(rt.len(), 1);
+    }
+}

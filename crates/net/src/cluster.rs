@@ -1,0 +1,313 @@
+//! The live cluster: spawn, drive, perturb, and tear down a real
+//! thread-per-node MPIL deployment.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mpil::{Message, MessageId, MessageKind, MpilConfig};
+use mpil_id::Id;
+use mpil_overlay::{NodeIdx, Topology};
+
+use crate::codec::WireMessage;
+use crate::node::{run_node, NodeControl, NodeSetup, NodeStats};
+use crate::transport::{ChannelMesh, Transport, UdpMesh};
+
+/// Which mesh the cluster runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (fast, loss-free).
+    #[default]
+    Channel,
+    /// Loopback UDP sockets (real datagrams).
+    Udp,
+}
+
+/// Result of a live lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveLookup {
+    /// The node that answered first.
+    pub holder: NodeIdx,
+    /// Forward-path hops of the first reply.
+    pub hops: u32,
+    /// Wall-clock time from issue to first reply.
+    pub elapsed: Duration,
+}
+
+/// Builder for a [`LiveCluster`].
+#[derive(Debug)]
+pub struct LiveClusterBuilder {
+    config: MpilConfig,
+    transport: TransportKind,
+    seed: u64,
+}
+
+impl Default for LiveClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveClusterBuilder {
+    /// A builder with default MPIL parameters on the channel mesh.
+    pub fn new() -> Self {
+        LiveClusterBuilder {
+            config: MpilConfig::default(),
+            transport: TransportKind::Channel,
+            seed: 42,
+        }
+    }
+
+    /// Sets the MPIL parameters.
+    pub fn config(mut self, config: MpilConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the transport.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Seeds the nodes' tie-breaking RNGs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Spawns one thread per node of `topo` and returns the running
+    /// cluster.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the UDP mesh (the channel mesh cannot fail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is empty or the MPIL config is invalid.
+    pub fn spawn(self, topo: &Topology) -> std::io::Result<LiveCluster> {
+        assert!(!topo.is_empty(), "cannot spawn an empty cluster");
+        self.config.validate().expect("invalid MPIL configuration");
+        let n = topo.len();
+        let ids = Arc::new(topo.ids().to_vec());
+        let neighbors: Arc<Vec<Vec<NodeIdx>>> = Arc::new(
+            topo.iter_nodes()
+                .map(|v| topo.neighbors(v).to_vec())
+                .collect(),
+        );
+
+        let mut endpoints: Vec<Box<dyn Transport>> = match self.transport {
+            TransportKind::Channel => ChannelMesh::build(n + 1)
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+            TransportKind::Udp => UdpMesh::build(n + 1)?
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+        };
+        let client = endpoints.pop().expect("n + 1 endpoints");
+
+        let mut controls = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, transport) in endpoints.into_iter().enumerate() {
+            let control = Arc::new(NodeControl::default());
+            controls.push(Arc::clone(&control));
+            let setup = NodeSetup {
+                node: NodeIdx::new(i as u32),
+                ids: Arc::clone(&ids),
+                neighbors: Arc::clone(&neighbors),
+                config: self.config,
+                client: n,
+                seed: self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mpil-node-{i}"))
+                    .spawn(move || run_node(transport, setup, control))
+                    .expect("spawn node thread"),
+            );
+        }
+        Ok(LiveCluster {
+            n,
+            config: self.config,
+            client,
+            controls,
+            handles,
+            next_msg: 0,
+        })
+    }
+}
+
+/// A running live MPIL deployment.
+///
+/// The cluster object is the *client*: it owns the extra mesh endpoint,
+/// issues operations through any entry node, and receives replies and
+/// store-acks directly from the holders.
+pub struct LiveCluster {
+    n: usize,
+    config: MpilConfig,
+    client: Box<dyn Transport>,
+    controls: Vec<Arc<NodeControl>>,
+    handles: Vec<JoinHandle<NodeStats>>,
+    next_msg: u64,
+}
+
+impl LiveCluster {
+    /// Number of nodes (excluding the client endpoint).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The MPIL parameters the nodes run.
+    pub fn config(&self) -> MpilConfig {
+        self.config
+    }
+
+    fn fresh_msg_id(&mut self) -> MessageId {
+        let id = MessageId(self.next_msg);
+        self.next_msg += 1;
+        id
+    }
+
+    /// Inserts `object` through `origin`, collecting store-acks for
+    /// `wait`; returns the nodes that confirmed a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn insert(&mut self, origin: NodeIdx, object: Id, wait: Duration) -> Vec<NodeIdx> {
+        assert!(origin.index() < self.n, "origin out of range");
+        let msg_id = self.fresh_msg_id();
+        let initial = Message::initial(
+            msg_id,
+            MessageKind::Insert,
+            object,
+            origin,
+            self.config.max_flows,
+            self.config.num_replicas,
+        );
+        let _ = self
+            .client
+            .send(origin.index(), WireMessage::Forward(initial).encode());
+        let mut holders = Vec::new();
+        let deadline = Instant::now() + wait;
+        while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+            if remaining.is_zero() {
+                break;
+            }
+            match self.client.recv_timeout(remaining) {
+                Ok(Some((_, payload))) => {
+                    if let Ok(WireMessage::StoreAck {
+                        msg_id: got,
+                        holder,
+                        ..
+                    }) = WireMessage::decode(&payload)
+                    {
+                        if got == msg_id && !holders.contains(&holder) {
+                            holders.push(holder);
+                        }
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        holders
+    }
+
+    /// Looks up `object` through `origin`; returns the first positive
+    /// reply within `timeout`, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn lookup(&mut self, origin: NodeIdx, object: Id, timeout: Duration) -> Option<LiveLookup> {
+        assert!(origin.index() < self.n, "origin out of range");
+        let msg_id = self.fresh_msg_id();
+        let initial = Message::initial(
+            msg_id,
+            MessageKind::Lookup,
+            object,
+            origin,
+            self.config.max_flows,
+            self.config.num_replicas,
+        );
+        let started = Instant::now();
+        let _ = self
+            .client
+            .send(origin.index(), WireMessage::Forward(initial).encode());
+        let deadline = started + timeout;
+        while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+            if remaining.is_zero() {
+                break;
+            }
+            match self.client.recv_timeout(remaining) {
+                Ok(Some((_, payload))) => {
+                    if let Ok(WireMessage::Reply {
+                        msg_id: got,
+                        holder,
+                        hops,
+                        ..
+                    }) = WireMessage::decode(&payload)
+                    {
+                        if got == msg_id {
+                            return Some(LiveLookup {
+                                holder,
+                                hops,
+                                elapsed: started.elapsed(),
+                            });
+                        }
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        None
+    }
+
+    /// Makes `node` unresponsive for `duration` (the live analogue of
+    /// the paper's perturbation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn perturb(&self, node: NodeIdx, duration: Duration) {
+        self.controls[node.index()].perturb_for(duration);
+    }
+
+    /// Restores `node` immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn heal(&self, node: NodeIdx) {
+        self.controls[node.index()].heal();
+    }
+
+    /// Stops every node and returns their counters.
+    pub fn shutdown(self) -> Vec<NodeStats> {
+        for c in &self.controls {
+            c.request_shutdown();
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LiveCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveCluster")
+            .field("nodes", &self.n)
+            .field("config", &self.config)
+            .field("operations_issued", &self.next_msg)
+            .finish()
+    }
+}

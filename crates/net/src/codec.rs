@@ -1,0 +1,329 @@
+//! Wire format for live MPIL messages.
+//!
+//! A compact, versioned binary framing built on [`bytes`]. The format is
+//! deliberately simple — fixed-width integers, big-endian, no
+//! compression — so that a non-Rust implementation could interoperate
+//! from this module's documentation alone:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     version (currently 1)
+//! 1       1     kind: 0 insert, 1 lookup, 2 reply, 3 store-ack, 4 shutdown
+//! --- kinds 0/1 (forwarded MPIL message) ---
+//! 2       8     msg_id
+//! 10      20    object ID
+//! 30      4     origin node index
+//! 34      4     remaining flow quota
+//! 38      4     replicas_left
+//! 42      4     hops
+//! 46      2     route length L
+//! 48      4·L   route (node indices, oldest first)
+//! --- kind 2 (lookup reply) / kind 3 (store ack) ---
+//! 2       8     msg_id
+//! 10      20    object ID
+//! 30      4     holder node index
+//! 34      4     hops (kind 2 only)
+//! --- kind 4: no payload ---
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mpil::{Message, MessageId, MessageKind};
+use mpil_id::{Id, ID_BYTES};
+use mpil_overlay::NodeIdx;
+
+/// Current wire version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A frame of the live MPIL protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// A forwarded MPIL message (one flow's head).
+    Forward(Message),
+    /// A replica holder's positive answer, sent to the client endpoint.
+    Reply {
+        /// The lookup operation this answers.
+        msg_id: MessageId,
+        /// The object that was found.
+        object: Id,
+        /// The node holding the replica.
+        holder: NodeIdx,
+        /// Forward-path hops the lookup traveled.
+        hops: u32,
+    },
+    /// Confirmation that a replica was deposited, sent to the client
+    /// endpoint.
+    StoreAck {
+        /// The insert operation this confirms.
+        msg_id: MessageId,
+        /// The inserted object.
+        object: Id,
+        /// The node that stored the replica.
+        holder: NodeIdx,
+    },
+    /// Orderly termination request.
+    Shutdown,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header or the announced payload requires.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl WireMessage {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(WIRE_VERSION);
+        match self {
+            WireMessage::Forward(m) => {
+                buf.put_u8(match m.kind {
+                    MessageKind::Insert => 0,
+                    MessageKind::Lookup => 1,
+                });
+                buf.put_u64(m.msg_id.0);
+                buf.put_slice(m.object.as_bytes());
+                buf.put_u32(m.origin.index() as u32);
+                buf.put_u32(m.quota);
+                buf.put_u32(m.replicas_left);
+                buf.put_u32(m.hops);
+                buf.put_u16(m.route.len() as u16);
+                for n in &m.route {
+                    buf.put_u32(n.index() as u32);
+                }
+            }
+            WireMessage::Reply {
+                msg_id,
+                object,
+                holder,
+                hops,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64(msg_id.0);
+                buf.put_slice(object.as_bytes());
+                buf.put_u32(holder.index() as u32);
+                buf.put_u32(*hops);
+            }
+            WireMessage::StoreAck {
+                msg_id,
+                object,
+                holder,
+            } => {
+                buf.put_u8(3);
+                buf.put_u64(msg_id.0);
+                buf.put_slice(object.as_bytes());
+                buf.put_u32(holder.index() as u32);
+            }
+            WireMessage::Shutdown => buf.put_u8(4),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, a version mismatch, or an
+    /// unknown kind byte.
+    pub fn decode(mut data: &[u8]) -> Result<WireMessage, DecodeError> {
+        if data.len() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let version = data.get_u8();
+        if version != WIRE_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let kind = data.get_u8();
+        match kind {
+            0 | 1 => {
+                if data.remaining() < 8 + ID_BYTES + 4 + 4 + 4 + 4 + 2 {
+                    return Err(DecodeError::Truncated);
+                }
+                let msg_id = MessageId(data.get_u64());
+                let object = get_id(&mut data);
+                let origin = NodeIdx::new(data.get_u32());
+                let quota = data.get_u32();
+                let replicas_left = data.get_u32();
+                let hops = data.get_u32();
+                let route_len = usize::from(data.get_u16());
+                if data.remaining() < route_len * 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let route = (0..route_len).map(|_| NodeIdx::new(data.get_u32())).collect();
+                Ok(WireMessage::Forward(Message {
+                    msg_id,
+                    kind: if kind == 0 {
+                        MessageKind::Insert
+                    } else {
+                        MessageKind::Lookup
+                    },
+                    object,
+                    origin,
+                    quota,
+                    replicas_left,
+                    hops,
+                    route,
+                }))
+            }
+            2 => {
+                if data.remaining() < 8 + ID_BYTES + 4 + 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let msg_id = MessageId(data.get_u64());
+                let object = get_id(&mut data);
+                let holder = NodeIdx::new(data.get_u32());
+                let hops = data.get_u32();
+                Ok(WireMessage::Reply {
+                    msg_id,
+                    object,
+                    holder,
+                    hops,
+                })
+            }
+            3 => {
+                if data.remaining() < 8 + ID_BYTES + 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let msg_id = MessageId(data.get_u64());
+                let object = get_id(&mut data);
+                let holder = NodeIdx::new(data.get_u32());
+                Ok(WireMessage::StoreAck {
+                    msg_id,
+                    object,
+                    holder,
+                })
+            }
+            4 => Ok(WireMessage::Shutdown),
+            k => Err(DecodeError::BadKind(k)),
+        }
+    }
+}
+
+fn get_id(data: &mut &[u8]) -> Id {
+    let mut bytes = [0u8; ID_BYTES];
+    data.copy_to_slice(&mut bytes);
+    Id::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_message() -> Message {
+        let mut m = Message::initial(
+            MessageId(77),
+            MessageKind::Lookup,
+            Id::from_low_u64(0xdead_beef),
+            NodeIdx::new(3),
+            10,
+            5,
+        );
+        m = m.forwarded(NodeIdx::new(3), 4);
+        m = m.forwarded(NodeIdx::new(9), 2);
+        m
+    }
+
+    #[test]
+    fn forward_round_trips() {
+        let m = sample_message();
+        let wire = WireMessage::Forward(m);
+        let decoded = WireMessage::decode(&wire.encode()).expect("decode");
+        assert_eq!(decoded, wire);
+    }
+
+    #[test]
+    fn insert_and_lookup_kinds_are_distinct() {
+        let mut m = sample_message();
+        m.kind = MessageKind::Insert;
+        let enc = WireMessage::Forward(m.clone()).encode();
+        assert_eq!(enc[1], 0);
+        m.kind = MessageKind::Lookup;
+        let enc = WireMessage::Forward(m).encode();
+        assert_eq!(enc[1], 1);
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let wire = WireMessage::Reply {
+            msg_id: MessageId(5),
+            object: Id::from_low_u64(42),
+            holder: NodeIdx::new(17),
+            hops: 3,
+        };
+        assert_eq!(WireMessage::decode(&wire.encode()).expect("decode"), wire);
+    }
+
+    #[test]
+    fn store_ack_round_trips() {
+        let wire = WireMessage::StoreAck {
+            msg_id: MessageId(9),
+            object: Id::MAX,
+            holder: NodeIdx::new(0),
+        };
+        assert_eq!(WireMessage::decode(&wire.encode()).expect("decode"), wire);
+    }
+
+    #[test]
+    fn shutdown_is_two_bytes() {
+        let enc = WireMessage::Shutdown.encode();
+        assert_eq!(enc.len(), 2);
+        assert_eq!(
+            WireMessage::decode(&enc).expect("decode"),
+            WireMessage::Shutdown
+        );
+    }
+
+    #[test]
+    fn empty_and_short_frames_are_truncated() {
+        assert_eq!(WireMessage::decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(WireMessage::decode(&[1]), Err(DecodeError::Truncated));
+        assert_eq!(WireMessage::decode(&[1, 0, 9]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut enc = WireMessage::Shutdown.encode().to_vec();
+        enc[0] = 9;
+        assert_eq!(WireMessage::decode(&enc), Err(DecodeError::BadVersion(9)));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        assert_eq!(WireMessage::decode(&[1, 200]), Err(DecodeError::BadKind(200)));
+    }
+
+    #[test]
+    fn truncated_route_rejected() {
+        let m = sample_message();
+        let enc = WireMessage::Forward(m).encode();
+        // Chop off the last route entry.
+        assert_eq!(
+            WireMessage::decode(&enc[..enc.len() - 2]),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_errors_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadVersion(3).to_string().contains('3'));
+        assert!(DecodeError::BadKind(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,54 @@
+//! # mpil-net
+//!
+//! A **live** MPIL runtime: the same routing algorithm the simulators
+//! verify, executed by real threads over real transports. Where
+//! [`mpil::StaticEngine`] and [`mpil::DynamicNetwork`] reproduce the
+//! paper's experiments deterministically, this crate is what a
+//! downstream user would actually deploy in-process:
+//!
+//! * [`codec`] — a versioned binary wire format for MPIL messages
+//!   (documented byte-for-byte; round-trip property-tested);
+//! * [`transport`] — a [`Transport`] abstraction with an in-process
+//!   crossbeam-channel mesh and a loopback UDP mesh;
+//! * [`node`] — the per-node worker loop (identical step semantics to
+//!   the simulators: metric scan, local-maximum deposit, quota split,
+//!   duplicate suppression);
+//! * [`cluster`] — [`LiveCluster`]: spawn a topology as one thread per
+//!   node, insert/lookup through any entry node, perturb nodes at will,
+//!   and shut down cleanly.
+//!
+//! ```
+//! use mpil_net::{LiveClusterBuilder, TransportKind};
+//! use mpil_overlay::generators;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//! use std::time::Duration;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let topo = generators::random_regular(32, 6, &mut rng)?;
+//! let mut cluster = LiveClusterBuilder::new()
+//!     .transport(TransportKind::Channel)
+//!     .spawn(&topo)?;
+//!
+//! let object = mpil_id::Id::from_low_u64(0xfeed);
+//! let origin = mpil_overlay::NodeIdx::new(0);
+//! let holders = cluster.insert(origin, object, Duration::from_millis(300));
+//! assert!(!holders.is_empty());
+//!
+//! let hit = cluster.lookup(mpil_overlay::NodeIdx::new(9), object, Duration::from_secs(2));
+//! assert!(hit.is_some());
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod node;
+pub mod transport;
+
+pub use cluster::{LiveCluster, LiveClusterBuilder, LiveLookup, TransportKind};
+pub use codec::{DecodeError, WireMessage, WIRE_VERSION};
+pub use node::{NodeControl, NodeStats};
+pub use transport::{ChannelMesh, ChannelTransport, Transport, TransportError, UdpMesh, UdpTransport};

@@ -1,0 +1,270 @@
+//! The per-node worker thread of the live cluster.
+//!
+//! Each node owns one [`Transport`] endpoint and runs the exact MPIL
+//! step semantics of the simulators ([`mpil::routing_decision_policy`] +
+//! [`mpil::plan_forwarding`]): metric scan over the frozen neighbor
+//! list, local-maximum replica deposit, flow-quota splitting, duplicate
+//! suppression, and direct replies. Perturbation is injected by making
+//! the node discard every frame that arrives before a deadline —
+//! behaviorally identical to the paper's "unresponsive" host.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpil::{plan_forwarding, routing_decision_policy, Message, MessageId, MessageKind, MpilConfig};
+use mpil_id::Id;
+use mpil_overlay::NodeIdx;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::codec::WireMessage;
+use crate::transport::Transport;
+
+/// Shared control block of one node (cluster-side handle).
+#[derive(Debug, Default)]
+pub struct NodeControl {
+    shutdown: AtomicBool,
+    perturbed_until: Mutex<Option<Instant>>,
+}
+
+impl NodeControl {
+    /// Asks the node to exit its loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Makes the node unresponsive (drop every frame) for `duration`.
+    pub fn perturb_for(&self, duration: Duration) {
+        *self.perturbed_until.lock() = Some(Instant::now() + duration);
+    }
+
+    /// Restores responsiveness immediately.
+    pub fn heal(&self) {
+        *self.perturbed_until.lock() = None;
+    }
+
+    fn is_perturbed(&self) -> bool {
+        match *self.perturbed_until.lock() {
+            Some(t) => Instant::now() < t,
+            None => false,
+        }
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Counters one node accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Frames processed (after perturbation drops).
+    pub frames: u64,
+    /// MPIL copies forwarded to neighbors.
+    pub forwards: u64,
+    /// Replicas deposited.
+    pub stores: u64,
+    /// Lookup replies sent.
+    pub replies: u64,
+    /// Store acks sent.
+    pub store_acks: u64,
+    /// Duplicate receptions observed.
+    pub duplicates_seen: u64,
+    /// Duplicates dropped by suppression.
+    pub duplicates_suppressed: u64,
+    /// Frames discarded while perturbed.
+    pub dropped_perturbed: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+}
+
+/// Immutable per-node configuration.
+pub struct NodeSetup {
+    /// This node.
+    pub node: NodeIdx,
+    /// The global ID table.
+    pub ids: Arc<Vec<Id>>,
+    /// Frozen neighbor lists for the whole cluster.
+    pub neighbors: Arc<Vec<Vec<NodeIdx>>>,
+    /// MPIL parameters.
+    pub config: MpilConfig,
+    /// Transport index of the client endpoint (acks/replies go there).
+    pub client: usize,
+    /// RNG seed for over-quota candidate selection.
+    pub seed: u64,
+}
+
+/// Runs one node until shutdown; returns its counters.
+///
+/// The loop wakes at least every 25 ms to observe
+/// [`NodeControl::request_shutdown`].
+pub fn run_node(
+    transport: Box<dyn Transport>,
+    setup: NodeSetup,
+    control: Arc<NodeControl>,
+) -> NodeStats {
+    let mut stats = NodeStats::default();
+    let mut store: std::collections::HashMap<Id, NodeIdx> = std::collections::HashMap::new();
+    let mut seen: std::collections::HashSet<MessageId> = std::collections::HashSet::new();
+    let mut rng = SmallRng::seed_from_u64(setup.seed);
+
+    while !control.shutdown_requested() {
+        let frame = match transport.recv_timeout(Duration::from_millis(25)) {
+            Ok(Some(f)) => f,
+            Ok(None) => continue,
+            Err(_) => break, // mesh torn down
+        };
+        if control.is_perturbed() {
+            stats.dropped_perturbed += 1;
+            continue;
+        }
+        let (_, payload) = frame;
+        let wire = match WireMessage::decode(&payload) {
+            Ok(w) => w,
+            Err(_) => {
+                stats.decode_errors += 1;
+                continue;
+            }
+        };
+        stats.frames += 1;
+        match wire {
+            WireMessage::Shutdown => break,
+            WireMessage::Reply { .. } | WireMessage::StoreAck { .. } => {
+                // Client-bound frames are not ours to handle; ignore.
+            }
+            WireMessage::Forward(msg) => {
+                step(
+                    transport.as_ref(),
+                    &setup,
+                    &mut stats,
+                    &mut store,
+                    &mut seen,
+                    &mut rng,
+                    msg,
+                );
+            }
+        }
+    }
+    stats
+}
+
+/// One MPIL step at this node — the live twin of the simulators' message
+/// handler (same decision, plan, and bookkeeping order).
+fn step(
+    transport: &dyn Transport,
+    setup: &NodeSetup,
+    stats: &mut NodeStats,
+    store: &mut std::collections::HashMap<Id, NodeIdx>,
+    seen: &mut std::collections::HashSet<MessageId>,
+    rng: &mut SmallRng,
+    mut msg: Message,
+) {
+    let at = setup.node;
+    // Duplicate accounting at reception, as in the simulators.
+    if !seen.insert(msg.msg_id) {
+        stats.duplicates_seen += 1;
+        if setup.config.duplicate_suppression {
+            stats.duplicates_suppressed += 1;
+            return;
+        }
+    }
+
+    // Lookup short-circuit: a holder replies (to the client) and stops
+    // this flow.
+    if msg.kind == MessageKind::Lookup && store.contains_key(&msg.object) {
+        let reply = WireMessage::Reply {
+            msg_id: msg.msg_id,
+            object: msg.object,
+            holder: at,
+            hops: msg.hops,
+        };
+        if transport.send(setup.client, reply.encode()).is_ok() {
+            stats.replies += 1;
+        }
+        return;
+    }
+
+    let given = if msg.hops == 0 { 0 } else { 1 };
+    let decision = routing_decision_policy(
+        setup.config.space,
+        msg.object,
+        at,
+        &setup.neighbors[at.index()],
+        &setup.ids,
+        |n| msg.visited(n),
+        setup.config.split_policy,
+        msg.quota + given,
+        setup.config.metric,
+    );
+
+    if decision.is_local_max {
+        if msg.kind == MessageKind::Insert {
+            store.insert(msg.object, msg.origin);
+            stats.stores += 1;
+            let ack = WireMessage::StoreAck {
+                msg_id: msg.msg_id,
+                object: msg.object,
+                holder: at,
+            };
+            if transport.send(setup.client, ack.encode()).is_ok() {
+                stats.store_acks += 1;
+            }
+        }
+        msg.replicas_left -= 1;
+        if msg.replicas_left == 0 {
+            return;
+        }
+    }
+
+    if decision.candidates.is_empty() {
+        return;
+    }
+    let plan = plan_forwarding(msg.quota, given, decision.candidates.len());
+    if plan.m == 0 {
+        return;
+    }
+    let chosen: Vec<NodeIdx> = if plan.m as usize == decision.candidates.len() {
+        decision.candidates
+    } else {
+        let mut c = decision.candidates;
+        c.partial_shuffle(rng, plan.m as usize);
+        c.truncate(plan.m as usize);
+        c
+    };
+    for (target, &child_quota) in chosen.iter().zip(plan.child_quotas.iter()) {
+        let fwd = msg.forwarded(at, child_quota);
+        let frame = WireMessage::Forward(fwd).encode();
+        if transport.send(target.index(), frame).is_ok() {
+            stats.forwards += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flags_toggle() {
+        let c = NodeControl::default();
+        assert!(!c.shutdown_requested());
+        assert!(!c.is_perturbed());
+        c.perturb_for(Duration::from_secs(5));
+        assert!(c.is_perturbed());
+        c.heal();
+        assert!(!c.is_perturbed());
+        c.request_shutdown();
+        assert!(c.shutdown_requested());
+    }
+
+    #[test]
+    fn expired_perturbation_heals_itself() {
+        let c = NodeControl::default();
+        c.perturb_for(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!c.is_perturbed());
+    }
+}

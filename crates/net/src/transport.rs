@@ -1,0 +1,316 @@
+//! Message transports for the live cluster.
+//!
+//! A [`Transport`] is one endpoint of an `n + 1`-endpoint mesh (the extra
+//! endpoint is the client's). Two implementations:
+//!
+//! * [`ChannelMesh`] — in-process crossbeam channels; fast, loss-free,
+//!   used by most tests;
+//! * [`UdpMesh`] — one UDP socket per endpoint on the loopback
+//!   interface; real datagrams, real (if unlikely) loss, demonstrating
+//!   that the protocol logic runs over an actual network stack.
+
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Why a transport operation failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer endpoint is gone (mesh torn down).
+    Disconnected,
+    /// An I/O error from the OS (UDP only).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "endpoint disconnected"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Disconnected => None,
+        }
+    }
+}
+
+/// One endpoint of the mesh.
+pub trait Transport: Send {
+    /// This endpoint's index (nodes are `0..n`, the client is `n`).
+    fn local_index(&self) -> usize;
+
+    /// Number of endpoints in the mesh (including the client).
+    fn endpoints(&self) -> usize;
+
+    /// Sends `payload` to endpoint `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when the mesh is gone,
+    /// [`TransportError::Io`] for socket failures.
+    fn send(&self, to: usize, payload: Bytes) -> Result<(), TransportError>;
+
+    /// Receives the next frame, waiting at most `timeout`. Returns
+    /// `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] on teardown or socket failure.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Bytes)>, TransportError>;
+}
+
+// --- in-process channels -----------------------------------------------------
+
+/// An in-process mesh of crossbeam channels.
+#[derive(Debug)]
+pub struct ChannelMesh;
+
+/// One channel endpoint.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    index: usize,
+    senders: Arc<Vec<Sender<(usize, Bytes)>>>,
+    receiver: Receiver<(usize, Bytes)>,
+}
+
+impl ChannelMesh {
+    /// Builds a fully-connected mesh of `endpoints` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is zero.
+    pub fn build(endpoints: usize) -> Vec<ChannelTransport> {
+        assert!(endpoints > 0, "a mesh needs at least one endpoint");
+        let mut senders = Vec::with_capacity(endpoints);
+        let mut receivers = Vec::with_capacity(endpoints);
+        for _ in 0..endpoints {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(index, receiver)| ChannelTransport {
+                index,
+                senders: Arc::clone(&senders),
+                receiver,
+            })
+            .collect()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn local_index(&self) -> usize {
+        self.index
+    }
+
+    fn endpoints(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, to: usize, payload: Bytes) -> Result<(), TransportError> {
+        let tx = self
+            .senders
+            .get(to)
+            .unwrap_or_else(|| panic!("endpoint {to} out of range"));
+        tx.send((self.index, payload))
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Bytes)>, TransportError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+// --- UDP over loopback ---------------------------------------------------------
+
+/// A loopback UDP mesh: one socket per endpoint, frames carry a 4-byte
+/// sender-index prefix.
+#[derive(Debug)]
+pub struct UdpMesh;
+
+/// One UDP endpoint.
+#[derive(Debug)]
+pub struct UdpTransport {
+    index: usize,
+    socket: UdpSocket,
+    peers: Arc<Vec<std::net::SocketAddr>>,
+}
+
+/// Maximum UDP payload the mesh will attempt (loopback handles the
+/// theoretical UDP maximum, but stay clear of it).
+pub const MAX_DATAGRAM: usize = 60_000;
+
+impl UdpMesh {
+    /// Binds `endpoints` sockets on `127.0.0.1` and wires them together.
+    ///
+    /// # Errors
+    ///
+    /// Any socket `bind`/`local_addr`/`set_read_timeout` failure.
+    pub fn build(endpoints: usize) -> std::io::Result<Vec<UdpTransport>> {
+        assert!(endpoints > 0, "a mesh needs at least one endpoint");
+        let mut sockets = Vec::with_capacity(endpoints);
+        let mut addrs = Vec::with_capacity(endpoints);
+        for _ in 0..endpoints {
+            let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+            addrs.push(socket.local_addr()?);
+            sockets.push(socket);
+        }
+        let peers = Arc::new(addrs);
+        Ok(sockets
+            .into_iter()
+            .enumerate()
+            .map(|(index, socket)| UdpTransport {
+                index,
+                socket,
+                peers: Arc::clone(&peers),
+            })
+            .collect())
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_index(&self) -> usize {
+        self.index
+    }
+
+    fn endpoints(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&self, to: usize, payload: Bytes) -> Result<(), TransportError> {
+        assert!(
+            payload.len() + 4 <= MAX_DATAGRAM,
+            "frame of {} bytes exceeds the datagram budget",
+            payload.len()
+        );
+        let addr = self
+            .peers
+            .get(to)
+            .unwrap_or_else(|| panic!("endpoint {to} out of range"));
+        let mut frame = Vec::with_capacity(payload.len() + 4);
+        frame.extend_from_slice(&(self.index as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        self.socket
+            .send_to(&frame, addr)
+            .map_err(TransportError::Io)?;
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Bytes)>, TransportError> {
+        self.socket
+            .set_read_timeout(Some(timeout))
+            .map_err(TransportError::Io)?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, _addr)) => {
+                if len < 4 {
+                    // Garbage datagram; surface as a timeout-like miss.
+                    return Ok(None);
+                }
+                let from = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                buf.truncate(len);
+                let payload = Bytes::from(buf).slice(4..);
+                Ok(Some((from, payload)))
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(TransportError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(mesh: Vec<Box<dyn Transport>>) {
+        let payload = Bytes::from_static(b"hello overlay");
+        mesh[0].send(1, payload.clone()).expect("send");
+        let (from, got) = mesh[1]
+            .recv_timeout(Duration::from_secs(2))
+            .expect("recv")
+            .expect("frame before timeout");
+        assert_eq!(from, 0);
+        assert_eq!(got, payload);
+        // Timeout path.
+        assert!(mesh[1]
+            .recv_timeout(Duration::from_millis(20))
+            .expect("recv")
+            .is_none());
+    }
+
+    #[test]
+    fn channel_mesh_round_trips() {
+        let mesh: Vec<Box<dyn Transport>> = ChannelMesh::build(3)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect();
+        assert_eq!(mesh[2].endpoints(), 3);
+        assert_eq!(mesh[2].local_index(), 2);
+        roundtrip(mesh);
+    }
+
+    #[test]
+    fn udp_mesh_round_trips() {
+        let mesh: Vec<Box<dyn Transport>> = UdpMesh::build(3)
+            .expect("bind loopback")
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect();
+        roundtrip(mesh);
+    }
+
+    #[test]
+    fn channel_mesh_is_fifo_per_pair() {
+        let mesh = ChannelMesh::build(2);
+        for i in 0..50u8 {
+            mesh[0].send(1, Bytes::copy_from_slice(&[i])).expect("send");
+        }
+        for i in 0..50u8 {
+            let (_, b) = mesh[1]
+                .recv_timeout(Duration::from_secs(1))
+                .expect("recv")
+                .expect("frame");
+            assert_eq!(b[0], i);
+        }
+    }
+
+    #[test]
+    fn udp_self_send_works() {
+        let mesh = UdpMesh::build(1).expect("bind");
+        mesh[0].send(0, Bytes::from_static(b"loop")).expect("send");
+        let (from, got) = mesh[0]
+            .recv_timeout(Duration::from_secs(1))
+            .expect("recv")
+            .expect("frame");
+        assert_eq!(from, 0);
+        assert_eq!(&got[..], b"loop");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_send_out_of_range_panics() {
+        let mesh = ChannelMesh::build(1);
+        let _ = mesh[0].send(5, Bytes::new());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: every well-formed frame round-trips; no input slice
+//! can panic the decoder.
+
+use mpil::{Message, MessageId, MessageKind};
+use mpil_id::Id;
+use mpil_net::{DecodeError, WireMessage};
+use mpil_overlay::NodeIdx;
+use proptest::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = Id> {
+    proptest::array::uniform20(any::<u8>()).prop_map(Id::from_bytes)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        arb_id(),
+        0u32..10_000,
+        any::<u32>(),
+        0u32..64,
+        0u32..64,
+        proptest::collection::vec(0u32..100_000, 0..40),
+    )
+        .prop_map(
+            |(msg_id, insert, object, origin, quota, replicas, hops, route)| Message {
+                msg_id: MessageId(msg_id),
+                kind: if insert {
+                    MessageKind::Insert
+                } else {
+                    MessageKind::Lookup
+                },
+                object,
+                origin: NodeIdx::new(origin),
+                quota,
+                replicas_left: replicas,
+                hops,
+                route: route.into_iter().map(NodeIdx::new).collect(),
+            },
+        )
+}
+
+fn arb_wire() -> impl Strategy<Value = WireMessage> {
+    prop_oneof![
+        arb_message().prop_map(WireMessage::Forward),
+        (any::<u64>(), arb_id(), 0u32..100_000, any::<u32>()).prop_map(
+            |(m, o, h, hops)| WireMessage::Reply {
+                msg_id: MessageId(m),
+                object: o,
+                holder: NodeIdx::new(h),
+                hops,
+            }
+        ),
+        (any::<u64>(), arb_id(), 0u32..100_000).prop_map(|(m, o, h)| WireMessage::StoreAck {
+            msg_id: MessageId(m),
+            object: o,
+            holder: NodeIdx::new(h),
+        }),
+        Just(WireMessage::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(wire in arb_wire()) {
+        let encoded = wire.encode();
+        let decoded = WireMessage::decode(&encoded).expect("well-formed frame");
+        prop_assert_eq!(decoded, wire);
+    }
+
+    /// The decoder never panics and every prefix of a valid frame is
+    /// either the frame itself or a clean Truncated error.
+    #[test]
+    fn prefixes_fail_cleanly(wire in arb_wire(), cut in 0usize..200) {
+        let encoded = wire.encode();
+        let cut = cut.min(encoded.len());
+        let slice = &encoded[..cut];
+        match WireMessage::decode(slice) {
+            Ok(w) => prop_assert_eq!(w, wire, "only the full frame may decode"),
+            Err(DecodeError::Truncated) => {}
+            Err(e) => prop_assert!(false, "prefix produced {e:?}, expected Truncated"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = WireMessage::decode(&data);
+    }
+
+    /// Frames are version-guarded: flipping the version byte always
+    /// fails with BadVersion.
+    #[test]
+    fn version_is_enforced(wire in arb_wire(), v in 2u8..255) {
+        let mut enc = wire.encode().to_vec();
+        enc[0] = v;
+        prop_assert_eq!(WireMessage::decode(&enc), Err(DecodeError::BadVersion(v)));
+    }
+}

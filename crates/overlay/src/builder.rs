@@ -1,0 +1,185 @@
+//! Incremental construction of [`Topology`] values.
+
+use std::collections::HashSet;
+
+use mpil_id::Id;
+use rand::Rng;
+
+use crate::topology::{NodeIdx, Topology};
+
+/// Builds a [`Topology`] edge by edge.
+///
+/// Self-loops are ignored and duplicate edges are deduplicated, so
+/// generators can be written without worrying about either.
+///
+/// ```
+/// use mpil_overlay::{NodeIdx, TopologyBuilder};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mut b = TopologyBuilder::with_random_ids(2, &mut rng);
+/// b.add_edge(NodeIdx::new(0), NodeIdx::new(1));
+/// b.add_edge(NodeIdx::new(1), NodeIdx::new(0)); // duplicate, ignored
+/// let topo = b.build();
+/// assert_eq!(topo.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    ids: Vec<Id>,
+    edges: HashSet<(NodeIdx, NodeIdx)>,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder for `n` nodes with the given IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IDs are not unique.
+    pub fn new(ids: Vec<Id>) -> Self {
+        let unique: HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "node IDs must be unique");
+        TopologyBuilder {
+            ids,
+            edges: HashSet::new(),
+        }
+    }
+
+    /// Creates a builder for `n` nodes with distinct uniformly random IDs.
+    pub fn with_random_ids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut seen = HashSet::with_capacity(n);
+        let mut ids = Vec::with_capacity(n);
+        while ids.len() < n {
+            let id = Id::random(rng);
+            // 160-bit collisions are astronomically unlikely, but the
+            // uniqueness invariant is cheap to enforce.
+            if seen.insert(id) {
+                ids.push(id);
+            }
+        }
+        TopologyBuilder {
+            ids,
+            edges: HashSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the builder has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of (deduplicated) edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{a, b}`. Self-loops and duplicates are
+    /// ignored. Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeIdx, b: NodeIdx) -> bool {
+        assert!(a.index() < self.ids.len(), "node {a} out of range");
+        assert!(b.index() < self.ids.len(), "node {b} out of range");
+        if a == b {
+            return false;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.edges.insert(key)
+    }
+
+    /// Returns `true` if the edge `{a, b}` has been added.
+    pub fn contains_edge(&self, a: NodeIdx, b: NodeIdx) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.edges.contains(&key)
+    }
+
+    /// Current degree of `node` (linear in the number of edges; intended
+    /// for generators that post-process small remainders, not hot loops).
+    pub fn degree(&self, node: NodeIdx) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == node || b == node)
+            .count()
+    }
+
+    /// Finalizes the graph, producing sorted adjacency lists.
+    pub fn build(self) -> Topology {
+        let n = self.ids.len();
+        let mut adj: Vec<Vec<NodeIdx>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let edge_count = self.edges.len();
+        Topology::from_parts(self.ids, adj, edge_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut b = TopologyBuilder::with_random_ids(2, &mut rng);
+        assert!(!b.add_edge(NodeIdx::new(0), NodeIdx::new(0)));
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut b = TopologyBuilder::with_random_ids(3, &mut rng);
+        assert!(b.add_edge(NodeIdx::new(0), NodeIdx::new(1)));
+        assert!(!b.add_edge(NodeIdx::new(1), NodeIdx::new(0)));
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.contains_edge(NodeIdx::new(1), NodeIdx::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut b = TopologyBuilder::with_random_ids(2, &mut rng);
+        b.add_edge(NodeIdx::new(0), NodeIdx::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ids_panic() {
+        let id = Id::from_low_u64(1);
+        TopologyBuilder::new(vec![id, id]);
+    }
+
+    #[test]
+    fn random_ids_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let b = TopologyBuilder::with_random_ids(256, &mut rng);
+        assert_eq!(b.len(), 256);
+        let t = b.build();
+        let set: std::collections::HashSet<_> = t.ids().iter().collect();
+        assert_eq!(set.len(), 256);
+    }
+
+    #[test]
+    fn degree_counts_incident_edges() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut b = TopologyBuilder::with_random_ids(4, &mut rng);
+        b.add_edge(NodeIdx::new(0), NodeIdx::new(1));
+        b.add_edge(NodeIdx::new(0), NodeIdx::new(2));
+        assert_eq!(b.degree(NodeIdx::new(0)), 2);
+        assert_eq!(b.degree(NodeIdx::new(3)), 0);
+    }
+}

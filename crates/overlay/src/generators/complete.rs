@@ -1,0 +1,59 @@
+//! The complete topology.
+
+use rand::Rng;
+
+use crate::builder::TopologyBuilder;
+use crate::generators::GenerateError;
+use crate::topology::{NodeIdx, Topology};
+
+/// Generates the complete graph on `n` nodes.
+///
+/// Every node neighbors every other node. Section 5.2 of the paper derives
+/// the expected number of replicas on complete topologies; the
+/// `fig8_complete_replicas` bench validates the closed form against MPIL
+/// runs on these graphs.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewNodes`] if `n < 2`.
+pub fn complete<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Topology, GenerateError> {
+    if n < 2 {
+        return Err(GenerateError::TooFewNodes {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let mut b = TopologyBuilder::with_random_ids(n, rng);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            b.add_edge(NodeIdx::new(i), NodeIdx::new(j));
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_has_all_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = complete(8, &mut rng).unwrap();
+        assert_eq!(t.edge_count(), 8 * 7 / 2);
+        for n in t.iter_nodes() {
+            assert_eq!(t.degree(n), 7);
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_graphs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            complete(1, &mut rng),
+            Err(GenerateError::TooFewNodes { .. })
+        ));
+    }
+}

@@ -1,0 +1,156 @@
+//! Simple deterministic shapes: ring, line, star, grid.
+//!
+//! These exercise MPIL's overlay-independence claim on pathological
+//! topologies (Section 1: the lookup strategy should "perform well under
+//! various arbitrary overlay topologies").
+
+use rand::Rng;
+
+use crate::builder::TopologyBuilder;
+use crate::generators::GenerateError;
+use crate::topology::{NodeIdx, Topology};
+
+/// A cycle on `n` nodes.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewNodes`] if `n < 3`.
+pub fn ring<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Topology, GenerateError> {
+    if n < 3 {
+        return Err(GenerateError::TooFewNodes {
+            requested: n,
+            minimum: 3,
+        });
+    }
+    let mut b = TopologyBuilder::with_random_ids(n, rng);
+    for i in 0..n as u32 {
+        b.add_edge(NodeIdx::new(i), NodeIdx::new((i + 1) % n as u32));
+    }
+    Ok(b.build())
+}
+
+/// A path on `n` nodes.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewNodes`] if `n < 2`.
+pub fn line<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Topology, GenerateError> {
+    if n < 2 {
+        return Err(GenerateError::TooFewNodes {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let mut b = TopologyBuilder::with_random_ids(n, rng);
+    for i in 0..(n as u32 - 1) {
+        b.add_edge(NodeIdx::new(i), NodeIdx::new(i + 1));
+    }
+    Ok(b.build())
+}
+
+/// A star: node 0 is the hub, all others are leaves.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewNodes`] if `n < 2`.
+pub fn star<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Topology, GenerateError> {
+    if n < 2 {
+        return Err(GenerateError::TooFewNodes {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let mut b = TopologyBuilder::with_random_ids(n, rng);
+    for i in 1..n as u32 {
+        b.add_edge(NodeIdx::new(0), NodeIdx::new(i));
+    }
+    Ok(b.build())
+}
+
+/// A `rows × cols` 4-connected grid.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewNodes`] if either dimension is zero or
+/// the grid has fewer than 2 nodes.
+pub fn grid<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> Result<Topology, GenerateError> {
+    let n = rows * cols;
+    if rows == 0 || cols == 0 || n < 2 {
+        return Err(GenerateError::TooFewNodes {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let mut b = TopologyBuilder::with_random_ids(n, rng);
+    let at = |r: usize, c: usize| NodeIdx::new((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn ring_degrees_and_connectivity() {
+        let t = ring(10, &mut rng()).unwrap();
+        assert_eq!(t.edge_count(), 10);
+        assert!(t.iter_nodes().all(|v| t.degree(v) == 2));
+        assert!(stats::is_connected(&t));
+    }
+
+    #[test]
+    fn line_has_two_endpoints() {
+        let t = line(10, &mut rng()).unwrap();
+        assert_eq!(t.edge_count(), 9);
+        let endpoints = t.iter_nodes().filter(|&v| t.degree(v) == 1).count();
+        assert_eq!(endpoints, 2);
+    }
+
+    #[test]
+    fn star_hub_dominates() {
+        let t = star(12, &mut rng()).unwrap();
+        assert_eq!(t.degree(NodeIdx::new(0)), 11);
+        assert!((1..12).all(|i| t.degree(NodeIdx::new(i)) == 1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(3, 4, &mut rng()).unwrap();
+        assert_eq!(t.len(), 12);
+        // Corner nodes have degree 2.
+        assert_eq!(t.degree(NodeIdx::new(0)), 2);
+        // Interior node (1,1) has degree 4.
+        assert_eq!(t.degree(NodeIdx::new(5)), 4);
+        assert!(stats::is_connected(&t));
+    }
+
+    #[test]
+    fn degenerate_sizes_rejected() {
+        assert!(ring(2, &mut rng()).is_err());
+        assert!(line(1, &mut rng()).is_err());
+        assert!(star(1, &mut rng()).is_err());
+        assert!(grid(0, 5, &mut rng()).is_err());
+        assert!(grid(1, 1, &mut rng()).is_err());
+    }
+}

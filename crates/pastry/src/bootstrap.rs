@@ -1,0 +1,268 @@
+//! Converged-overlay bootstrap.
+//!
+//! The paper's experiments start from a fully built ("static") overlay:
+//! inserts run before any perturbation begins (Section 3). Rather than
+//! simulating 1000 joins, we construct each node's state directly from
+//! global membership, which yields exactly the converged state the join
+//! protocol would settle into: perfect leaf sets, and routing tables
+//! filled with a deterministic-random eligible candidate per slot.
+
+use mpil_id::{Id, IdSpace};
+use mpil_overlay::NodeIdx;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::PastryConfig;
+use crate::state::PastryState;
+
+/// Builds converged Pastry state for every node.
+///
+/// `ids[i]` is node `i`'s 160-bit identifier. Candidates for each routing
+/// table slot are chosen uniformly at random from the eligible nodes
+/// (MSPastry would pick by network proximity; the success-rate results do
+/// not depend on that choice, see DESIGN.md).
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or contains duplicates.
+pub fn build_converged_states<R: Rng + ?Sized>(
+    ids: &[Id],
+    config: &PastryConfig,
+    rng: &mut R,
+) -> Vec<PastryState> {
+    build_converged_states_partial(ids, None, config, rng)
+}
+
+/// Like [`build_converged_states`], but only the nodes in `members` (a
+/// mask; `None` = everyone) participate in the converged overlay. The
+/// rest get empty state — they are *unjoined* and can enter later through
+/// the join protocol ([`crate::PastrySim::join`]).
+///
+/// # Panics
+///
+/// Panics if `ids` is empty, contains duplicates, the mask length
+/// mismatches, or no node is a member.
+pub fn build_converged_states_partial<R: Rng + ?Sized>(
+    ids: &[Id],
+    members: Option<&[bool]>,
+    config: &PastryConfig,
+    rng: &mut R,
+) -> Vec<PastryState> {
+    assert!(!ids.is_empty(), "need at least one node");
+    if let Some(m) = members {
+        assert_eq!(m.len(), ids.len(), "member mask length mismatch");
+        assert!(m.iter().any(|&x| x), "need at least one member");
+    }
+    config.assert_valid();
+    let space = config.space;
+    let is_member = |i: usize| members.is_none_or(|m| m[i]);
+
+    // Ring order over members only.
+    let mut order: Vec<usize> = (0..ids.len()).filter(|&i| is_member(i)).collect();
+    order.sort_by_key(|&i| ids[i]);
+    {
+        let mut all: Vec<&Id> = ids.iter().collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[0] != w[1], "duplicate node IDs");
+        }
+    }
+
+    let n = ids.len();
+    let m = order.len();
+    let half = config.leaf_set_size / 2;
+    let mut states: Vec<PastryState> = (0..n)
+        .map(|i| PastryState::new(NodeIdx::new(i as u32), ids[i], space, config.leaf_set_size))
+        .collect();
+
+    // Leaf sets: walk the sorted member ring.
+    for (pos, &i) in order.iter().enumerate() {
+        if m < 2 {
+            break;
+        }
+        for step in 1..=half.min(m - 1) {
+            let succ = order[(pos + step) % m];
+            let pred = order[(pos + m - step) % m];
+            states[i].leafset.consider(ids[succ], NodeIdx::new(succ as u32));
+            if pred != succ {
+                states[i].leafset.consider(ids[pred], NodeIdx::new(pred as u32));
+            }
+        }
+    }
+
+    // Routing tables: offer every member to every member. Naive O(M²)
+    // digit scans — fine for the 1000 nodes of the paper's runs; the
+    // shuffle keeps slot choice unbiased (`consider` is first-wins).
+    let mut shuffled: Vec<usize> = order.clone();
+    shuffled.shuffle(rng);
+    for &i in &order {
+        for &j in &shuffled {
+            if j == i {
+                continue;
+            }
+            states[i].rt.consider(ids[j], NodeIdx::new(j as u32));
+        }
+    }
+    states
+}
+
+/// Convenience: generate `n` distinct random IDs for a membership.
+pub fn random_ids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Id> {
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = Id::random(rng);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Checks structural invariants of a converged overlay (used by tests
+/// and debug assertions): leaf sets hold the true ring neighbors, and
+/// every routing-table entry sits in its correct slot.
+pub fn validate_converged(states: &[PastryState], ids: &[Id], space: IdSpace) -> Result<(), String> {
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| ids[i]);
+    let n = ids.len();
+    for (pos, &i) in order.iter().enumerate() {
+        let st = &states[i];
+        // Right side must be the true successors.
+        for (k, &(lid, lnode)) in st.leafset.right_side().iter().enumerate() {
+            let expect = order[(pos + k + 1) % n];
+            if lnode.index() != expect {
+                return Err(format!(
+                    "node {i}: right leaf {k} is {lnode}, expected n{expect}"
+                ));
+            }
+            if lid != ids[expect] {
+                return Err(format!("node {i}: right leaf {k} has stale id"));
+            }
+        }
+        for (k, &(_, lnode)) in st.leafset.left_side().iter().enumerate() {
+            let expect = order[(pos + n - ((k + 1) % n)) % n];
+            if lnode.index() != expect {
+                return Err(format!(
+                    "node {i}: left leaf {k} is {lnode}, expected n{expect}"
+                ));
+            }
+        }
+        // Routing table entries live in their slots.
+        for (eid, enode) in st.rt.entries() {
+            let row = space.prefix_match(st.id, eid) as usize;
+            let col = usize::from(space.digit(eid, row));
+            let ok = st
+                .rt
+                .row_entries(row)
+                .iter()
+                .any(|&(xid, xnode)| xid == eid && xnode == enode);
+            if !ok || eid != ids[enode.index()] {
+                return Err(format!("node {i}: rt entry {enode} misplaced ({row},{col})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, seed: u64) -> (Vec<Id>, Vec<PastryState>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ids = random_ids(n, &mut rng);
+        let states = build_converged_states(&ids, &PastryConfig::default(), &mut rng);
+        (ids, states)
+    }
+
+    #[test]
+    fn converged_overlay_is_valid() {
+        let (ids, states) = build(100, 1);
+        validate_converged(&states, &ids, IdSpace::base16()).unwrap();
+    }
+
+    #[test]
+    fn leaf_sets_are_full_for_large_overlays() {
+        let (_, states) = build(100, 2);
+        for s in &states {
+            assert_eq!(s.leafset.right_side().len(), 4);
+            assert_eq!(s.leafset.left_side().len(), 4);
+        }
+    }
+
+    #[test]
+    fn routing_tables_have_row_zero_mostly_full() {
+        let (_, states) = build(200, 3);
+        // With 200 random IDs, 15 of 16 first digits exist almost surely.
+        let avg: f64 = states
+            .iter()
+            .map(|s| s.rt.row_entries(0).len() as f64)
+            .sum::<f64>()
+            / states.len() as f64;
+        assert!(avg > 12.0, "row 0 fill average {avg}");
+    }
+
+    #[test]
+    fn neighbor_lists_are_reasonable() {
+        let (_, states) = build(200, 4);
+        for s in &states {
+            let nbrs = s.neighbor_list();
+            // 8 leaves + ~2 rows of RT entries.
+            assert!(nbrs.len() >= 10, "only {} neighbors", nbrs.len());
+            assert!(nbrs.len() <= 60);
+            assert!(!nbrs.contains(&s.node), "no self edges");
+        }
+    }
+
+    #[test]
+    fn greedy_routing_reaches_the_true_root() {
+        use crate::state::NextHop;
+        let (ids, states) = build(150, 5);
+        let space = IdSpace::base16();
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let key = Id::random(&mut rng);
+            // True root: numerically closest (by ring distance) node.
+            let root = (0..ids.len())
+                .min_by_key(|&i| mpil_id::ring_distance(ids[i], key))
+                .unwrap();
+            // Route greedily from a random start.
+            let mut at = rng.gen_range(0..ids.len());
+            let mut hops = 0;
+            loop {
+                match states[at].next_hop(space, key, |_| false) {
+                    NextHop::Local => break,
+                    NextHop::Forward(nx) => {
+                        at = nx.index();
+                        hops += 1;
+                        assert!(hops < 50, "routing loop");
+                    }
+                }
+            }
+            assert_eq!(at, root, "delivered to wrong root");
+            assert!(hops <= 6, "too many hops for 150 nodes: {hops}");
+        }
+    }
+
+    #[test]
+    fn two_node_overlay_works() {
+        let (ids, states) = build(2, 6);
+        let space = IdSpace::base16();
+        use crate::state::NextHop;
+        // Each node's next hop for the other's ID is that node.
+        match states[0].next_hop(space, ids[1], |_| false) {
+            NextHop::Forward(x) => assert_eq!(x.index(), 1),
+            NextHop::Local => panic!("must forward to the exact owner"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_membership_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = build_converged_states(&[], &PastryConfig::default(), &mut rng);
+    }
+}

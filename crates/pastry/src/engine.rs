@@ -1,0 +1,1050 @@
+//! The event-driven Pastry simulation (MSPastry stand-in).
+//!
+//! Implements the dependability machinery the perturbation experiments
+//! exercise: per-hop acks with retransmission, probe-based failure
+//! declaration, leaf-set/routing-table repair, periodic probing, and
+//! passive re-integration of recovered nodes.
+
+use std::collections::{HashMap, HashSet};
+
+use mpil_id::Id;
+use mpil_overlay::NodeIdx;
+use mpil_sim::{Availability, Event, LatencyModel, Network, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::PastryConfig;
+use crate::state::{NextHop, PastryState};
+
+/// Application payload of a routed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Payload {
+    /// Store the object pointer at the key's root.
+    Insert { object: Id },
+    /// Find the object pointer; reply to `origin`.
+    Lookup {
+        object: Id,
+        lookup_id: u64,
+        origin: NodeIdx,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// A routed application message (one per-hop transmission).
+    Route {
+        key: Id,
+        payload: Payload,
+        hops: u32,
+        uid: u64,
+    },
+    /// Per-hop acknowledgment of a `Route` transmission.
+    RouteAck { uid: u64 },
+    /// Liveness probe.
+    Probe { token: u64 },
+    /// Probe response.
+    ProbeReply { token: u64 },
+    /// Ask a peer for its leaf set (repair).
+    LeafsetPull,
+    /// Leaf set contents (node handles; IDs come from the global table).
+    LeafsetPush { members: Vec<NodeIdx> },
+    /// Ask a peer for routing table row `row` (maintenance).
+    RowRequest { row: u16 },
+    /// Row contents.
+    RowReply { entries: Vec<NodeIdx> },
+    /// Lookup result sent directly to the origin.
+    LookupReply {
+        lookup_id: u64,
+        found: bool,
+        hops: u32,
+    },
+    /// A joining node's request, routed toward its own ID (Pastry §3.1).
+    JoinRequest { joiner: NodeIdx, hops: u32 },
+    /// State shared with a joiner by a node on the join route.
+    JoinState { members: Vec<NodeIdx> },
+    /// The join root's final state transfer; ends the join.
+    JoinDone { members: Vec<NodeIdx> },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    /// Periodic leaf-set probing (every `leafset_probe_period`).
+    LeafsetProbe,
+    /// Periodic routing-table probing (every `rt_probe_period`).
+    RtProbe,
+    /// Periodic routing-table maintenance (every `rt_maintenance_period`).
+    RtMaintenance,
+    /// A probe went unanswered.
+    ProbeTimeout { token: u64 },
+    /// A routed transmission went unacknowledged.
+    RouteRetry { uid: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingRoute {
+    from: NodeIdx,
+    to: NodeIdx,
+    key: Id,
+    payload: Payload,
+    hops: u32,
+    attempts: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingProbe {
+    prober: NodeIdx,
+    target: NodeIdx,
+    attempts: u32,
+}
+
+/// Counters split by traffic class (Figure 12 plots these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PastryStats {
+    /// Route transmissions carrying lookups (incl. retransmissions).
+    pub lookup_messages: u64,
+    /// Route transmissions carrying inserts.
+    pub insert_messages: u64,
+    /// Acks for routed messages.
+    pub ack_messages: u64,
+    /// Probes + probe replies + leafset/row exchanges.
+    pub maintenance_messages: u64,
+    /// Direct lookup replies.
+    pub reply_messages: u64,
+    /// Nodes declared failed (table removals triggered by timeouts).
+    pub failure_declarations: u64,
+    /// Routed messages dropped by the hop limit.
+    pub hop_limit_drops: u64,
+    /// Deliveries at a node that believed itself root but held no object.
+    pub misdeliveries: u64,
+}
+
+impl PastryStats {
+    /// Everything the overlay sent (the right panel of Figure 12).
+    pub fn total_messages(&self) -> u64 {
+        self.lookup_messages
+            + self.insert_messages
+            + self.ack_messages
+            + self.maintenance_messages
+            + self.reply_messages
+    }
+}
+
+/// Outcome of one lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LookupOutcome {
+    /// No terminal event yet.
+    Pending,
+    /// Found before the deadline.
+    Succeeded {
+        /// Forward-path overlay hops.
+        hops: u32,
+        /// Issue-to-reply latency.
+        latency: SimDuration,
+    },
+    /// A negative reply arrived, the deadline passed, or the message was
+    /// lost.
+    Failed,
+}
+
+#[derive(Debug)]
+struct LookupState {
+    issued_at: SimTime,
+    deadline: SimTime,
+    outcome: LookupOutcome,
+}
+
+/// The Pastry overlay simulation.
+///
+/// Drive it like the paper's experiments: build (converged bootstrap),
+/// insert on the static overlay, swap in a flapping availability model,
+/// start maintenance, then issue lookups and run the clock.
+pub struct PastrySim {
+    config: PastryConfig,
+    ids: Vec<Id>,
+    states: Vec<PastryState>,
+    stores: Vec<HashSet<Id>>,
+    net: Network<Msg, Timer>,
+    pending_routes: HashMap<u64, PendingRoute>,
+    pending_probes: HashMap<u64, PendingProbe>,
+    /// Fast membership view of `pending_probes` keyed by (prober, target),
+    /// so starting a probe does not scan the pending map.
+    probing_pairs: HashSet<(NodeIdx, NodeIdx)>,
+    /// Per-node set of Route uids already processed (dedup after
+    /// retransmission races).
+    seen_uids: Vec<HashSet<u64>>,
+    lookups: HashMap<u64, LookupState>,
+    next_uid: u64,
+    next_token: u64,
+    next_lookup: u64,
+    maintenance_started: bool,
+    stats: PastryStats,
+}
+
+impl PastrySim {
+    /// Builds the simulation from pre-built per-node states (see
+    /// [`crate::bootstrap::build_converged_states`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` and `states` disagree in length.
+    pub fn new(
+        ids: Vec<Id>,
+        states: Vec<PastryState>,
+        config: PastryConfig,
+        availability: Box<dyn Availability>,
+        latency: Box<dyn LatencyModel>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(ids.len(), states.len(), "ids/states length mismatch");
+        config.assert_valid();
+        let n = ids.len();
+        PastrySim {
+            config,
+            states,
+            stores: vec![HashSet::new(); n],
+            net: Network::new(n, availability, latency, seed),
+            pending_routes: HashMap::new(),
+            pending_probes: HashMap::new(),
+            probing_pairs: HashSet::new(),
+            seen_uids: vec![HashSet::new(); n],
+            lookups: HashMap::new(),
+            next_uid: 0,
+            next_token: 0,
+            next_lookup: 0,
+            maintenance_started: false,
+            ids,
+            stats: PastryStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> PastryStats {
+        self.stats
+    }
+
+    /// Kernel counters.
+    pub fn net_stats(&self) -> mpil_sim::NetStats {
+        self.net.stats()
+    }
+
+    /// Swaps the availability model (static stage → flapping stage).
+    pub fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        self.net.set_availability(availability);
+    }
+
+    /// Sets the independent per-message link-loss probability (failure
+    /// injection; see [`mpil_sim::Network::set_loss_probability`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.net.set_loss_probability(p);
+    }
+
+    /// Nodes currently storing the pointer for `object`.
+    pub fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        (0..self.ids.len() as u32)
+            .map(NodeIdx::new)
+            .filter(|n| self.stores[n.index()].contains(&object))
+            .collect()
+    }
+
+    /// Each node's frozen neighbor list (leaf set ∪ routing table) — the
+    /// overlay MPIL routes on in Section 6.2.
+    pub fn neighbor_lists(&self) -> Vec<Vec<NodeIdx>> {
+        self.states.iter().map(|s| s.neighbor_list()).collect()
+    }
+
+    /// The global ID table.
+    pub fn ids(&self) -> &[Id] {
+        &self.ids
+    }
+
+    /// Starts the periodic maintenance timers on every node, staggered
+    /// uniformly over one period to avoid lockstep probing.
+    pub fn start_maintenance(&mut self) {
+        assert!(!self.maintenance_started, "maintenance already started");
+        self.maintenance_started = true;
+        let n = self.ids.len();
+        for i in 0..n as u32 {
+            let node = NodeIdx::new(i);
+            let ls_delay = {
+                let p = self.config.leafset_probe_period.as_micros();
+                SimDuration::from_micros(self.net.rng().gen_range(0..p))
+            };
+            self.net.schedule(node, ls_delay, Timer::LeafsetProbe);
+            let rt_delay = {
+                let p = self.config.rt_probe_period.as_micros();
+                SimDuration::from_micros(self.net.rng().gen_range(0..p))
+            };
+            self.net.schedule(node, rt_delay, Timer::RtProbe);
+            let m_delay = {
+                let p = self.config.rt_maintenance_period.as_micros();
+                SimDuration::from_micros(self.net.rng().gen_range(0..p))
+            };
+            self.net.schedule(node, m_delay, Timer::RtMaintenance);
+        }
+    }
+
+    /// Starts routing an insertion of `object` from `origin`.
+    pub fn insert(&mut self, origin: NodeIdx, object: Id) {
+        let payload = Payload::Insert { object };
+        self.route_step(origin, object, payload, 0);
+    }
+
+    /// Issues a lookup of `object` from `origin` with the given deadline.
+    pub fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> u64 {
+        let lookup_id = self.next_lookup;
+        self.next_lookup += 1;
+        self.lookups.insert(
+            lookup_id,
+            LookupState {
+                issued_at: self.net.now(),
+                deadline,
+                outcome: LookupOutcome::Pending,
+            },
+        );
+        let payload = Payload::Lookup {
+            object,
+            lookup_id,
+            origin,
+        };
+        self.route_step(origin, object, payload, 0);
+        lookup_id
+    }
+
+    /// Outcome of a lookup; `Pending` past its deadline reads as
+    /// `Failed`.
+    pub fn lookup_outcome(&self, lookup_id: u64) -> LookupOutcome {
+        match self.lookups.get(&lookup_id) {
+            None => LookupOutcome::Failed,
+            Some(s) => match s.outcome {
+                LookupOutcome::Pending if self.net.now() >= s.deadline => LookupOutcome::Failed,
+                o => o,
+            },
+        }
+    }
+
+    /// Runs the event loop until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.net.next_before(deadline) {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs until no events remain (only terminates before maintenance
+    /// starts).
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            !self.maintenance_started,
+            "periodic maintenance never quiesces; use run_until"
+        );
+        while let Some(ev) = self.net.next() {
+            self.dispatch(ev);
+        }
+    }
+
+    // --- event dispatch --------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event<Msg, Timer>) {
+        match ev {
+            Event::Message { from, to, msg } => self.on_message(from, to, msg),
+            Event::Timer { node, timer } => self.on_timer(node, timer),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeIdx, to: NodeIdx, msg: Msg) {
+        // Any message from a peer is evidence it is alive: re-admit it
+        // (passive re-integration of recovered nodes).
+        if from != to {
+            let fid = self.ids[from.index()];
+            self.states[to.index()].consider(fid, from);
+        }
+        match msg {
+            Msg::Route {
+                key,
+                payload,
+                hops,
+                uid,
+            } => {
+                // Ack every transmission, then dedup re-deliveries.
+                self.stats.ack_messages += 1;
+                self.net.send(to, from, Msg::RouteAck { uid });
+                if !self.seen_uids[to.index()].insert(uid) {
+                    return;
+                }
+                self.deliver_or_forward(to, key, payload, hops);
+            }
+            Msg::RouteAck { uid } => {
+                self.pending_routes.remove(&uid);
+            }
+            Msg::Probe { token } => {
+                self.stats.maintenance_messages += 1;
+                self.net.send(to, from, Msg::ProbeReply { token });
+            }
+            Msg::ProbeReply { token } => {
+                if let Some(p) = self.pending_probes.remove(&token) {
+                    self.probing_pairs.remove(&(p.prober, p.target));
+                }
+            }
+            Msg::LeafsetPull => {
+                let members: Vec<NodeIdx> =
+                    self.states[to.index()].leafset.members().collect();
+                self.stats.maintenance_messages += 1;
+                self.net.send(to, from, Msg::LeafsetPush { members });
+            }
+            Msg::LeafsetPush { members } => {
+                for m in members {
+                    if m != to {
+                        let mid = self.ids[m.index()];
+                        self.states[to.index()].consider(mid, m);
+                    }
+                }
+            }
+            Msg::RowRequest { row } => {
+                let entries: Vec<NodeIdx> = self.states[to.index()]
+                    .rt
+                    .row_entries(usize::from(row))
+                    .into_iter()
+                    .map(|(_, n)| n)
+                    .collect();
+                self.stats.maintenance_messages += 1;
+                self.net.send(to, from, Msg::RowReply { entries });
+            }
+            Msg::RowReply { entries } => {
+                for m in entries {
+                    if m != to {
+                        let mid = self.ids[m.index()];
+                        self.states[to.index()].consider(mid, m);
+                    }
+                }
+            }
+            Msg::JoinRequest { joiner, hops } => {
+                self.handle_join_request(to, joiner, hops);
+            }
+            Msg::JoinState { members } => {
+                for m in members {
+                    if m != to {
+                        let mid = self.ids[m.index()];
+                        self.states[to.index()].consider(mid, m);
+                    }
+                }
+            }
+            Msg::JoinDone { members } => {
+                for m in members {
+                    if m != to {
+                        let mid = self.ids[m.index()];
+                        self.states[to.index()].consider(mid, m);
+                    }
+                }
+                // The join is complete: announce ourselves by probing
+                // everyone we learned about. Receivers admit us through
+                // the passive consider-on-receive path.
+                let known = self.states[to.index()].neighbor_list();
+                for peer in known {
+                    self.start_probe(to, peer);
+                }
+            }
+            Msg::LookupReply {
+                lookup_id,
+                found,
+                hops,
+            } => {
+                let now = self.net.now();
+                if let Some(state) = self.lookups.get_mut(&lookup_id) {
+                    if matches!(state.outcome, LookupOutcome::Pending) {
+                        state.outcome = if found && now <= state.deadline {
+                            LookupOutcome::Succeeded {
+                                hops,
+                                latency: now.duration_since(state.issued_at),
+                            }
+                        } else {
+                            LookupOutcome::Failed
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeIdx, timer: Timer) {
+        match timer {
+            Timer::LeafsetProbe => {
+                if self.net.is_online(node) {
+                    let members: Vec<NodeIdx> = {
+                        let mut m: Vec<NodeIdx> =
+                            self.states[node.index()].leafset.members().collect();
+                        m.sort_unstable();
+                        m.dedup();
+                        m
+                    };
+                    for m in members {
+                        self.start_probe(node, m);
+                    }
+                    // A shrunken leaf set actively pulls from a survivor.
+                    if self.states[node.index()].leafset.has_room() {
+                        if let Some(contact) =
+                            self.states[node.index()].leafset.repair_contact(|_| false)
+                        {
+                            self.stats.maintenance_messages += 1;
+                            self.net.send(node, contact, Msg::LeafsetPull);
+                        }
+                    }
+                }
+                self.net
+                    .schedule(node, self.config.leafset_probe_period, Timer::LeafsetProbe);
+            }
+            Timer::RtProbe => {
+                if self.net.is_online(node) {
+                    let entries: Vec<NodeIdx> = {
+                        let mut e: Vec<NodeIdx> = self.states[node.index()]
+                            .rt
+                            .entries()
+                            .map(|(_, n)| n)
+                            .collect();
+                        e.sort_unstable();
+                        e.dedup();
+                        e
+                    };
+                    for m in entries {
+                        self.start_probe(node, m);
+                    }
+                }
+                self.net
+                    .schedule(node, self.config.rt_probe_period, Timer::RtProbe);
+            }
+            Timer::RtMaintenance => {
+                if self.net.is_online(node) {
+                    // Ask one random peer per populated row for that row.
+                    let requests: Vec<(NodeIdx, u16)> = {
+                        let st = &self.states[node.index()];
+                        (0..st.rt.num_rows())
+                            .filter_map(|r| {
+                                let entries = st.rt.row_entries(r);
+                                if entries.is_empty() {
+                                    None
+                                } else {
+                                    Some((entries[0].1, r as u16))
+                                }
+                            })
+                            .collect()
+                    };
+                    for (peer, row) in requests {
+                        self.stats.maintenance_messages += 1;
+                        self.net.send(node, peer, Msg::RowRequest { row });
+                    }
+                }
+                self.net.schedule(
+                    node,
+                    self.config.rt_maintenance_period,
+                    Timer::RtMaintenance,
+                );
+            }
+            Timer::ProbeTimeout { token } => {
+                let Some(pending) = self.pending_probes.get(&token).copied() else {
+                    return;
+                };
+                if !self.net.is_online(pending.prober) {
+                    // The prober itself went offline; abandon the probe.
+                    self.pending_probes.remove(&token);
+                    self.probing_pairs.remove(&(pending.prober, pending.target));
+                    return;
+                }
+                if pending.attempts < self.config.probe_retries {
+                    self.pending_probes
+                        .get_mut(&token)
+                        .expect("checked above")
+                        .attempts += 1;
+                    self.stats.maintenance_messages += 1;
+                    self.net
+                        .send(pending.prober, pending.target, Msg::Probe { token });
+                    self.net.schedule(
+                        pending.prober,
+                        self.config.probe_timeout,
+                        Timer::ProbeTimeout { token },
+                    );
+                } else {
+                    self.pending_probes.remove(&token);
+                    self.probing_pairs.remove(&(pending.prober, pending.target));
+                    self.declare_failed(pending.prober, pending.target);
+                }
+            }
+            Timer::RouteRetry { uid } => {
+                let Some(pending) = self.pending_routes.get(&uid).cloned() else {
+                    return;
+                };
+                if !self.net.is_online(pending.from) {
+                    // The holder is perturbed; the in-flight message is
+                    // lost with it.
+                    self.pending_routes.remove(&uid);
+                    return;
+                }
+                if pending.attempts < self.config.probe_retries {
+                    self.pending_routes
+                        .get_mut(&uid)
+                        .expect("checked above")
+                        .attempts += 1;
+                    self.count_route(&pending.payload);
+                    self.net.send(
+                        pending.from,
+                        pending.to,
+                        Msg::Route {
+                            key: pending.key,
+                            payload: pending.payload,
+                            hops: pending.hops,
+                            uid,
+                        },
+                    );
+                    self.net.schedule(
+                        pending.from,
+                        self.config.probe_timeout,
+                        Timer::RouteRetry { uid },
+                    );
+                } else {
+                    // Retries exhausted: declare the hop dead and re-route
+                    // around it from the holder.
+                    self.pending_routes.remove(&uid);
+                    self.declare_failed(pending.from, pending.to);
+                    self.route_step(pending.from, pending.key, pending.payload, pending.hops);
+                }
+            }
+        }
+    }
+
+    /// Starts the Pastry join protocol for `joiner` (a node constructed
+    /// *unjoined*; see
+    /// [`build_converged_states_partial`](crate::bootstrap::build_converged_states_partial)),
+    /// bootstrapping through `bootstrap`. The join request routes toward
+    /// the joiner's own ID; every node on the route shares the routing
+    /// table row the joiner needs, the root transfers its leaf set, and
+    /// the joiner then announces itself by probing everyone it learned
+    /// about (receivers re-admit it through the usual passive
+    /// `consider`). Joins are assumed to run under stable conditions
+    /// (no per-hop retransmission), as in the paper's static stage 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joiner == bootstrap`.
+    pub fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) {
+        assert_ne!(joiner, bootstrap, "cannot bootstrap from self");
+        self.stats.maintenance_messages += 1;
+        self.net
+            .send(joiner, bootstrap, Msg::JoinRequest { joiner, hops: 0 });
+    }
+
+    fn handle_join_request(&mut self, node: NodeIdx, joiner: NodeIdx, hops: u32) {
+        let joiner_id = self.ids[joiner.index()];
+        // Share the row the joiner will index at our shared-prefix depth,
+        // plus our leaf set (cheap and accelerates convergence).
+        let row = self.config.space.prefix_match(self.states[node.index()].id, joiner_id) as usize;
+        let mut share: Vec<NodeIdx> = self.states[node.index()]
+            .rt
+            .row_entries(row.min(self.states[node.index()].rt.num_rows() - 1))
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        share.extend(self.states[node.index()].leafset.members());
+        share.push(node);
+        share.sort_unstable();
+        share.dedup();
+        share.retain(|&m| m != joiner);
+        let next = self.states[node.index()].next_hop(self.config.space, joiner_id, |n| n == joiner);
+        match next {
+            NextHop::Forward(nx) if hops < self.config.max_hops => {
+                self.stats.maintenance_messages += 2;
+                self.net.send(node, joiner, Msg::JoinState { members: share });
+                self.net.send(
+                    node,
+                    nx,
+                    Msg::JoinRequest {
+                        joiner,
+                        hops: hops + 1,
+                    },
+                );
+            }
+            _ => {
+                // This node is the joiner's root: final state transfer.
+                self.stats.maintenance_messages += 1;
+                self.net.send(node, joiner, Msg::JoinDone { members: share });
+            }
+        }
+        // Every node that saw the request learns the joiner.
+        self.states[node.index()].consider(joiner_id, joiner);
+    }
+
+    // --- routing ---------------------------------------------------------
+
+    /// Delivers or forwards a routed message currently held by `node`.
+    fn deliver_or_forward(&mut self, node: NodeIdx, key: Id, payload: Payload, hops: u32) {
+        // Replication on Route: every node along an insertion's path
+        // stores the pointer.
+        if self.config.replication_on_route {
+            if let Payload::Insert { object } = payload {
+                self.stores[node.index()].insert(object);
+            }
+        }
+        // A lookup can stop at any node holding the object (this is how
+        // RR replicas pay off; without RR only the root holds it).
+        if let Payload::Lookup {
+            object,
+            lookup_id,
+            origin,
+        } = payload
+        {
+            if self.stores[node.index()].contains(&object) {
+                self.stats.reply_messages += 1;
+                self.net.send(
+                    node,
+                    origin,
+                    Msg::LookupReply {
+                        lookup_id,
+                        found: true,
+                        hops,
+                    },
+                );
+                return;
+            }
+        }
+        self.route_step(node, key, payload, hops);
+    }
+
+    /// One routing decision + transmission from `node`.
+    fn route_step(&mut self, node: NodeIdx, key: Id, payload: Payload, hops: u32) {
+        if hops >= self.config.max_hops {
+            self.stats.hop_limit_drops += 1;
+            self.fail_lookup_if_any(&payload);
+            return;
+        }
+        let decision = self.states[node.index()].next_hop(self.config.space, key, |_| false);
+        match decision {
+            NextHop::Local => self.deliver_local(node, key, payload, hops),
+            NextHop::Forward(next) => {
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                self.pending_routes.insert(
+                    uid,
+                    PendingRoute {
+                        from: node,
+                        to: next,
+                        key,
+                        payload,
+                        hops: hops + 1,
+                        attempts: 0,
+                    },
+                );
+                self.count_route(&payload);
+                self.net.send(
+                    node,
+                    next,
+                    Msg::Route {
+                        key,
+                        payload,
+                        hops: hops + 1,
+                        uid,
+                    },
+                );
+                self.net
+                    .schedule(node, self.config.probe_timeout, Timer::RouteRetry { uid });
+            }
+        }
+    }
+
+    /// Terminal delivery at the node that believes itself root.
+    fn deliver_local(&mut self, node: NodeIdx, _key: Id, payload: Payload, hops: u32) {
+        match payload {
+            Payload::Insert { object } => {
+                self.stores[node.index()].insert(object);
+            }
+            Payload::Lookup {
+                object,
+                lookup_id,
+                origin,
+            } => {
+                let found = self.stores[node.index()].contains(&object);
+                if !found {
+                    self.stats.misdeliveries += 1;
+                }
+                self.stats.reply_messages += 1;
+                self.net.send(
+                    node,
+                    origin,
+                    Msg::LookupReply {
+                        lookup_id,
+                        found,
+                        hops,
+                    },
+                );
+            }
+        }
+    }
+
+    fn count_route(&mut self, payload: &Payload) {
+        match payload {
+            Payload::Insert { .. } => self.stats.insert_messages += 1,
+            Payload::Lookup { .. } => self.stats.lookup_messages += 1,
+        }
+    }
+
+    fn fail_lookup_if_any(&mut self, payload: &Payload) {
+        if let Payload::Lookup { lookup_id, .. } = payload {
+            if let Some(state) = self.lookups.get_mut(lookup_id) {
+                if matches!(state.outcome, LookupOutcome::Pending) {
+                    state.outcome = LookupOutcome::Failed;
+                }
+            }
+        }
+    }
+
+    /// Starts (or skips, if already probing) a liveness probe.
+    fn start_probe(&mut self, prober: NodeIdx, target: NodeIdx) {
+        if !self.probing_pairs.insert((prober, target)) {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_probes.insert(
+            token,
+            PendingProbe {
+                prober,
+                target,
+                attempts: 0,
+            },
+        );
+        self.stats.maintenance_messages += 1;
+        self.net.send(prober, target, Msg::Probe { token });
+        self.net
+            .schedule(prober, self.config.probe_timeout, Timer::ProbeTimeout { token });
+    }
+
+    /// `observer` declares `target` failed: drops it from its tables and
+    /// pulls a replacement leaf set from a surviving member.
+    fn declare_failed(&mut self, observer: NodeIdx, target: NodeIdx) {
+        if self.states[observer.index()].remove(target) {
+            self.stats.failure_declarations += 1;
+            if let Some(contact) = self.states[observer.index()]
+                .leafset
+                .repair_contact(|n| n == target)
+            {
+                self.stats.maintenance_messages += 1;
+                self.net.send(observer, contact, Msg::LeafsetPull);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PastrySim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PastrySim")
+            .field("nodes", &self.ids.len())
+            .field("now", &self.net.now())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{build_converged_states, random_ids};
+    use mpil_sim::{AlwaysOn, ConstantLatency, Flapping, FlappingConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, seed: u64, config: PastryConfig) -> PastrySim {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ids = random_ids(n, &mut rng);
+        let states = build_converged_states(&ids, &config, &mut rng);
+        PastrySim::new(
+            ids,
+            states,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(ConstantLatency(SimDuration::from_millis(20))),
+            seed,
+        )
+    }
+
+    #[test]
+    fn insert_reaches_the_numerically_closest_node() {
+        let mut sim = build(100, 1, PastryConfig::default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let object = Id::random(&mut rng);
+            let origin = NodeIdx::new(rng.gen_range(0..100));
+            sim.insert(origin, object);
+            sim.run_to_quiescence();
+            let holders = sim.replica_holders(object);
+            assert_eq!(holders.len(), 1, "exactly the root stores");
+            let root = (0..100usize)
+                .min_by_key(|&i| mpil_id::ring_distance(sim.ids()[i], object))
+                .unwrap();
+            assert_eq!(holders[0].index(), root, "wrong root");
+        }
+    }
+
+    #[test]
+    fn lookup_succeeds_on_static_overlay() {
+        let mut sim = build(200, 2, PastryConfig::default());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut objects = Vec::new();
+        for _ in 0..30 {
+            let object = Id::random(&mut rng);
+            sim.insert(NodeIdx::new(rng.gen_range(0..200)), object);
+            objects.push(object);
+        }
+        sim.run_to_quiescence();
+        let mut ids = Vec::new();
+        for &object in &objects {
+            let origin = NodeIdx::new(rng.gen_range(0..200));
+            let deadline = sim.now() + SimDuration::from_secs(60);
+            ids.push(sim.issue_lookup(origin, object, deadline));
+        }
+        sim.run_to_quiescence();
+        for id in ids {
+            match sim.lookup_outcome(id) {
+                LookupOutcome::Succeeded { hops, .. } => {
+                    assert!(hops <= 6, "200-node overlay should route in ~3 hops");
+                }
+                other => panic!("static lookup failed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_for_missing_object_fails_fast() {
+        let mut sim = build(50, 3, PastryConfig::default());
+        let deadline = sim.now() + SimDuration::from_secs(60);
+        let lk = sim.issue_lookup(NodeIdx::new(0), Id::from_low_u64(42), deadline);
+        sim.run_to_quiescence();
+        assert_eq!(sim.lookup_outcome(lk), LookupOutcome::Failed);
+        assert!(sim.stats().misdeliveries >= 1);
+    }
+
+    #[test]
+    fn replication_on_route_stores_along_the_path() {
+        let config = PastryConfig::default().with_replication_on_route(true);
+        let mut sim = build(100, 4, config);
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Some paths are a single hop (origin adjacent to the root), so
+        // measure across a batch: RR must replicate on average.
+        let mut total = 0usize;
+        let objects: Vec<Id> = (0..20).map(|_| Id::random(&mut rng)).collect();
+        for &object in &objects {
+            sim.insert(NodeIdx::new(rng.gen_range(0..100)), object);
+            sim.run_to_quiescence();
+            total += sim.replica_holders(object).len();
+        }
+        // 100-node paths are 1–2 hops, so expect ~1.5–2 replicas each
+        // (the paper's 1000-node runs see 2–3).
+        assert!(
+            total * 2 >= 3 * objects.len(),
+            "RR should leave ~path-length replicas; got {total} over {} inserts",
+            objects.len()
+        );
+    }
+
+    #[test]
+    fn maintenance_generates_background_traffic() {
+        let mut sim = build(30, 5, PastryConfig::default());
+        sim.start_maintenance();
+        sim.run_until(SimTime::from_secs(120));
+        let s = sim.stats();
+        assert!(s.maintenance_messages > 0);
+        assert_eq!(s.lookup_messages, 0);
+        assert_eq!(s.failure_declarations, 0, "no failures when always-on");
+    }
+
+    #[test]
+    fn offline_root_causes_failures_and_declarations() {
+        let mut sim = build(60, 6, PastryConfig::default());
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut objects = Vec::new();
+        for _ in 0..15 {
+            let object = Id::random(&mut rng);
+            sim.insert(NodeIdx::new(rng.gen_range(0..60)), object);
+            objects.push(object);
+        }
+        sim.run_to_quiescence();
+        sim.start_maintenance();
+
+        // Long offline periods at probability 1 starting now.
+        let origin = NodeIdx::new(0);
+        let cfg = FlappingConfig::idle_offline_secs(300, 300, 1.0).starting_at(sim.now());
+        let mut flap = Flapping::new(cfg, 60, 17, &mut rng);
+        flap.exempt(origin);
+        sim.set_availability(Box::new(flap));
+
+        let start = sim.now() + SimDuration::from_secs(600);
+        sim.run_until(start);
+        let mut failed = 0;
+        let mut ok = 0;
+        for &object in &objects {
+            let deadline = sim.now() + SimDuration::from_secs(60);
+            let lk = sim.issue_lookup(origin, object, deadline);
+            sim.run_until(deadline);
+            match sim.lookup_outcome(lk) {
+                LookupOutcome::Succeeded { .. } => ok += 1,
+                _ => failed += 1,
+            }
+        }
+        assert!(
+            failed > ok,
+            "p=1.0 300:300 should fail most lookups (ok={ok}, failed={failed})"
+        );
+        assert!(sim.stats().failure_declarations > 0);
+    }
+
+    #[test]
+    fn neighbor_lists_cover_leafset_and_rt() {
+        let sim = build(150, 7, PastryConfig::default());
+        let lists = sim.neighbor_lists();
+        assert_eq!(lists.len(), 150);
+        for l in &lists {
+            assert!(l.len() >= 8, "at least the leaf set");
+        }
+    }
+
+    #[test]
+    fn run_to_quiescence_rejects_maintenance_mode() {
+        let mut sim = build(10, 8, PastryConfig::default());
+        sim.start_maintenance();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_to_quiescence();
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn recovered_nodes_reintegrate() {
+        let mut sim = build(40, 9, PastryConfig::default());
+        sim.start_maintenance();
+        // Knock node 1 out from node 0's perspective.
+        let victim = NodeIdx::new(1);
+        sim.declare_failed(NodeIdx::new(0), victim);
+        assert!(sim.states[0].neighbor_list().iter().all(|&x| x != victim));
+        // Any message from the victim re-admits it; probing will deliver
+        // one within a couple of periods.
+        sim.run_until(sim.now() + SimDuration::from_secs(120));
+        // The victim probes node 0 if 0 is in its tables; consider() then
+        // re-admits. (It is in its tables by symmetric bootstrap only if
+        // ring-adjacent; accept either re-admission or absence but
+        // require no crash and continued traffic.)
+        assert!(sim.stats().maintenance_messages > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the simulation kernel and the flapping model.
+
+use mpil_overlay::NodeIdx;
+use mpil_sim::{
+    AlwaysOn, Availability, ConstantLatency, Event, Flapping, FlappingConfig, Network,
+    SimDuration, SimTime, UniformLatency,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clock_is_monotone_and_fifo_per_timestamp(
+        sends in prop::collection::vec((0u32..5, 0u32..5, any::<u16>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut net: Network<u16, ()> = Network::new(
+            5,
+            Box::new(AlwaysOn),
+            Box::new(ConstantLatency(SimDuration::from_millis(7))),
+            seed,
+        );
+        for &(from, to, tag) in &sends {
+            net.send(NodeIdx::new(from), NodeIdx::new(to), tag);
+        }
+        // Constant latency + FIFO tie-break => deliveries in send order.
+        let mut got = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some(Event::Message { msg, .. }) = net.next() {
+            prop_assert!(net.now() >= last);
+            last = net.now();
+            got.push(msg);
+        }
+        let expect: Vec<u16> = sends.iter().map(|&(_, _, t)| t).collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(net.stats().delivered, sends.len() as u64);
+    }
+
+    #[test]
+    fn variable_latency_preserves_causal_clock(
+        n in 2usize..6,
+        count in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let mut net: Network<usize, ()> = Network::new(
+            n,
+            Box::new(AlwaysOn),
+            Box::new(UniformLatency::new(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(200),
+            )),
+            seed,
+        );
+        for k in 0..count {
+            net.send(NodeIdx::new((k % n) as u32), NodeIdx::new(((k + 1) % n) as u32), k);
+        }
+        let mut last = SimTime::ZERO;
+        let mut delivered = 0;
+        while net.next().is_some() {
+            prop_assert!(net.now() >= last, "clock went backwards");
+            last = net.now();
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, count);
+    }
+
+    #[test]
+    fn flapping_respects_structure(
+        idle_s in 1u64..100,
+        offline_s in 1u64..100,
+        p in 0.0f64..=1.0,
+        n in 1usize..20,
+        seed in any::<u64>(),
+        queries in prop::collection::vec((0u64..100_000u64, 0u32..20), 10..50),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = FlappingConfig::idle_offline_secs(idle_s, offline_s, p);
+        let f = Flapping::new(cfg, n, seed ^ 1, &mut rng);
+        for &(t_s, node) in &queries {
+            let node = NodeIdx::new(node % n as u32);
+            let at = SimTime::from_secs(t_s);
+            let online = f.is_online(node, at);
+            // Determinism: same query, same answer.
+            prop_assert_eq!(online, f.is_online(node, at));
+            // p = 0 means always online.
+            if p == 0.0 {
+                prop_assert!(online);
+            }
+        }
+    }
+
+    #[test]
+    fn flapping_offline_fraction_tracks_expectation(
+        p in prop::sample::select(vec![0.0f64, 0.25, 0.5, 0.75, 1.0]),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = FlappingConfig::idle_offline_secs(30, 30, p);
+        let f = Flapping::new(cfg, 40, seed ^ 2, &mut rng);
+        let mut offline = 0u32;
+        let mut total = 0u32;
+        for node in 0..40u32 {
+            for t in (0..6000).step_by(13) {
+                total += 1;
+                if !f.is_online(NodeIdx::new(node), SimTime::from_secs(t)) {
+                    offline += 1;
+                }
+            }
+        }
+        let frac = f64::from(offline) / f64::from(total);
+        let expect = p * 0.5;
+        prop_assert!(
+            (frac - expect).abs() < 0.05,
+            "measured {frac}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn messages_to_flapped_nodes_are_dropped_not_lost_track_of(
+        p in 0.1f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = FlappingConfig::idle_offline_secs(1, 1, p);
+        let f = Flapping::new(cfg, 4, seed ^ 3, &mut rng);
+        let mut net: Network<u8, ()> = Network::new(
+            4,
+            Box::new(f),
+            Box::new(ConstantLatency(SimDuration::from_millis(100))),
+            seed,
+        );
+        let sends = 200u64;
+        for k in 0..sends {
+            net.schedule(NodeIdx::new(0), SimDuration::from_millis(50 * k), ());
+        }
+        let mut sent = 0u64;
+        loop {
+            match net.next() {
+                None => break,
+                Some(Event::Timer { .. }) => {
+                    net.send(NodeIdx::new(0), NodeIdx::new(1), 1);
+                    sent += 1;
+                }
+                Some(Event::Message { .. }) => {}
+            }
+        }
+        let s = net.stats();
+        prop_assert_eq!(s.sent, sent);
+        prop_assert_eq!(
+            s.delivered + s.dropped_offline + s.dropped_loss,
+            sent,
+            "conservation"
+        );
+        if p == 1.0 {
+            prop_assert!(s.dropped_offline > 0, "1:1 flapping must drop some");
+        }
+    }
+
+    #[test]
+    fn next_before_never_overshoots(
+        deadline_ms in 1u64..1000,
+        sends in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut net: Network<u8, ()> = Network::new(
+            2,
+            Box::new(AlwaysOn),
+            Box::new(UniformLatency::new(
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(2000),
+            )),
+            seed,
+        );
+        for _ in 0..sends {
+            net.send(NodeIdx::new(0), NodeIdx::new(1), 0);
+        }
+        let deadline = SimTime::from_millis(deadline_ms);
+        while net.next_before(deadline).is_some() {
+            prop_assert!(net.now() <= deadline);
+        }
+        prop_assert_eq!(net.now(), deadline);
+    }
+}

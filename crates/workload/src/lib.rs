@@ -1,0 +1,17 @@
+//! # mpil-workload
+//!
+//! Experiment support for the MPIL reproduction: workload generators
+//! matching the paper's methodology (random object IDs, random
+//! origin nodes, insert-then-lookup phases), streaming statistics, and
+//! the table/CSV rendering the bench binaries print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod requests;
+pub mod stats;
+pub mod table;
+
+pub use requests::{InsertLookupWorkload, WorkloadConfig};
+pub use stats::{Percentiles, RunningStats};
+pub use table::{Align, Table};

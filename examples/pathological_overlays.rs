@@ -1,0 +1,79 @@
+//! Overlay independence on pathological topologies.
+//!
+//! ```text
+//! cargo run --release --example pathological_overlays
+//! ```
+//!
+//! The paper's position is that insert/lookup should work over *any*
+//! overlay — including ones no DHT would ever build. This example runs
+//! the identical MPIL configuration over a ring, a line, a star, a grid,
+//! a complete graph, and the paper's two families, and prints how success
+//! and cost degrade (gracefully) with the overlay's shape.
+
+use mpil::{MpilConfig, StaticEngine};
+use mpil_id::Id;
+use mpil_overlay::{generators, stats, NodeIdx, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn measure(name: &str, topo: &Topology, rng: &mut SmallRng) {
+    let insert = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
+    let lookup = MpilConfig::default().with_max_flows(10).with_num_replicas(5);
+    let mut engine = StaticEngine::new(topo, insert, 4);
+    let n = topo.len();
+    let trials = 50;
+    let objects: Vec<(Id, NodeIdx, NodeIdx)> = (0..trials)
+        .map(|_| {
+            (
+                Id::random(rng),
+                NodeIdx::new(rng.gen_range(0..n as u32)),
+                NodeIdx::new(rng.gen_range(0..n as u32)),
+            )
+        })
+        .collect();
+    for &(object, owner, _) in &objects {
+        engine.insert(owner, object);
+    }
+    engine.set_config(lookup);
+    let mut ok = 0;
+    let mut msgs = 0u64;
+    let mut hops = 0u32;
+    for &(object, _, from) in &objects {
+        let r = engine.lookup(from, object);
+        msgs += r.messages;
+        if r.success {
+            ok += 1;
+            hops += r.first_reply_hops.unwrap_or(0);
+        }
+    }
+    println!(
+        "{name:<22} diam≈{:>3}  success {:>3}/{trials}  avg msgs {:>6.1}  avg hops {:>5.1}",
+        stats::estimate_diameter(topo, 4),
+        ok,
+        msgs as f64 / trials as f64,
+        if ok > 0 { f64::from(hops) / f64::from(ok) } else { f64::NAN },
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    println!("same MPIL configuration (insert 30x5, lookup 10x5) on every overlay:\n");
+    let n = 400;
+    let cases: Vec<(&str, Topology)> = vec![
+        ("power-law", generators::power_law(n, Default::default(), &mut rng)?),
+        ("random regular d=20", generators::random_regular(n, 20, &mut rng)?),
+        ("complete", generators::complete(200, &mut rng)?),
+        ("grid 20x20", generators::grid(20, 20, &mut rng)?),
+        ("ring", generators::ring(n, &mut rng)?),
+        ("line", generators::line(n, &mut rng)?),
+        ("star", generators::star(n, &mut rng)?),
+    ];
+    for (name, topo) in &cases {
+        measure(name, topo, &mut rng);
+    }
+    println!("\nno overlay-specific tuning, no maintenance, no structure assumptions:");
+    println!("every well-connected shape (diameter ≲ 10) succeeds fully at identical");
+    println!("cost, and even extreme-diameter chains (ring/line) degrade by running");
+    println!("out of search horizon — not by crashing or needing a different protocol.");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # mpil-suite
+//!
+//! Umbrella crate for the MPIL reproduction workspace. It re-exports every
+//! member crate so that the root-level integration tests (`tests/`) and
+//! examples (`examples/`) can exercise the whole system through one import.
+//!
+//! The actual functionality lives in the member crates:
+//!
+//! * [`mpil`] — the Multi-Path Insertion/Lookup algorithm (the paper's
+//!   contribution).
+//! * [`mpil_id`] — 160-bit identifier space and routing metrics.
+//! * [`mpil_overlay`] — overlay graphs and generators (random, power-law,
+//!   complete, transit-stub).
+//! * [`mpil_sim`] — deterministic discrete-event simulation kernel, the
+//!   flapping perturbation model, and link-loss injection.
+//! * [`mpil_pastry`] — the Pastry/MSPastry baseline DHT with overlay
+//!   maintenance.
+//! * [`mpil_chord`] — the Chord baseline DHT (successor lists, fingers,
+//!   stabilization).
+//! * [`mpil_kademlia`] — the Kademlia baseline DHT (k-buckets, iterative
+//!   α-parallel lookups).
+//! * [`mpil_net`] — the live thread-per-node runtime (wire codec,
+//!   channel/UDP transports, perturbable clusters).
+//! * [`mpil_analysis`] — closed-form analysis from Section 5 of the paper.
+//! * [`mpil_workload`] — workload generators, experiment harness, statistics.
+
+pub use mpil;
+pub use mpil_analysis;
+pub use mpil_chord;
+pub use mpil_id;
+pub use mpil_kademlia;
+pub use mpil_net;
+pub use mpil_overlay;
+pub use mpil_pastry;
+pub use mpil_sim;
+pub use mpil_workload;
