@@ -59,9 +59,9 @@ impl DegreeDistribution {
 #[derive(Debug, Clone)]
 pub struct AnalysisModel {
     m: usize,
-    pmf: Vec<f64>,        // A(k), k = 0..=M
-    tail_excl: Vec<f64>,  // 1 - B(k) = P(X >= k)
-    tail_incl: Vec<f64>,  // 1 - D(k) = P(X > k)
+    pmf: Vec<f64>,       // A(k), k = 0..=M
+    tail_excl: Vec<f64>, // 1 - B(k) = P(X >= k)
+    tail_incl: Vec<f64>, // 1 - D(k) = P(X > k)
 }
 
 impl AnalysisModel {
@@ -79,10 +79,7 @@ impl AnalysisModel {
         let ln_1q = (1.0 - q).ln();
         let pmf: Vec<f64> = (0..=m)
             .map(|k| {
-                (ln_binomial(m as u64, k as u64)
-                    + k as f64 * ln_q
-                    + (m - k) as f64 * ln_1q)
-                    .exp()
+                (ln_binomial(m as u64, k as u64) + k as f64 * ln_q + (m - k) as f64 * ln_1q).exp()
             })
             .collect();
         // Suffix sums give accurate small tails.

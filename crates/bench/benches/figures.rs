@@ -75,7 +75,9 @@ fn bench_tables_point(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_lookup_point");
     g.sample_size(10);
     g.bench_function("power_law_500_mf10_r3", |b| {
-        let lookup = MpilConfig::default().with_max_flows(10).with_num_replicas(3);
+        let lookup = MpilConfig::default()
+            .with_max_flows(10)
+            .with_num_replicas(3);
         b.iter(|| {
             black_box(lookup_behavior(
                 Family::PowerLaw,

@@ -37,22 +37,18 @@ fn bench_routing_decision(c: &mut Criterion) {
         let topo = generators::random_regular(500, degree, &mut rng).expect("graph");
         let object = Id::random(&mut rng);
         let node = NodeIdx::new(0);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(degree),
-            &degree,
-            |bench, _| {
-                bench.iter(|| {
-                    routing_decision(
-                        IdSpace::base4(),
-                        black_box(object),
-                        node,
-                        topo.neighbors(node),
-                        topo.ids(),
-                        |_| false,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |bench, _| {
+            bench.iter(|| {
+                routing_decision(
+                    IdSpace::base4(),
+                    black_box(object),
+                    node,
+                    topo.neighbors(node),
+                    topo.ids(),
+                    |_| false,
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -13,12 +13,20 @@ fn bench_static_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_insert");
     group.sample_size(20);
     let configs = [
-        ("power_law", generators::power_law(2000, Default::default(), &mut rng).unwrap()),
-        ("random_100", generators::random_regular(2000, 100, &mut rng).unwrap()),
+        (
+            "power_law",
+            generators::power_law(2000, Default::default(), &mut rng).unwrap(),
+        ),
+        (
+            "random_100",
+            generators::random_regular(2000, 100, &mut rng).unwrap(),
+        ),
     ];
     for (name, topo) in &configs {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |bench, _| {
-            let cfg = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
+            let cfg = MpilConfig::default()
+                .with_max_flows(30)
+                .with_num_replicas(5);
             let mut engine = StaticEngine::new(topo, cfg, 7);
             let mut k = 0u64;
             bench.iter(|| {
@@ -37,13 +45,19 @@ fn bench_static_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_lookup");
     group.sample_size(20);
     let topo = generators::power_law(2000, Default::default(), &mut rng).unwrap();
-    let cfg = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
+    let cfg = MpilConfig::default()
+        .with_max_flows(30)
+        .with_num_replicas(5);
     let mut engine = StaticEngine::new(&topo, cfg, 9);
     let objects: Vec<Id> = (0..100).map(|k| Id::from_low_u64(k + 1)).collect();
     for &o in &objects {
         engine.insert(NodeIdx::new(rng.gen_range(0..2000)), o);
     }
-    engine.set_config(MpilConfig::default().with_max_flows(10).with_num_replicas(5));
+    engine.set_config(
+        MpilConfig::default()
+            .with_max_flows(10)
+            .with_num_replicas(5),
+    );
     group.bench_function("power_law_2000", |bench| {
         let mut k = 0usize;
         bench.iter(|| {

@@ -56,13 +56,19 @@ fn main() {
         {
             let mut engine = StaticEngine::new(
                 &topo,
-                MpilConfig::default().with_max_flows(30).with_num_replicas(5),
+                MpilConfig::default()
+                    .with_max_flows(30)
+                    .with_num_replicas(5),
                 seed ^ 1,
             );
             for &(object, owner, _) in &pairs {
                 engine.insert(mpil_overlay::NodeIdx::new(owner), object);
             }
-            engine.set_config(MpilConfig::default().with_max_flows(10).with_num_replicas(5));
+            engine.set_config(
+                MpilConfig::default()
+                    .with_max_flows(10)
+                    .with_num_replicas(5),
+            );
             let (mut ok, mut msgs, mut hops) = (0u64, RunningStats::new(), RunningStats::new());
             for &(object, _, from) in &pairs {
                 let r = engine.lookup(mpil_overlay::NodeIdx::new(from), object);
@@ -110,5 +116,12 @@ fn main() {
         }
     }
     println!("Baselines: MPIL vs unstructured search ({n} nodes, equal replica budgets)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

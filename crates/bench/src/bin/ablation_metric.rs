@@ -66,5 +66,12 @@ fn main() {
         }
     }
     println!("Ablation: routing metric (Section 4.2), {n} nodes, tie-splitting, lookups mf=10 r=3");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

@@ -48,15 +48,8 @@ fn main() {
                     .with_max_flows(mf)
                     .with_num_replicas(r)
                     .with_split_policy(policy);
-                let b = lookup_behavior(
-                    family,
-                    n,
-                    scale.graphs,
-                    scale.objects,
-                    insert,
-                    lookup,
-                    seed,
-                );
+                let b =
+                    lookup_behavior(family, n, scale.graphs, scale.objects, insert, lookup, seed);
                 table.row(vec![
                     family.label().into(),
                     format!("{policy:?}"),
@@ -70,5 +63,12 @@ fn main() {
         }
     }
     println!("Ablation: flow-splitting policy ({n} nodes)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

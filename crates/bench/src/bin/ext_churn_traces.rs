@@ -17,9 +17,7 @@ use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
 use mpil_overlay::transit_stub::{self, TransitStubConfig};
 use mpil_overlay::NodeIdx;
 use mpil_pastry::{build_converged_states, PastryConfig, PastrySim};
-use mpil_sim::{
-    AlwaysOn, SimDuration, SimTime, TraceChurn, TransitStubLatency,
-};
+use mpil_sim::{AlwaysOn, SimDuration, SimTime, TraceChurn, TransitStubLatency};
 use mpil_workload::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -40,9 +38,21 @@ fn main() {
     // (short sessions, ~50% availability), Overnet-like (longer sessions,
     // ~70%), and a stable fleet (~90%).
     let scenarios = [
-        Scenario { label: "gnutella-like (50% up)", mean_online_s: 600, mean_offline_s: 600 },
-        Scenario { label: "overnet-like (70% up)", mean_online_s: 1400, mean_offline_s: 600 },
-        Scenario { label: "stable fleet (90% up)", mean_online_s: 5400, mean_offline_s: 600 },
+        Scenario {
+            label: "gnutella-like (50% up)",
+            mean_online_s: 600,
+            mean_offline_s: 600,
+        },
+        Scenario {
+            label: "overnet-like (70% up)",
+            mean_online_s: 1400,
+            mean_offline_s: 600,
+        },
+        Scenario {
+            label: "stable fleet (90% up)",
+            mean_online_s: 5400,
+            mean_offline_s: 600,
+        },
     ];
 
     let mut table = Table::new(vec![
@@ -61,7 +71,14 @@ fn main() {
         eprintln!("{}: pastry {pastry:.1}%, mpil {mpil:.1}%", sc.label);
     }
     println!("Extension: success under trace-driven churn ({nodes} nodes, {ops} lookups)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }
 
 fn trace(sc: &Scenario, nodes: usize, horizon: SimTime, origin: NodeIdx, seed: u64) -> TraceChurn {
@@ -77,11 +94,18 @@ fn trace(sc: &Scenario, nodes: usize, horizon: SimTime, origin: NodeIdx, seed: u
     for i in 0..nodes {
         if i == origin.index() {
             // The measurement origin is always up.
-            all.push(vec![(SimTime::ZERO, horizon + SimDuration::from_secs(3600))]);
+            all.push(vec![(
+                SimTime::ZERO,
+                horizon + SimDuration::from_secs(3600),
+            )]);
             continue;
         }
         let mut list = Vec::new();
-        let mut t = if rng.gen_bool(0.5) { 0 } else { exp(&mut rng, off_us) };
+        let mut t = if rng.gen_bool(0.5) {
+            0
+        } else {
+            exp(&mut rng, off_us)
+        };
         while t < horizon.as_micros() {
             let end = (t + exp(&mut rng, on_us)).min(horizon.as_micros());
             list.push((SimTime::from_micros(t), SimTime::from_micros(end)));
@@ -126,7 +150,12 @@ fn run_pastry(sc: &Scenario, nodes: usize, ops: usize, seed: u64) -> f64 {
     sim.run_until(sim.now() + SimDuration::from_secs(90));
     let ok = lookups
         .iter()
-        .filter(|&&l| matches!(sim.lookup_outcome(l), mpil_pastry::LookupOutcome::Succeeded { .. }))
+        .filter(|&&l| {
+            matches!(
+                sim.lookup_outcome(l),
+                mpil_pastry::LookupOutcome::Succeeded { .. }
+            )
+        })
         .count();
     100.0 * ok as f64 / lookups.len() as f64
 }

@@ -58,7 +58,11 @@ fn main() {
         }
         table.row(cells);
     }
-    for src in [OverlaySource::Pastry, OverlaySource::Chord, OverlaySource::Kademlia] {
+    for src in [
+        OverlaySource::Pastry,
+        OverlaySource::Chord,
+        OverlaySource::Kademlia,
+    ] {
         let mut cells = vec![format!("MPIL over {}", src.label())];
         for &p in &probabilities {
             let r = run_mpil_over(src, run_at(p));
@@ -71,5 +75,12 @@ fn main() {
         "Extension: maintained DHTs vs maintenance-free MPIL under flapping \
          ({nodes} nodes, {ops} lookups, idle:offline=30:30)"
     );
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

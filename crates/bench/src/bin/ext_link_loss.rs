@@ -67,5 +67,12 @@ fn main() {
     println!(
         "Extension: success under link loss ({nodes} nodes, {ops} lookups, idle:offline=30:30)"
     );
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

@@ -78,5 +78,12 @@ fn main() {
         "Extension: MPIL overlay-independence across overlay families \
          ({nodes} nodes, {ops} lookups, max_flows=10, r=5, idle:offline=30:30)"
     );
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

@@ -20,7 +20,9 @@ fn main() {
     let (full, csv, seed) = args.standard();
     let scale = static_scale(full);
     let insert_config = paper_insert_config();
-    let lookup_config = MpilConfig::default().with_max_flows(10).with_num_replicas(5);
+    let lookup_config = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(5);
 
     let mut table = Table::new(vec![
         "family".into(),
@@ -58,5 +60,12 @@ fn main() {
         }
     }
     println!("Figure 10: MPIL lookup latency and traffic (max_flows=10, per-flow replicas=5)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

@@ -50,6 +50,13 @@ fn main() {
             table.row(row);
         }
         println!("Figure 11 (idle:offline = {idle}:{offline}): success rate (%)");
-        println!("{}", if csv { table.render_csv() } else { table.render() });
+        println!(
+            "{}",
+            if csv {
+                table.render_csv()
+            } else {
+                table.render()
+            }
+        );
     }
 }

@@ -63,6 +63,13 @@ fn main() {
             table.row(row);
         }
         println!("{title}");
-        println!("{}", if csv { table.render_csv() } else { table.render() });
+        println!(
+            "{}",
+            if csv {
+                table.render_csv()
+            } else {
+                table.render()
+            }
+        );
     }
 }

@@ -51,5 +51,12 @@ fn main() {
         table.row(row);
     }
     println!("Figure 1: MSPastry success rate (%) under perturbation");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

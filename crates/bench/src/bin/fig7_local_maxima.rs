@@ -37,7 +37,14 @@ fn main() {
         table.row(row);
     }
     println!("Figure 7: expected number of local maxima (random regular topologies, base-4)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
     println!(
         "expected hops to a local maximum (1/C): d=10 -> {:.1}, d=50 -> {:.1}, d=100 -> {:.1}",
         model.expected_hops_regular(10),

@@ -37,12 +37,22 @@ fn main() {
             format!("{:.3}", model.expected_replicas_complete(n)),
         ];
         if let Some(sim) = simulated {
-            row.push(format!("{sim:.3} (formula {:.3})", model.expected_replicas_complete(800)));
+            row.push(format!(
+                "{sim:.3} (formula {:.3})",
+                model.expected_replicas_complete(800)
+            ));
         }
         table.row(row);
     }
     println!("Figure 8: expected number of replicas (complete topologies, base-4)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }
 
 /// Inserts random objects into an actual complete graph and reports the
@@ -52,7 +62,9 @@ fn simulate_complete(n: usize, seed: u64) -> f64 {
     let topo = generators::complete(n, &mut rng).expect("complete graph");
     // One flow suffices on a complete graph (every node is everyone's
     // neighbor); give the budget room for ties.
-    let config = MpilConfig::default().with_max_flows(30).with_num_replicas(1);
+    let config = MpilConfig::default()
+        .with_max_flows(30)
+        .with_num_replicas(1);
     let mut engine = StaticEngine::new(&topo, config, seed ^ 1);
     let mut stats = RunningStats::new();
     for _ in 0..60 {

@@ -35,7 +35,12 @@ fn main() {
     ]);
     for family in families {
         for &n in scale.sizes {
-            eprintln!("fig9: {} {n} nodes ({} graphs x {} inserts)", family.label(), scale.graphs, scale.objects);
+            eprintln!(
+                "fig9: {} {n} nodes ({} graphs x {} inserts)",
+                family.label(),
+                scale.graphs,
+                scale.objects
+            );
             let b = insertion_behavior(family, n, scale.graphs, scale.objects, config, seed);
             table.row(vec![
                 family.label().into(),
@@ -51,5 +56,12 @@ fn main() {
         "Figure 9: MPIL insertion behavior (max_flows=30, per-flow replicas=5; replica bound {})",
         config.replica_bound()
     );
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

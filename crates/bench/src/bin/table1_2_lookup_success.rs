@@ -24,7 +24,10 @@ fn main() {
     let replicas = [1u32, 2, 3, 4, 5];
 
     for (label, family) in [
-        ("Table 1: MPIL lookup success rate over power-law topologies", Family::PowerLaw),
+        (
+            "Table 1: MPIL lookup success rate over power-law topologies",
+            Family::PowerLaw,
+        ),
         (
             "Table 2: MPIL lookup success rate over random topologies",
             Family::Random {
@@ -58,6 +61,13 @@ fn main() {
             }
         }
         println!("{label}");
-        println!("{}", if csv { table.render_csv() } else { table.render() });
+        println!(
+            "{}",
+            if csv {
+                table.render_csv()
+            } else {
+                table.render()
+            }
+        );
     }
 }

@@ -16,7 +16,9 @@ fn main() {
     let (full, csv, seed) = args.standard();
     let scale = static_scale(full);
     let insert_config = paper_insert_config();
-    let lookup_config = MpilConfig::default().with_max_flows(10).with_num_replicas(3);
+    let lookup_config = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(3);
 
     let mut table = Table::new(vec!["topology".into(), "actual # of flows".into()]);
     for family in [
@@ -43,5 +45,12 @@ fn main() {
         }
     }
     println!("Table 3: actual number of flows of lookups (max_flows=10, per-flow replicas=3)");
-    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!(
+        "{}",
+        if csv {
+            table.render_csv()
+        } else {
+            table.render()
+        }
+    );
 }

@@ -75,7 +75,11 @@ impl Args {
 
     /// Standard experiment knobs: (`--full`, `--csv`, `--seed`).
     pub fn standard(&self) -> (bool, bool, u64) {
-        (self.flag("full"), self.flag("csv"), self.value_or("seed", 42))
+        (
+            self.flag("full"),
+            self.flag("csv"),
+            self.value_or("seed", 42),
+        )
     }
 }
 

@@ -125,9 +125,7 @@ pub fn run_mpil_over(source: OverlaySource, run: PerturbRun) -> PerturbResult {
     );
 
     let origin = NodeIdx::new(0);
-    let objects: Vec<Id> = (0..run.operations)
-        .map(|_| Id::random(&mut rng))
-        .collect();
+    let objects: Vec<Id> = (0..run.operations).map(|_| Id::random(&mut rng)).collect();
     for &o in &objects {
         net.insert(origin, o);
     }
@@ -152,7 +150,8 @@ pub fn run_mpil_over(source: OverlaySource, run: PerturbRun) -> PerturbResult {
     net.set_loss_probability(run.loss_probability);
     let start = net.now();
     let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
-    let window = SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
+    let window =
+        SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
 
     let before = net.stats();
     let before_net = net.net_stats();
@@ -214,7 +213,9 @@ impl Baseline {
 /// `run`, mirroring the paper's two-stage methodology.
 pub fn run_baseline(baseline: Baseline, run: PerturbRun) -> f64 {
     match baseline {
-        Baseline::Pastry => crate::perturb::run_pastry(crate::perturb::System::Pastry, run).success_rate,
+        Baseline::Pastry => {
+            crate::perturb::run_pastry(crate::perturb::System::Pastry, run).success_rate
+        }
         Baseline::Chord => run_chord(run),
         Baseline::Kademlia { k, alpha } => run_kademlia(run, k, alpha),
     }
@@ -234,9 +235,7 @@ fn run_chord(run: PerturbRun) -> f64 {
         run.seed ^ 0x5151,
     );
     let origin = NodeIdx::new(0);
-    let objects: Vec<Id> = (0..run.operations)
-        .map(|_| Id::random(&mut rng))
-        .collect();
+    let objects: Vec<Id> = (0..run.operations).map(|_| Id::random(&mut rng)).collect();
     for &o in &objects {
         sim.insert(origin, o);
     }
@@ -255,7 +254,8 @@ fn run_chord(run: PerturbRun) -> f64 {
     sim.set_loss_probability(run.loss_probability);
     let start = sim.now();
     let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
-    let window = SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
+    let window =
+        SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
 
     let mut handles = Vec::with_capacity(objects.len());
     for (i, &o) in objects.iter().enumerate() {
@@ -266,7 +266,12 @@ fn run_chord(run: PerturbRun) -> f64 {
     sim.run_until(sim.now() + window + SimDuration::from_secs(30));
     let ok = handles
         .iter()
-        .filter(|&&h| matches!(sim.lookup_outcome(h), mpil_chord::LookupOutcome::Succeeded { .. }))
+        .filter(|&&h| {
+            matches!(
+                sim.lookup_outcome(h),
+                mpil_chord::LookupOutcome::Succeeded { .. }
+            )
+        })
         .count();
     100.0 * ok as f64 / handles.len().max(1) as f64
 }
@@ -285,9 +290,7 @@ fn run_kademlia(run: PerturbRun, k: usize, alpha: usize) -> f64 {
         run.seed ^ 0x5151,
     );
     let origin = NodeIdx::new(0);
-    let objects: Vec<Id> = (0..run.operations)
-        .map(|_| Id::random(&mut rng))
-        .collect();
+    let objects: Vec<Id> = (0..run.operations).map(|_| Id::random(&mut rng)).collect();
     for &o in &objects {
         sim.insert(origin, o);
     }
@@ -306,7 +309,8 @@ fn run_kademlia(run: PerturbRun, k: usize, alpha: usize) -> f64 {
     sim.set_loss_probability(run.loss_probability);
     let start = sim.now();
     let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
-    let window = SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
+    let window =
+        SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
 
     let mut handles = Vec::with_capacity(objects.len());
     for (i, &o) in objects.iter().enumerate() {
@@ -418,7 +422,9 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        assert!(Baseline::Kademlia { k: 8, alpha: 3 }.label().contains("k=8"));
+        assert!(Baseline::Kademlia { k: 8, alpha: 3 }
+            .label()
+            .contains("k=8"));
         assert!(OverlaySource::RandomRegular(16).label().contains("16"));
     }
 }

@@ -14,9 +14,7 @@ use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
 use mpil_overlay::transit_stub::{self, TransitStubConfig};
 use mpil_overlay::NodeIdx;
 use mpil_pastry::{build_converged_states, LookupOutcome, PastryConfig, PastrySim};
-use mpil_sim::{
-    AlwaysOn, Flapping, FlappingConfig, SimDuration, TransitStubLatency,
-};
+use mpil_sim::{AlwaysOn, Flapping, FlappingConfig, SimDuration, TransitStubLatency};
 use mpil_workload::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -48,7 +46,12 @@ impl System {
 
     /// All four systems, in the paper's legend order.
     pub fn all() -> [System; 4] {
-        [System::Pastry, System::PastryRr, System::MpilDs, System::MpilNoDs]
+        [
+            System::Pastry,
+            System::PastryRr,
+            System::MpilDs,
+            System::MpilNoDs,
+        ]
     }
 }
 
@@ -125,8 +128,8 @@ pub struct PerturbResult {
 pub fn run_pastry(system: System, run: PerturbRun) -> PerturbResult {
     assert!(matches!(system, System::Pastry | System::PastryRr));
     let mut rng = SmallRng::seed_from_u64(run.seed);
-    let config = PastryConfig::default()
-        .with_replication_on_route(matches!(system, System::PastryRr));
+    let config =
+        PastryConfig::default().with_replication_on_route(matches!(system, System::PastryRr));
     let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
     let states = build_converged_states(&ids, &config, &mut rng);
     let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)

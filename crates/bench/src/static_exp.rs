@@ -35,8 +35,9 @@ impl Family {
     /// Panics if generation fails (infeasible parameters).
     pub fn generate(&self, nodes: usize, rng: &mut SmallRng) -> Topology {
         match self {
-            Family::PowerLaw => generators::power_law(nodes, Default::default(), rng)
-                .expect("power-law generation"),
+            Family::PowerLaw => {
+                generators::power_law(nodes, Default::default(), rng).expect("power-law generation")
+            }
             Family::Random { degree } => {
                 generators::random_regular(nodes, *degree, rng).expect("regular generation")
             }
@@ -214,7 +215,9 @@ mod tests {
     fn lookup_success_improves_with_redundancy() {
         let ins = paper_insert_config();
         let weak = MpilConfig::default().with_max_flows(2).with_num_replicas(1);
-        let strong = MpilConfig::default().with_max_flows(15).with_num_replicas(5);
+        let strong = MpilConfig::default()
+            .with_max_flows(15)
+            .with_num_replicas(5);
         let lo = lookup_behavior(Family::PowerLaw, 300, 2, 30, ins, weak, 11);
         let hi = lookup_behavior(Family::PowerLaw, 300, 2, 30, ins, strong, 11);
         assert!(hi.success_rate >= lo.success_rate);

@@ -118,10 +118,7 @@ mod tests {
             for f in 0..mpil_id::ID_BITS {
                 let start = finger_start(st.id(), f);
                 // The true successor of `start` on the sorted ring.
-                let expect = *sorted
-                    .iter()
-                    .find(|&&id| id >= start)
-                    .unwrap_or(&sorted[0]);
+                let expect = *sorted.iter().find(|&&id| id >= start).unwrap_or(&sorted[0]);
                 match st.finger(f) {
                     Some(node) => assert_eq!(table[node.index()], expect),
                     None => assert_eq!(expect, st.id(), "cleared finger must mean self"),

@@ -70,7 +70,10 @@ impl ChordConfig {
     /// Panics if the successor list or replication factor is zero, or any
     /// period is zero.
     pub fn assert_valid(&self) {
-        assert!(self.successor_list_len >= 1, "successor list must be non-empty");
+        assert!(
+            self.successor_list_len >= 1,
+            "successor list must be non-empty"
+        );
         assert!(self.replication >= 1, "replication factor must be >= 1");
         assert!(
             self.replication <= self.successor_list_len,
@@ -112,8 +115,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "replication cannot exceed")]
     fn replication_beyond_successors_rejected() {
-        ChordConfig::default()
-            .with_replication(9)
-            .assert_valid();
+        ChordConfig::default().with_replication(9).assert_valid();
     }
 }

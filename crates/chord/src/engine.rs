@@ -377,14 +377,7 @@ impl ChordSim {
         let key = self.ids[joiner.index()];
         self.stats.maintenance_messages += 1;
         let uid = self.fresh_uid();
-        self.transmit(
-            joiner,
-            bootstrap,
-            key,
-            Payload::JoinFind { joiner },
-            0,
-            uid,
-        );
+        self.transmit(joiner, bootstrap, key, Payload::JoinFind { joiner }, 0, uid);
     }
 
     /// Runs the event loop until `deadline`.
@@ -599,8 +592,11 @@ impl ChordSim {
         );
         self.stats.maintenance_messages += 1;
         self.net.send(prober, target, Msg::Probe { token });
-        self.net
-            .schedule(prober, self.config.probe_timeout, Timer::ProbeTimeout { token });
+        self.net.schedule(
+            prober,
+            self.config.probe_timeout,
+            Timer::ProbeTimeout { token },
+        );
     }
 
     fn declare_failed(&mut self, at: NodeIdx, dead: NodeIdx) {
@@ -728,7 +724,15 @@ impl ChordSim {
                 if self.net.is_online(node) {
                     let index = self.net.rng().gen_range(0..mpil_id::ID_BITS) as u16;
                     let key = crate::ring::finger_start(self.ids[node.index()], usize::from(index));
-                    self.route_step(node, key, Payload::FingerFix { index, origin: node }, 0);
+                    self.route_step(
+                        node,
+                        key,
+                        Payload::FingerFix {
+                            index,
+                            origin: node,
+                        },
+                        0,
+                    );
                 }
                 self.net
                     .schedule(node, self.config.fix_fingers_period, Timer::FixFingers);
@@ -849,9 +853,8 @@ impl ChordSim {
     ) {
         let my_id = self.ids[node.index()];
         let target_id = self.ids[target.index()];
-        let better = succ_pred.filter(|&p| {
-            p != node && crate::ring::in_open(my_id, self.ids[p.index()], target_id)
-        });
+        let better = succ_pred
+            .filter(|&p| p != node && crate::ring::in_open(my_id, self.ids[p.index()], target_id));
         match better {
             Some(p) => {
                 // The successor's predecessor slots between us: adopt it
@@ -927,7 +930,10 @@ mod tests {
             sim.run_to_quiescence();
             let holders = sim.replica_holders(object);
             assert_eq!(holders.len(), 1);
-            let expect = *sorted.iter().find(|&&id| id >= object).unwrap_or(&sorted[0]);
+            let expect = *sorted
+                .iter()
+                .find(|&&id| id >= object)
+                .unwrap_or(&sorted[0]);
             assert_eq!(sim.ids()[holders[0].index()], expect);
         }
     }
@@ -1049,7 +1055,10 @@ mod tests {
         // The joiner knows its true successor.
         let mut sorted: Vec<Id> = sim.ids()[..32].to_vec();
         sorted.sort();
-        let expect = *sorted.iter().find(|&&id| id >= joiner_id).unwrap_or(&sorted[0]);
+        let expect = *sorted
+            .iter()
+            .find(|&&id| id >= joiner_id)
+            .unwrap_or(&sorted[0]);
         let succ = sim.state(NodeIdx::new(32)).successor().expect("joined");
         assert_eq!(sim.ids()[succ.index()], expect);
         // After stabilization rounds the successor's predecessor is the joiner.

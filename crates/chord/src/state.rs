@@ -160,13 +160,15 @@ impl ChordState {
     pub fn owns(&self, key: Id, ids: &[Id]) -> bool {
         match self.predecessor {
             Some(p) => in_half_open(ids[p.index()], key, self.id),
-            None => self.closest_preceding(key, ids).is_none() && {
-                match self.successor() {
-                    // If the key belongs to our successor, it is not ours.
-                    Some(s) => !in_half_open(self.id, key, ids[s.index()]),
-                    None => true,
+            None => {
+                self.closest_preceding(key, ids).is_none() && {
+                    match self.successor() {
+                        // If the key belongs to our successor, it is not ours.
+                        Some(s) => !in_half_open(self.id, key, ids[s.index()]),
+                        None => true,
+                    }
                 }
-            },
+            }
         }
     }
 
@@ -314,8 +316,11 @@ mod tests {
         let mut st = ChordState::new(n(0), table[0], 2);
         st.offer_successor(n(1), &table);
         st.set_finger(5, n(3)); // id 40
-        // Key 45: finger n(3) (40) precedes it more closely than n(1) (20).
-        assert_eq!(st.closest_preceding(Id::from_low_u64(45), &table), Some(n(3)));
+                                // Key 45: finger n(3) (40) precedes it more closely than n(1) (20).
+        assert_eq!(
+            st.closest_preceding(Id::from_low_u64(45), &table),
+            Some(n(3))
+        );
         // Key 15: only n(1)'s id 20 is NOT in (10, 15); nothing qualifies.
         assert_eq!(st.closest_preceding(Id::from_low_u64(15), &table), None);
     }

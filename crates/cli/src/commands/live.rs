@@ -32,7 +32,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let topo = super::build_topology("random", nodes, degree, seed)?;
     let mut cluster = LiveClusterBuilder::new()
         .transport(transport)
-        .config(MpilConfig::default().with_max_flows(10).with_num_replicas(5))
+        .config(
+            MpilConfig::default()
+                .with_max_flows(10)
+                .with_num_replicas(5),
+        )
         .seed(seed)
         .spawn(&topo)
         .map_err(|e| CliError(format!("failed to spawn cluster: {e}")))?;
@@ -40,7 +44,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x11ee);
     let mut out = format!(
         "live cluster: {nodes} threads over {} transport\n",
-        if args.flag("udp") { "loopback UDP" } else { "in-process channels" }
+        if args.flag("udp") {
+            "loopback UDP"
+        } else {
+            "in-process channels"
+        }
     );
     let objects: Vec<Id> = (0..ops).map(|_| Id::random(&mut rng)).collect();
     for (i, &o) in objects.iter().enumerate() {
@@ -50,7 +58,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let mut ok = 0;
     let mut total = Duration::ZERO;
     for &o in &objects {
-        if let Some(hit) = cluster.lookup(NodeIdx::new((nodes - 1) as u32), o, Duration::from_secs(2))
+        if let Some(hit) =
+            cluster.lookup(NodeIdx::new((nodes - 1) as u32), o, Duration::from_secs(2))
         {
             ok += 1;
             total += hit.elapsed;

@@ -26,7 +26,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
     let header = format!(
         "{} nodes, {} lookups, idle:offline={}:{}, flap p={}, loss={}\n",
-        run.nodes, run.operations, run.idle_secs, run.offline_secs, run.probability,
+        run.nodes,
+        run.operations,
+        run.idle_secs,
+        run.offline_secs,
+        run.probability,
         run.loss_probability
     );
     let body = match system.as_str() {

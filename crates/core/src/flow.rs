@@ -11,6 +11,8 @@
 //! 3. each copy carries `(max_flows − m + given_flows) / m`, with the
 //!    residue distributed one-by-one round-robin.
 
+use rand::seq::SliceRandom;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of the paths-limiting computation at one node.
@@ -23,6 +25,27 @@ pub struct ForwardPlan {
     /// Flows newly created by this forwarding step (`m - given_flows`);
     /// what Table 3 of the paper sums into the "actual number of flows".
     pub flows_created: u32,
+}
+
+/// Picks which `m` of the tied candidates a node actually forwards to:
+/// all of them when the plan covers the whole tie set, otherwise a
+/// uniformly random subset of `m`.
+///
+/// Every engine (static, dynamic, live) must select this way; the
+/// shared helper exists because `partial_shuffle` places its selection
+/// at the **tail** of the slice, which individual call sites have
+/// gotten wrong by truncating to the head.
+pub fn select_candidates<T, R: Rng + ?Sized>(
+    mut candidates: Vec<T>,
+    m: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    if m >= candidates.len() {
+        return candidates;
+    }
+    candidates.partial_shuffle(rng, m);
+    let boundary = candidates.len() - m;
+    candidates.split_off(boundary)
 }
 
 /// Computes the forwarding plan for one node.

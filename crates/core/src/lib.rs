@@ -67,7 +67,7 @@ pub mod static_engine;
 pub use agent::{DynamicConfig, DynamicNetwork, DynamicStats, LookupStatus};
 pub use baselines::UnstructuredEngine;
 pub use config::{ConfigError, MpilConfig, RoutingMetric, SplitPolicy};
-pub use flow::{plan_forwarding, ForwardPlan};
+pub use flow::{plan_forwarding, select_candidates, ForwardPlan};
 pub use message::{Message, MessageId, MessageKind};
 pub use report::{InsertReport, LookupReport};
 pub use routing::{metric_value, routing_decision, routing_decision_policy, RoutingDecision};

@@ -10,11 +10,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use mpil_id::Id;
 use mpil_overlay::{NodeIdx, Topology};
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::config::MpilConfig;
-use crate::flow::plan_forwarding;
+use crate::flow::{plan_forwarding, select_candidates};
 use crate::message::{Message, MessageId, MessageKind};
 use crate::report::{InsertReport, LookupReport};
 use crate::routing::routing_decision_policy;
@@ -181,14 +180,8 @@ impl<'a> StaticEngine<'a> {
             }
 
             // Choose which tied candidates to use when over quota.
-            let chosen: Vec<NodeIdx> = if plan.m as usize == decision.candidates.len() {
-                decision.candidates
-            } else {
-                let mut c = decision.candidates;
-                c.partial_shuffle(&mut self.rng, plan.m as usize);
-                c.truncate(plan.m as usize);
-                c
-            };
+            let chosen: Vec<NodeIdx> =
+                select_candidates(decision.candidates, plan.m as usize, &mut self.rng);
 
             match kind {
                 MessageKind::Insert => ins.flows_created += plan.flows_created,
@@ -349,7 +342,10 @@ mod tests {
 
     #[test]
     fn single_flow_single_replica_is_greedy_routing() {
-        let mut rng = SmallRng::seed_from_u64(4);
+        // Topology seed chosen so the origin is not itself a local
+        // maximum for the object: an immediate deposit would end the
+        // flow before any forwarding and flows_created would be 0.
+        let mut rng = SmallRng::seed_from_u64(5);
         let topo = generators::random_regular(100, 8, &mut rng).unwrap();
         let mut engine = StaticEngine::new(&topo, cfg(1, 1), 6);
         let obj = Id::from_low_u64(12345);
@@ -369,7 +365,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let cases = vec![
             (generators::random_regular(150, 10, &mut rng).unwrap(), 21),
-            (generators::power_law(150, Default::default(), &mut rng).unwrap(), 21),
+            (
+                generators::power_law(150, Default::default(), &mut rng).unwrap(),
+                21,
+            ),
             (generators::ring(60, &mut rng).unwrap(), 5),
             (generators::grid(10, 12, &mut rng).unwrap(), 8),
         ];
@@ -482,7 +481,13 @@ mod tests {
         };
         let weak = success_rate(&mut engine, 5, 1);
         let strong = success_rate(&mut engine, 15, 5);
-        assert!(strong >= weak, "more redundancy can't hurt: {strong} vs {weak}");
-        assert!(strong >= 38, "15 flows x 5 replicas should nearly always hit");
+        assert!(
+            strong >= weak,
+            "more redundancy can't hurt: {strong} vs {weak}"
+        );
+        assert!(
+            strong >= 38,
+            "15 flows x 5 replicas should nearly always hit"
+        );
     }
 }

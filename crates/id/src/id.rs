@@ -90,10 +90,16 @@ impl Id {
     /// Panics if `bits` is not one of 1, 2, 4, 8 or if the digit index is
     /// out of range.
     pub fn digit(&self, i: usize, bits: u8) -> u8 {
-        assert!(matches!(bits, 1 | 2 | 4 | 8), "unsupported digit width {bits}");
+        assert!(
+            matches!(bits, 1 | 2 | 4 | 8),
+            "unsupported digit width {bits}"
+        );
         let per_byte = (8 / bits) as usize;
         let n_digits = ID_BYTES * per_byte;
-        assert!(i < n_digits, "digit index {i} out of range for width {bits}");
+        assert!(
+            i < n_digits,
+            "digit index {i} out of range for width {bits}"
+        );
         let byte = self.0[i / per_byte];
         let within = i % per_byte;
         let shift = 8 - bits as usize * (within + 1);
@@ -108,11 +114,20 @@ impl Id {
     /// Panics on an unsupported width, out-of-range index, or a `value`
     /// that does not fit in `bits` bits.
     pub fn with_digit(mut self, i: usize, bits: u8, value: u8) -> Self {
-        assert!(matches!(bits, 1 | 2 | 4 | 8), "unsupported digit width {bits}");
-        assert!(u32::from(value) < (1u32 << bits), "digit value {value} too wide");
+        assert!(
+            matches!(bits, 1 | 2 | 4 | 8),
+            "unsupported digit width {bits}"
+        );
+        assert!(
+            u32::from(value) < (1u32 << bits),
+            "digit value {value} too wide"
+        );
         let per_byte = (8 / bits) as usize;
         let n_digits = ID_BYTES * per_byte;
-        assert!(i < n_digits, "digit index {i} out of range for width {bits}");
+        assert!(
+            i < n_digits,
+            "digit index {i} out of range for width {bits}"
+        );
         let within = i % per_byte;
         let shift = 8 - bits as usize * (within + 1);
         let mask = (((1u16 << bits) - 1) as u8) << shift;

@@ -68,7 +68,10 @@ pub fn common_digits(a: Id, b: Id, digit_bits: u8) -> u32 {
 ///
 /// Panics if `digit_bits` is not one of 1, 2, 4, 8.
 pub fn prefix_match_digits(a: Id, b: Id, digit_bits: u8) -> u32 {
-    assert!(matches!(digit_bits, 1 | 2 | 4 | 8), "unsupported digit width");
+    assert!(
+        matches!(digit_bits, 1 | 2 | 4 | 8),
+        "unsupported digit width"
+    );
     let x = a ^ b;
     let lz = x.leading_zeros();
     lz / u32::from(digit_bits)
@@ -83,7 +86,10 @@ pub fn prefix_match_digits(a: Id, b: Id, digit_bits: u8) -> u32 {
 ///
 /// Panics if `digit_bits` is not one of 1, 2, 4, 8.
 pub fn suffix_match_digits(a: Id, b: Id, digit_bits: u8) -> u32 {
-    assert!(matches!(digit_bits, 1 | 2 | 4 | 8), "unsupported digit width");
+    assert!(
+        matches!(digit_bits, 1 | 2 | 4 | 8),
+        "unsupported digit width"
+    );
     let x = a ^ b;
     let bytes = x.to_bytes();
     let mut tz: u32 = 0;

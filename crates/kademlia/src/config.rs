@@ -87,6 +87,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha cannot exceed k")]
     fn alpha_beyond_k_rejected() {
-        KademliaConfig::default().with_k(2).with_alpha(3).assert_valid();
+        KademliaConfig::default()
+            .with_k(2)
+            .with_alpha(3)
+            .assert_valid();
     }
 }

@@ -123,7 +123,10 @@ pub struct KademliaStats {
 impl KademliaStats {
     /// Everything the overlay sent.
     pub fn total_messages(&self) -> u64 {
-        self.lookup_messages + self.insert_messages + self.reply_messages + self.maintenance_messages
+        self.lookup_messages
+            + self.insert_messages
+            + self.reply_messages
+            + self.maintenance_messages
     }
 }
 
@@ -424,8 +427,11 @@ impl KademliaSim {
                     find_value: matches!(kind, OpKind::Lookup { .. }),
                 },
             );
-            self.net
-                .schedule(origin, self.config.rpc_timeout, Timer::RpcTimeout { op: op_id, peer });
+            self.net.schedule(
+                origin,
+                self.config.rpc_timeout,
+                Timer::RpcTimeout { op: op_id, peer },
+            );
         }
         if finished {
             self.finish_op(op_id);
@@ -546,7 +552,8 @@ impl KademliaSim {
                 let mut closer = self.tables[to.index()].closest(target, self.config.k, &self.ids);
                 closer.retain(|&c| c != from);
                 self.stats.reply_messages += 1;
-                self.net.send(to, from, Msg::FindReply { op, closer, found });
+                self.net
+                    .send(to, from, Msg::FindReply { op, closer, found });
             }
             Msg::FindReply { op, closer, found } => {
                 self.on_find_reply(op, from, closer, found);
@@ -660,8 +667,11 @@ impl KademliaSim {
                         self.start_op(node, target, OpKind::Refresh);
                     }
                 }
-                self.net
-                    .schedule(node, self.config.bucket_refresh_period, Timer::BucketRefresh);
+                self.net.schedule(
+                    node,
+                    self.config.bucket_refresh_period,
+                    Timer::BucketRefresh,
+                );
             }
         }
     }
@@ -745,12 +755,14 @@ mod tests {
             by_dist.sort_by_key(|&i| xor_distance(sim.ids()[i], object));
             let expected: std::collections::HashSet<usize> =
                 by_dist[..config.k].iter().copied().collect();
-            let got: std::collections::HashSet<usize> =
-                holders.iter().map(|h| h.index()).collect();
+            let got: std::collections::HashSet<usize> = holders.iter().map(|h| h.index()).collect();
             // The origin never stores remotely to itself; when the origin
             // is one of the k closest, one replica shifts outward.
             let overlap = expected.intersection(&got).count();
-            assert!(overlap >= config.k - 1, "holders {got:?} vs expected {expected:?}");
+            assert!(
+                overlap >= config.k - 1,
+                "holders {got:?} vs expected {expected:?}"
+            );
         }
     }
 
@@ -805,7 +817,11 @@ mod tests {
     #[test]
     fn missing_object_converges_to_failure() {
         let mut sim = build(40, KademliaConfig::default(), 4);
-        let h = sim.issue_lookup(NodeIdx::new(1), Id::from_low_u64(99), SimTime::from_secs(600));
+        let h = sim.issue_lookup(
+            NodeIdx::new(1),
+            Id::from_low_u64(99),
+            SimTime::from_secs(600),
+        );
         sim.run_to_quiescence();
         assert_eq!(sim.lookup_outcome(h), LookupOutcome::Failed);
         assert!(sim.stats().misdeliveries >= 1);

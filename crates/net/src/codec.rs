@@ -166,7 +166,9 @@ impl WireMessage {
                 if data.remaining() < route_len * 4 {
                     return Err(DecodeError::Truncated);
                 }
-                let route = (0..route_len).map(|_| NodeIdx::new(data.get_u32())).collect();
+                let route = (0..route_len)
+                    .map(|_| NodeIdx::new(data.get_u32()))
+                    .collect();
                 Ok(WireMessage::Forward(Message {
                     msg_id,
                     kind: if kind == 0 {
@@ -306,7 +308,10 @@ mod tests {
 
     #[test]
     fn bad_kind_rejected() {
-        assert_eq!(WireMessage::decode(&[1, 200]), Err(DecodeError::BadKind(200)));
+        assert_eq!(
+            WireMessage::decode(&[1, 200]),
+            Err(DecodeError::BadKind(200))
+        );
     }
 
     #[test]

@@ -51,4 +51,6 @@ pub mod transport;
 pub use cluster::{LiveCluster, LiveClusterBuilder, LiveLookup, TransportKind};
 pub use codec::{DecodeError, WireMessage, WIRE_VERSION};
 pub use node::{NodeControl, NodeStats};
-pub use transport::{ChannelMesh, ChannelTransport, Transport, TransportError, UdpMesh, UdpTransport};
+pub use transport::{
+    ChannelMesh, ChannelTransport, Transport, TransportError, UdpMesh, UdpTransport,
+};

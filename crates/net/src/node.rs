@@ -12,12 +12,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mpil::{plan_forwarding, routing_decision_policy, Message, MessageId, MessageKind, MpilConfig};
+use mpil::{
+    plan_forwarding, routing_decision_policy, select_candidates, Message, MessageId, MessageKind,
+    MpilConfig,
+};
 use mpil_id::Id;
 use mpil_overlay::NodeIdx;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::codec::WireMessage;
@@ -226,14 +228,7 @@ fn step(
     if plan.m == 0 {
         return;
     }
-    let chosen: Vec<NodeIdx> = if plan.m as usize == decision.candidates.len() {
-        decision.candidates
-    } else {
-        let mut c = decision.candidates;
-        c.partial_shuffle(rng, plan.m as usize);
-        c.truncate(plan.m as usize);
-        c
-    };
+    let chosen: Vec<NodeIdx> = select_candidates(decision.candidates, plan.m as usize, rng);
     for (target, &child_quota) in chosen.iter().zip(plan.child_quotas.iter()) {
         let fwd = msg.forwarded(at, child_quota);
         let frame = WireMessage::Forward(fwd).encode();

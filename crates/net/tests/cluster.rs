@@ -19,14 +19,21 @@ fn topo(n: usize, d: usize, seed: u64) -> mpil_overlay::Topology {
 fn channel_cluster_inserts_and_finds() {
     let topo = topo(48, 8, 1);
     let mut cluster = LiveClusterBuilder::new()
-        .config(MpilConfig::default().with_max_flows(10).with_num_replicas(3))
+        .config(
+            MpilConfig::default()
+                .with_max_flows(10)
+                .with_num_replicas(3),
+        )
         .spawn(&topo)
         .expect("spawn");
     let mut rng = SmallRng::seed_from_u64(9);
     let objects: Vec<Id> = (0..10).map(|_| Id::random(&mut rng)).collect();
     for &o in &objects {
         let holders = cluster.insert(NodeIdx::new(0), o, Duration::from_millis(400));
-        assert!(!holders.is_empty(), "insert must deposit at least one replica");
+        assert!(
+            !holders.is_empty(),
+            "insert must deposit at least one replica"
+        );
     }
     for (i, &o) in objects.iter().enumerate() {
         let origin = NodeIdx::new((i % 48) as u32);
@@ -55,7 +62,11 @@ fn lookup_of_absent_object_times_out() {
 fn perturbed_minority_does_not_stop_lookups() {
     let topo = topo(40, 8, 3);
     let mut cluster = LiveClusterBuilder::new()
-        .config(MpilConfig::default().with_max_flows(10).with_num_replicas(5))
+        .config(
+            MpilConfig::default()
+                .with_max_flows(10)
+                .with_num_replicas(5),
+        )
         .spawn(&topo)
         .expect("spawn");
     let mut rng = SmallRng::seed_from_u64(10);
@@ -70,7 +81,10 @@ fn perturbed_minority_does_not_stop_lookups() {
     }
     let mut ok = 0;
     for &o in &objects {
-        if cluster.lookup(NodeIdx::new(0), o, Duration::from_secs(3)).is_some() {
+        if cluster
+            .lookup(NodeIdx::new(0), o, Duration::from_secs(3))
+            .is_some()
+        {
             ok += 1;
         }
     }
@@ -80,7 +94,10 @@ fn perturbed_minority_does_not_stop_lookups() {
     );
     let stats = cluster.shutdown();
     let dropped: u64 = stats.iter().map(|s| s.dropped_perturbed).sum();
-    assert!(dropped > 0, "perturbed nodes must actually have dropped frames");
+    assert!(
+        dropped > 0,
+        "perturbed nodes must actually have dropped frames"
+    );
 }
 
 #[test]
@@ -167,8 +184,13 @@ fn duplicate_suppression_reduces_forwards() {
 #[test]
 fn live_replica_holders_are_local_maxima() {
     let topo = topo(36, 6, 8);
-    let config = MpilConfig::default().with_max_flows(12).with_num_replicas(4);
-    let mut cluster = LiveClusterBuilder::new().config(config).spawn(&topo).expect("spawn");
+    let config = MpilConfig::default()
+        .with_max_flows(12)
+        .with_num_replicas(4);
+    let mut cluster = LiveClusterBuilder::new()
+        .config(config)
+        .spawn(&topo)
+        .expect("spawn");
     let mut rng = SmallRng::seed_from_u64(21);
     for _ in 0..6 {
         let object = Id::random(&mut rng);

@@ -43,14 +43,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
 fn arb_wire() -> impl Strategy<Value = WireMessage> {
     prop_oneof![
         arb_message().prop_map(WireMessage::Forward),
-        (any::<u64>(), arb_id(), 0u32..100_000, any::<u32>()).prop_map(
-            |(m, o, h, hops)| WireMessage::Reply {
+        (any::<u64>(), arb_id(), 0u32..100_000, any::<u32>()).prop_map(|(m, o, h, hops)| {
+            WireMessage::Reply {
                 msg_id: MessageId(m),
                 object: o,
                 holder: NodeIdx::new(h),
                 hops,
             }
-        ),
+        }),
         (any::<u64>(), arb_id(), 0u32..100_000).prop_map(|(m, o, h)| WireMessage::StoreAck {
             msg_id: MessageId(m),
             object: o,

@@ -61,11 +61,7 @@ pub fn components(topo: &Topology) -> Vec<u32> {
 
 /// Histogram of node degrees: `hist[d]` = number of nodes with degree `d`.
 pub fn degree_histogram(topo: &Topology) -> Vec<usize> {
-    let max = topo
-        .iter_nodes()
-        .map(|v| topo.degree(v))
-        .max()
-        .unwrap_or(0);
+    let max = topo.iter_nodes().map(|v| topo.degree(v)).max().unwrap_or(0);
     let mut hist = vec![0usize; max + 1];
     for v in topo.iter_nodes() {
         hist[topo.degree(v)] += 1;

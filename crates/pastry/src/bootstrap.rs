@@ -83,9 +83,13 @@ pub fn build_converged_states_partial<R: Rng + ?Sized>(
         for step in 1..=half.min(m - 1) {
             let succ = order[(pos + step) % m];
             let pred = order[(pos + m - step) % m];
-            states[i].leafset.consider(ids[succ], NodeIdx::new(succ as u32));
+            states[i]
+                .leafset
+                .consider(ids[succ], NodeIdx::new(succ as u32));
             if pred != succ {
-                states[i].leafset.consider(ids[pred], NodeIdx::new(pred as u32));
+                states[i]
+                    .leafset
+                    .consider(ids[pred], NodeIdx::new(pred as u32));
             }
         }
     }
@@ -122,7 +126,11 @@ pub fn random_ids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Id> {
 /// Checks structural invariants of a converged overlay (used by tests
 /// and debug assertions): leaf sets hold the true ring neighbors, and
 /// every routing-table entry sits in its correct slot.
-pub fn validate_converged(states: &[PastryState], ids: &[Id], space: IdSpace) -> Result<(), String> {
+pub fn validate_converged(
+    states: &[PastryState],
+    ids: &[Id],
+    space: IdSpace,
+) -> Result<(), String> {
     let mut order: Vec<usize> = (0..ids.len()).collect();
     order.sort_by_key(|&i| ids[i]);
     let n = ids.len();
@@ -158,7 +166,9 @@ pub fn validate_converged(states: &[PastryState], ids: &[Id], space: IdSpace) ->
                 .iter()
                 .any(|&(xid, xnode)| xid == eid && xnode == enode);
             if !ok || eid != ids[enode.index()] {
-                return Err(format!("node {i}: rt entry {enode} misplaced ({row},{col})"));
+                return Err(format!(
+                    "node {i}: rt entry {enode} misplaced ({row},{col})"
+                ));
             }
         }
     }

@@ -102,9 +102,11 @@ mod tests {
 
     #[test]
     fn rr_builder_toggles() {
-        assert!(PastryConfig::default()
-            .with_replication_on_route(true)
-            .replication_on_route);
+        assert!(
+            PastryConfig::default()
+                .with_replication_on_route(true)
+                .replication_on_route
+        );
     }
 
     #[test]

@@ -404,8 +404,7 @@ impl PastrySim {
                 }
             }
             Msg::LeafsetPull => {
-                let members: Vec<NodeIdx> =
-                    self.states[to.index()].leafset.members().collect();
+                let members: Vec<NodeIdx> = self.states[to.index()].leafset.members().collect();
                 self.stats.maintenance_messages += 1;
                 self.net.send(to, from, Msg::LeafsetPush { members });
             }
@@ -652,7 +651,10 @@ impl PastrySim {
         let joiner_id = self.ids[joiner.index()];
         // Share the row the joiner will index at our shared-prefix depth,
         // plus our leaf set (cheap and accelerates convergence).
-        let row = self.config.space.prefix_match(self.states[node.index()].id, joiner_id) as usize;
+        let row = self
+            .config
+            .space
+            .prefix_match(self.states[node.index()].id, joiner_id) as usize;
         let mut share: Vec<NodeIdx> = self.states[node.index()]
             .rt
             .row_entries(row.min(self.states[node.index()].rt.num_rows() - 1))
@@ -664,11 +666,13 @@ impl PastrySim {
         share.sort_unstable();
         share.dedup();
         share.retain(|&m| m != joiner);
-        let next = self.states[node.index()].next_hop(self.config.space, joiner_id, |n| n == joiner);
+        let next =
+            self.states[node.index()].next_hop(self.config.space, joiner_id, |n| n == joiner);
         match next {
             NextHop::Forward(nx) if hops < self.config.max_hops => {
                 self.stats.maintenance_messages += 2;
-                self.net.send(node, joiner, Msg::JoinState { members: share });
+                self.net
+                    .send(node, joiner, Msg::JoinState { members: share });
                 self.net.send(
                     node,
                     nx,
@@ -681,7 +685,8 @@ impl PastrySim {
             _ => {
                 // This node is the joiner's root: final state transfer.
                 self.stats.maintenance_messages += 1;
-                self.net.send(node, joiner, Msg::JoinDone { members: share });
+                self.net
+                    .send(node, joiner, Msg::JoinDone { members: share });
             }
         }
         // Every node that saw the request learns the joiner.
@@ -828,8 +833,11 @@ impl PastrySim {
         );
         self.stats.maintenance_messages += 1;
         self.net.send(prober, target, Msg::Probe { token });
-        self.net
-            .schedule(prober, self.config.probe_timeout, Timer::ProbeTimeout { token });
+        self.net.schedule(
+            prober,
+            self.config.probe_timeout,
+            Timer::ProbeTimeout { token },
+        );
     }
 
     /// `observer` declares `target` failed: drops it from its tables and

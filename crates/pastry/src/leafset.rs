@@ -32,7 +32,10 @@ impl LeafSet {
     ///
     /// Panics if `l` is zero or odd.
     pub fn new(own: Id, l: usize) -> Self {
-        assert!(l >= 2 && l.is_multiple_of(2), "leaf set size must be even and >= 2");
+        assert!(
+            l >= 2 && l.is_multiple_of(2),
+            "leaf set size must be even and >= 2"
+        );
         LeafSet {
             own,
             half: l / 2,
@@ -103,8 +106,7 @@ impl LeafSet {
         }
         self.normalize();
         // The candidate stuck if it survived trimming on either side.
-        self.left.iter().any(|&(_, n)| n == node)
-            || self.right.iter().any(|&(_, n)| n == node)
+        self.left.iter().any(|&(_, n)| n == node) || self.right.iter().any(|&(_, n)| n == node)
     }
 
     /// Is `key` within the arc covered by the leaf set (from the farthest
@@ -216,10 +218,18 @@ mod tests {
             &[(10, 1), (90, 2), (99, 3), (101, 4), (150, 5), (102, 6)],
         );
         // Right (successors of 100): 101, 102 (150 trimmed).
-        let right: Vec<u32> = ls.right_side().iter().map(|&(_, x)| x.index() as u32).collect();
+        let right: Vec<u32> = ls
+            .right_side()
+            .iter()
+            .map(|&(_, x)| x.index() as u32)
+            .collect();
         assert_eq!(right, vec![4, 6]);
         // Left (predecessors): 99, 90.
-        let left: Vec<u32> = ls.left_side().iter().map(|&(_, x)| x.index() as u32).collect();
+        let left: Vec<u32> = ls
+            .left_side()
+            .iter()
+            .map(|&(_, x)| x.index() as u32)
+            .collect();
         assert_eq!(left, vec![3, 2]);
     }
 
@@ -232,9 +242,17 @@ mod tests {
         let mut ls = LeafSet::new(own, 4);
         ls.consider(id(3), n(1));
         ls.consider(pred, n(2));
-        let right: Vec<u32> = ls.right_side().iter().map(|&(_, x)| x.index() as u32).collect();
+        let right: Vec<u32> = ls
+            .right_side()
+            .iter()
+            .map(|&(_, x)| x.index() as u32)
+            .collect();
         assert_eq!(right[0], 1, "3 wraps around as the nearest successor");
-        let left: Vec<u32> = ls.left_side().iter().map(|&(_, x)| x.index() as u32).collect();
+        let left: Vec<u32> = ls
+            .left_side()
+            .iter()
+            .map(|&(_, x)| x.index() as u32)
+            .collect();
         assert_eq!(left[0], 2, "MAX-1 is the nearest predecessor");
     }
 

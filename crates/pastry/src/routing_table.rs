@@ -168,7 +168,10 @@ mod tests {
         let cand = id_hex(&[0xa, 0x1]);
         rt.consider(cand, n(3));
         // Key sharing "a" with next digit 1 routes via cand.
-        assert_eq!(rt.entry_for_key(id_hex(&[0xa, 0x1, 0xf])), Some((cand, n(3))));
+        assert_eq!(
+            rt.entry_for_key(id_hex(&[0xa, 0x1, 0xf])),
+            Some((cand, n(3)))
+        );
         // Key with a different digit misses.
         assert_eq!(rt.entry_for_key(id_hex(&[0xa, 0x2])), None);
     }

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn own_key_is_local() {
         let s = state_with(100, &[(50, 1), (150, 2)]);
-        assert_eq!(s.next_hop(IdSpace::base16(), id(100), |_| false), NextHop::Local);
+        assert_eq!(
+            s.next_hop(IdSpace::base16(), id(100), |_| false),
+            NextHop::Local
+        );
     }
 
     #[test]
@@ -169,7 +172,10 @@ mod tests {
             NextHop::Forward(n(2))
         );
         // 101 is closest to the owner itself.
-        assert_eq!(s.next_hop(IdSpace::base16(), id(101), |_| false), NextHop::Local);
+        assert_eq!(
+            s.next_hop(IdSpace::base16(), id(101), |_| false),
+            NextHop::Local
+        );
     }
 
     #[test]

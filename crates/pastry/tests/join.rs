@@ -31,7 +31,10 @@ fn joiner_learns_its_ring_neighbors() {
     let n = 80;
     let mut sim = build(n, 1, 1);
     let joiner = NodeIdx::new((n - 1) as u32);
-    assert!(sim.neighbor_lists()[joiner.index()].is_empty(), "starts blank");
+    assert!(
+        sim.neighbor_lists()[joiner.index()].is_empty(),
+        "starts blank"
+    );
 
     sim.join(joiner, NodeIdx::new(0));
     sim.run_to_quiescence();
@@ -144,8 +147,6 @@ fn unjoined_nodes_do_not_disturb_the_overlay() {
     // The blank nodes never appear in members' tables.
     let lists = sim.neighbor_lists();
     for i in 0..(n - 2) {
-        assert!(lists[i]
-            .iter()
-            .all(|&x| x.index() < n - 2));
+        assert!(lists[i].iter().all(|&x| x.index() < n - 2));
     }
 }

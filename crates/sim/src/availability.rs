@@ -92,7 +92,12 @@ impl Flapping {
     ///
     /// Panics if `probability` is not within `[0, 1]` or the period is
     /// zero.
-    pub fn new<R: Rng + ?Sized>(config: FlappingConfig, n: usize, coin_seed: u64, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        config: FlappingConfig,
+        n: usize,
+        coin_seed: u64,
+        rng: &mut R,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&config.probability),
             "flapping probability must be in [0,1]"
@@ -219,7 +224,11 @@ impl TraceChurn {
     pub fn online_fraction(&self, node: NodeIdx, horizon: SimTime) -> f64 {
         let total: u64 = self.sessions[node.index()]
             .iter()
-            .map(|&(s, e)| e.as_micros().min(horizon.as_micros()).saturating_sub(s.as_micros()))
+            .map(|&(s, e)| {
+                e.as_micros()
+                    .min(horizon.as_micros())
+                    .saturating_sub(s.as_micros())
+            })
             .sum();
         total as f64 / horizon.as_micros() as f64
     }
@@ -326,8 +335,7 @@ mod tests {
     #[test]
     fn before_start_everyone_is_online() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let cfg =
-            FlappingConfig::idle_offline_secs(1, 1, 1.0).starting_at(SimTime::from_secs(100));
+        let cfg = FlappingConfig::idle_offline_secs(1, 1, 1.0).starting_at(SimTime::from_secs(100));
         let f = Flapping::new(cfg, 5, 17, &mut rng);
         for i in 0..5u32 {
             for s in 0..100 {
@@ -353,7 +361,10 @@ mod tests {
         }
         for offset in [45_000_001u64, 50_000_000, 59_999_999] {
             let t = SimTime::from_micros(period_start + offset);
-            assert!(!f.is_online(node(0), t), "offset {offset} should be offline");
+            assert!(
+                !f.is_online(node(0), t),
+                "offset {offset} should be offline"
+            );
         }
     }
 

@@ -156,7 +156,9 @@ mod tests {
         let base = u64::from(ts.latency_us(NodeIdx::new(2), NodeIdx::new(3)));
         let m = TransitStubLatency::new(ts, 0.1);
         for _ in 0..50 {
-            let l = m.latency(NodeIdx::new(2), NodeIdx::new(3), &mut r).as_micros();
+            let l = m
+                .latency(NodeIdx::new(2), NodeIdx::new(3), &mut r)
+                .as_micros();
             assert!(l as f64 >= base as f64 * 0.89);
             assert!(l as f64 <= base as f64 * 1.11);
         }

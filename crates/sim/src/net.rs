@@ -146,7 +146,10 @@ impl<M, T> Network<M, T> {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
         self.loss_probability = p;
     }
 

@@ -2,8 +2,8 @@
 
 use mpil_overlay::NodeIdx;
 use mpil_sim::{
-    AlwaysOn, Availability, ConstantLatency, Event, Flapping, FlappingConfig, Network,
-    SimDuration, SimTime, UniformLatency,
+    AlwaysOn, Availability, ConstantLatency, Event, Flapping, FlappingConfig, Network, SimDuration,
+    SimTime, UniformLatency,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;

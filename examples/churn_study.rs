@@ -14,7 +14,10 @@ use mpil_bench::perturb::{run_system, PerturbRun, System};
 
 fn main() {
     println!("perturbation study: 300 nodes, 40 lookups per point, idle:offline = 30:30\n");
-    println!("{:>10} {:>12} {:>14} {:>14}", "flap p", "MSPastry", "MPIL w/ DS", "MPIL w/o DS");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "flap p", "MSPastry", "MPIL w/ DS", "MPIL w/o DS"
+    );
     for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let run = PerturbRun {
             nodes: 300,

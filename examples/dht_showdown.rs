@@ -42,9 +42,7 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(SEED);
     let objects: Vec<Id> = (0..OBJECTS).map(|_| Id::random(&mut rng)).collect();
     let latency = || Box::new(ConstantLatency(SimDuration::from_millis(20)));
-    println!(
-        "{N} nodes, {OBJECTS} objects, 30:30 flapping at p = {FLAP_P} (origin exempt)\n"
-    );
+    println!("{N} nodes, {OBJECTS} objects, 30:30 flapping at p = {FLAP_P} (origin exempt)\n");
     run_chord(&objects, &mut rng, latency());
     run_kademlia(&objects, &mut rng, latency(), 1, 1);
     run_kademlia(&objects, &mut rng, latency(), 8, 3);
@@ -75,7 +73,12 @@ fn run_chord(objects: &[Id], rng: &mut SmallRng, latency: Box<dyn mpil_sim::Late
     }
     let ok = handles
         .iter()
-        .filter(|&&h| matches!(sim.lookup_outcome(h), mpil_chord::LookupOutcome::Succeeded { .. }))
+        .filter(|&&h| {
+            matches!(
+                sim.lookup_outcome(h),
+                mpil_chord::LookupOutcome::Succeeded { .. }
+            )
+        })
         .count();
     report("Chord", ok, objects.len());
 }
@@ -131,7 +134,9 @@ fn run_mpil(objects: &[Id], rng: &mut SmallRng, latency: Box<dyn mpil_sim::Laten
         ids,
         neighbors,
         DynamicConfig {
-            mpil: MpilConfig::default().with_max_flows(10).with_num_replicas(5),
+            mpil: MpilConfig::default()
+                .with_max_flows(10)
+                .with_num_replicas(5),
             heartbeat_period: None,
         },
         Box::new(AlwaysOn),

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats::estimate_diameter(&topo, 8)
     );
 
-    let config = MpilConfig::default().with_max_flows(20).with_num_replicas(4);
+    let config = MpilConfig::default()
+        .with_max_flows(20)
+        .with_num_replicas(4);
     let mut engine = StaticEngine::new(&topo, config, 99);
 
     // Sites advertise heterogeneous resources.

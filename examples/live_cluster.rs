@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut cluster = LiveClusterBuilder::new()
         .transport(TransportKind::Udp)
-        .config(MpilConfig::default().with_max_flows(10).with_num_replicas(5))
+        .config(
+            MpilConfig::default()
+                .with_max_flows(10)
+                .with_num_replicas(5),
+        )
         .seed(7)
         .spawn(&topo)?;
 
@@ -68,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ok += 1;
         }
     }
-    println!("lookups under perturbation: {ok}/{} succeeded", objects.len());
+    println!(
+        "lookups under perturbation: {ok}/{} succeeded",
+        objects.len()
+    );
 
     let stats = cluster.shutdown();
     let forwards: u64 = stats.iter().map(|s| s.forwards).sum();

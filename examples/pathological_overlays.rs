@@ -17,8 +17,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn measure(name: &str, topo: &Topology, rng: &mut SmallRng) {
-    let insert = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
-    let lookup = MpilConfig::default().with_max_flows(10).with_num_replicas(5);
+    let insert = MpilConfig::default()
+        .with_max_flows(30)
+        .with_num_replicas(5);
+    let lookup = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(5);
     let mut engine = StaticEngine::new(topo, insert, 4);
     let n = topo.len();
     let trials = 50;
@@ -51,7 +55,11 @@ fn measure(name: &str, topo: &Topology, rng: &mut SmallRng) {
         stats::estimate_diameter(topo, 4),
         ok,
         msgs as f64 / trials as f64,
-        if ok > 0 { f64::from(hops) / f64::from(ok) } else { f64::NAN },
+        if ok > 0 {
+            f64::from(hops) / f64::from(ok)
+        } else {
+            f64::NAN
+        },
     );
 }
 
@@ -60,8 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("same MPIL configuration (insert 30x5, lookup 10x5) on every overlay:\n");
     let n = 400;
     let cases: Vec<(&str, Topology)> = vec![
-        ("power-law", generators::power_law(n, Default::default(), &mut rng)?),
-        ("random regular d=20", generators::random_regular(n, 20, &mut rng)?),
+        (
+            "power-law",
+            generators::power_law(n, Default::default(), &mut rng)?,
+        ),
+        (
+            "random regular d=20",
+            generators::random_regular(n, 20, &mut rng)?,
+        ),
         ("complete", generators::complete(200, &mut rng)?),
         ("grid 20x20", generators::grid(20, 20, &mut rng)?),
         ("ring", generators::ring(n, &mut rng)?),

@@ -31,8 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The paper's methodology: insert with a generous budget (30
     //    flows × 5 per-flow replicas — insertions are rare, lookups are
     //    not), then look up with a light one (10 × 5).
-    let insert_config = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
-    let lookup_config = MpilConfig::default().with_max_flows(10).with_num_replicas(5);
+    let insert_config = MpilConfig::default()
+        .with_max_flows(30)
+        .with_num_replicas(5);
+    let lookup_config = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(5);
     let mut engine = StaticEngine::new(&topo, insert_config, 7);
 
     // 3. Insert ten object pointers from random owners.
@@ -60,7 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "lookup {}…: hit in {} hops ({} messages)",
                 &object.to_string()[..8],
-                report.first_reply_hops.expect("successful lookups have hops"),
+                report
+                    .first_reply_hops
+                    .expect("successful lookups have hops"),
                 report.messages
             );
         } else {

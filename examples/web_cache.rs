@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = generators::random_regular(proxies, 12, &mut rng)?;
 
     let config = DynamicConfig {
-        mpil: MpilConfig::default().with_max_flows(20).with_num_replicas(5),
+        mpil: MpilConfig::default()
+            .with_max_flows(20)
+            .with_num_replicas(5),
         // Replica holders heartbeat the owner every 20 simulated seconds.
         heartbeat_period: Some(SimDuration::from_secs(20)),
     };

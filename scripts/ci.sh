@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate, fully offline: the tier-1 verify plus formatting.
+#
+#   tier-1:  cargo build --release && cargo test -q
+#   format:  cargo fmt --check   (stable rustfmt; options in rustfmt.toml)
+#
+# Everything resolves from vendor/ path entries (see vendor/README.md),
+# so this must pass from a clean checkout with no network access.
+#
+# Usage: scripts/ci.sh [--benches]
+#   --benches   additionally compile-check the criterion bench targets
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo fmt --check
+scripts/verify.sh "$@"
+
+echo "ci: OK"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: every dependency resolves from
+# vendor/ path entries (see vendor/README.md), so this must pass from a
+# clean checkout with no network access.
+#
+# Usage: scripts/verify.sh [--benches]
+#   --benches   additionally compile-check the criterion bench targets
+#               (they are test = false, so plain `cargo test` skips them)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" == "--benches" ]]; then
+    cargo check --benches
+fi
+
+echo "verify: OK"

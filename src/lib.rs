@@ -23,6 +23,25 @@
 //!   channel/UDP transports, perturbable clusters).
 //! * [`mpil_analysis`] — closed-form analysis from Section 5 of the paper.
 //! * [`mpil_workload`] — workload generators, experiment harness, statistics.
+//!
+//! Insert from one node, look up from another, on an arbitrary overlay:
+//!
+//! ```
+//! use mpil_suite::mpil::{MpilConfig, StaticEngine};
+//! use mpil_suite::mpil_id::Id;
+//! use mpil_suite::mpil_overlay::{generators, NodeIdx};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let topo = generators::random_regular(48, 6, &mut rng)?;
+//! let mut engine = StaticEngine::new(&topo, MpilConfig::default(), 7);
+//!
+//! let object = Id::from_low_u64(0xcafe);
+//! let ins = engine.insert(NodeIdx::new(0), object);
+//! assert!(ins.replicas >= 1);
+//! assert!(engine.lookup(NodeIdx::new(17), object).success);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use mpil;
 pub use mpil_analysis;

@@ -84,7 +84,9 @@ fn analysis_general_formula_matches_power_law_simulation() {
 fn inserts_land_only_on_local_maxima() {
     let mut rng = SmallRng::seed_from_u64(9);
     let topo = generators::power_law(600, Default::default(), &mut rng).unwrap();
-    let config = MpilConfig::default().with_max_flows(20).with_num_replicas(4);
+    let config = MpilConfig::default()
+        .with_max_flows(20)
+        .with_num_replicas(4);
     let mut engine = StaticEngine::new(&topo, config, 10);
     let space = IdSpace::base4();
     for k in 0..30u64 {
@@ -113,7 +115,9 @@ fn replica_and_flow_bounds_hold_everywhere() {
     ];
     for topo in &topos {
         for (mf, r) in [(1u32, 1u32), (5, 2), (10, 5), (30, 5)] {
-            let config = MpilConfig::default().with_max_flows(mf).with_num_replicas(r);
+            let config = MpilConfig::default()
+                .with_max_flows(mf)
+                .with_num_replicas(r);
             let mut engine = StaticEngine::new(topo, config, 11);
             for k in 0..10u64 {
                 let object = Id::random(&mut rng);
@@ -134,21 +138,22 @@ fn success_rate_scales_with_budget_like_table_1() {
     // per-flow replicas, and r=1 is far worse than r>=2.
     let mut rng = SmallRng::seed_from_u64(12);
     let topo = generators::power_law(1200, Default::default(), &mut rng).unwrap();
-    let insert_config = MpilConfig::default().with_max_flows(30).with_num_replicas(5);
+    let insert_config = MpilConfig::default()
+        .with_max_flows(30)
+        .with_num_replicas(5);
     let mut engine = StaticEngine::new(&topo, insert_config, 13);
     let objects: Vec<(Id, NodeIdx)> = (0..60)
-        .map(|_| {
-            (
-                Id::random(&mut rng),
-                NodeIdx::new(rng.gen_range(0..1200)),
-            )
-        })
+        .map(|_| (Id::random(&mut rng), NodeIdx::new(rng.gen_range(0..1200))))
         .collect();
     for &(object, origin) in &objects {
         engine.insert(origin, object);
     }
     let rate = |mf: u32, r: u32, engine: &mut StaticEngine<'_>| -> f64 {
-        engine.set_config(MpilConfig::default().with_max_flows(mf).with_num_replicas(r));
+        engine.set_config(
+            MpilConfig::default()
+                .with_max_flows(mf)
+                .with_num_replicas(r),
+        );
         let mut ok = 0;
         for (k, &(object, _)) in objects.iter().enumerate() {
             let origin = NodeIdx::new(((k * 31 + 5) % 1200) as u32);
@@ -179,7 +184,11 @@ fn overlay_generators_deliver_claimed_structures() {
     assert!(stats::is_connected(&pl));
     let hist = stats::degree_histogram(&pl);
     assert_eq!(hist.first().copied().unwrap_or(0), 0, "no degree-0 nodes");
-    assert!(hist.len() > 50, "hubs exist (max degree {})", hist.len() - 1);
+    assert!(
+        hist.len() > 50,
+        "hubs exist (max degree {})",
+        hist.len() - 1
+    );
     // Transit-stub: latencies positive and bounded.
     let ts = mpil_overlay::transit_stub::generate(100, Default::default(), &mut rng).unwrap();
     let l = ts.latency_us(NodeIdx::new(0), NodeIdx::new(99));
@@ -190,7 +199,9 @@ fn overlay_generators_deliver_claimed_structures() {
 fn deletion_protocol_end_to_end() {
     let mut rng = SmallRng::seed_from_u64(15);
     let topo = generators::random_regular(200, 10, &mut rng).unwrap();
-    let config = MpilConfig::default().with_max_flows(10).with_num_replicas(3);
+    let config = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(3);
     let mut engine = StaticEngine::new(&topo, config, 16);
     let object = Id::random(&mut rng);
     let ins = engine.insert(NodeIdx::new(0), object);

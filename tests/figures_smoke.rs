@@ -6,9 +6,7 @@
 use mpil::MpilConfig;
 use mpil_analysis::AnalysisModel;
 use mpil_bench::perturb::{run_system, PerturbRun, System};
-use mpil_bench::static_exp::{
-    insertion_behavior, lookup_behavior, paper_insert_config, Family,
-};
+use mpil_bench::static_exp::{insertion_behavior, lookup_behavior, paper_insert_config, Family};
 
 fn mini(system_idle: u64, offline: u64, p: f64) -> PerturbRun {
     PerturbRun {
@@ -64,7 +62,9 @@ fn fig9_point_runs() {
 
 #[test]
 fn tables_point_runs() {
-    let lookup = MpilConfig::default().with_max_flows(10).with_num_replicas(3);
+    let lookup = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(3);
     let b = lookup_behavior(
         Family::Random { degree: 20 },
         300,
@@ -81,7 +81,9 @@ fn tables_point_runs() {
 
 #[test]
 fn fig10_metrics_consistent() {
-    let lookup = MpilConfig::default().with_max_flows(10).with_num_replicas(5);
+    let lookup = MpilConfig::default()
+        .with_max_flows(10)
+        .with_num_replicas(5);
     let b = lookup_behavior(
         Family::PowerLaw,
         300,

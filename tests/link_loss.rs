@@ -23,8 +23,16 @@ fn light_loss_is_absorbed_by_both_systems() {
     // flow redundancy should both stay near-perfect.
     let pastry = run_system(System::Pastry, run(0.05, 0.0, 31));
     let mpil = run_system(System::MpilNoDs, run(0.05, 0.0, 31));
-    assert!(pastry.success_rate >= 90.0, "Pastry at 5% loss: {}", pastry.success_rate);
-    assert!(mpil.success_rate >= 90.0, "MPIL at 5% loss: {}", mpil.success_rate);
+    assert!(
+        pastry.success_rate >= 90.0,
+        "Pastry at 5% loss: {}",
+        pastry.success_rate
+    );
+    assert!(
+        mpil.success_rate >= 90.0,
+        "MPIL at 5% loss: {}",
+        mpil.success_rate
+    );
 }
 
 #[test]

@@ -71,7 +71,11 @@ fn cost_stays_in_one_band_across_families() {
 
 #[test]
 fn structured_pointer_graphs_have_sane_shape() {
-    for src in [OverlaySource::Pastry, OverlaySource::Chord, OverlaySource::Kademlia] {
+    for src in [
+        OverlaySource::Pastry,
+        OverlaySource::Chord,
+        OverlaySource::Kademlia,
+    ] {
         let (ids, nbrs) = src.build(150, 53);
         assert_eq!(ids.len(), 150);
         let d = mean_out_degree(&nbrs);

@@ -18,7 +18,12 @@ fn run(nodes: usize, ops: usize, idle: u64, offline: u64, p: f64, seed: u64) -> 
 
 #[test]
 fn both_systems_near_perfect_unperturbed() {
-    for system in [System::Pastry, System::PastryRr, System::MpilDs, System::MpilNoDs] {
+    for system in [
+        System::Pastry,
+        System::PastryRr,
+        System::MpilDs,
+        System::MpilNoDs,
+    ] {
         let r = run_system(system, run(150, 25, 30, 30, 0.0, 21));
         assert!(
             r.success_rate >= 96.0,
@@ -73,7 +78,10 @@ fn rr_improves_pastry_under_perturbation() {
         plain += run_system(System::Pastry, run(200, 30, 300, 300, 0.8, seed)).success_rate;
         rr += run_system(System::PastryRr, run(200, 30, 300, 300, 0.8, seed)).success_rate;
     }
-    assert!(rr >= plain, "RR {rr} should not be worse than plain {plain}");
+    assert!(
+        rr >= plain,
+        "RR {rr} should not be worse than plain {plain}"
+    );
 }
 
 #[test]

@@ -1,0 +1,198 @@
+//! Offline stub of [`criterion`](https://crates.io/crates/criterion).
+//! See `vendor/README.md` for the policy.
+//!
+//! Supports the workspace's bench files syntactically and functionally:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and `black_box`. Instead of
+//! criterion's statistical engine it times a fixed batch per benchmark
+//! and prints mean wall-clock time per iteration — enough to eyeball
+//! regressions offline; use real criterion for publishable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// benchmarked computation. (`std::hint::black_box` under the hood.)
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) runs the payload.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then the timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = Some(elapsed.as_nanos() as f64 / self.iters as f64);
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters,
+        mean_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.mean_ns {
+        Some(ns) if ns >= 1_000_000.0 => {
+            println!("bench {label:<50} {:>12.3} ms/iter", ns / 1e6);
+        }
+        Some(ns) if ns >= 1_000.0 => {
+            println!("bench {label:<50} {:>12.3} us/iter", ns / 1e3);
+        }
+        Some(ns) => println!("bench {label:<50} {:>12.1} ns/iter", ns),
+        None => println!("bench {label:<50}      (no iter() call)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration batch (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to each benchmark function.
+pub struct Criterion {
+    default_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.default_iters, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let default_iters = self.default_iters;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: default_iters,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group runner: `criterion_group!(benches, f1, f2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_plumbing_runs() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stub of [`crossbeam`](https://crates.io/crates/crossbeam).
+//! See `vendor/README.md` for the policy.
+//!
+//! * [`channel`] — re-exports `std::sync::mpsc`, whose implementation
+//!   has itself been crossbeam-based since Rust 1.67 (and whose `Sender`
+//!   is `Sync` since 1.72), so semantics match what the transports need:
+//!   unbounded MPSC, `recv_timeout`, disconnect errors.
+//! * [`thread`] — `scope`/`spawn` on top of `std::thread::scope`, with
+//!   crossbeam's `Result`-returning panic contract.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded MPSC channels (std-backed).
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded channel (upstream `crossbeam_channel::unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's panic-capturing contract.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The spawn context passed to [`scope`]'s closure and to each
+    /// spawned thread's closure (upstream nests spawns through it; this
+    /// stub supports spawning from the scope closure only).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The argument passed to `f` mirrors
+        /// crossbeam's nested-scope handle; it is a placeholder here.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&NestedScope { _private: () }))
+        }
+    }
+
+    /// Placeholder for the scope handle crossbeam passes to spawned
+    /// closures (commonly bound as `|_|`). Nested spawning through it is
+    /// not supported by the stub.
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    /// Runs `f` with a scope in which threads borrowing the environment
+    /// can be spawned; joins them all before returning.
+    ///
+    /// Returns `Err` with the panic payload if any scoped thread (or the
+    /// closure itself) panicked, like upstream crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn channels_send_and_disconnect() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(crate::channel::RecvTimeoutError::Timeout)
+        );
+        drop((tx, tx2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(crate::channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn scope_joins_workers() {
+        let counter = AtomicUsize::new(0);
+        let r = crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            7u32
+        });
+        assert_eq!(r.expect("no panic"), 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_reports_worker_panic_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

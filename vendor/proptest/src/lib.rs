@@ -1,0 +1,622 @@
+//! Offline stub of [`proptest`](https://proptest-rs.github.io/proptest).
+//! See `vendor/README.md` for the policy.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the assertion message and
+//!   the case number; re-running is deterministic (seeds derive from the
+//!   test's module path + name via FNV-1a), so failures reproduce
+//!   exactly.
+//! * **No persistence files**, no forking, no timeouts.
+//! * Strategies are plain generators: [`Strategy::generate`] draws a
+//!   value from a [`TestRng`](test_runner::TestRng).
+//!
+//! The macro surface (`proptest!`, `prop_assert*`, `prop_assume!`,
+//! `prop_oneof!`) and the strategy combinators used by this workspace
+//! (`any`, ranges, tuples, `prop_map`, `Just`, `collection::vec`,
+//! `array::uniform20`) match upstream syntax, so tests written against
+//! this stub also compile against real proptest.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Config, RNG, and error plumbing used by the `proptest!` runner.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume!`) cases before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// The deterministic RNG strategies draw from.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// An RNG seeded from a test's identity, stable across runs.
+        pub fn deterministic(test_name: &str) -> Self {
+            TestRng(SmallRng::seed_from_u64(fnv1a(test_name)))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// FNV-1a over a string: the seed derivation for [`TestRng`].
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: the case does not count either way.
+        Reject(String),
+        /// `prop_assert*!` failed: the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (assumed-away) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream `prop_map`).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strategy: self, f }
+        }
+
+        /// Type-erases the strategy so heterogeneous strategies of the
+        /// same `Value` can be stored together (see `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.as_ref().generate(rng)
+        }
+    }
+
+    /// Uniform choice among equally weighted strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from the boxed arms; panics if empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-balanced; magnitudes spread over ~2^±52.
+            let mantissa: f64 = rng.gen();
+            let exp = rng.gen_range(-52i32..=52);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * mantissa * exp2(exp)
+        }
+    }
+
+    fn exp2(e: i32) -> f64 {
+        if e >= 0 {
+            (1u64 << e.min(62)) as f64
+        } else {
+            1.0 / (1u64 << (-e).min(62)) as f64
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A full-domain strategy for `T` (upstream `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (only `vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists (only `select`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Uniformly selects one of the given values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "prop::sample::select needs options");
+        Select { options }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`uniformN`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// The strategy returned by the `uniformN` constructors.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_ctor {
+        ($($name:ident => $n:literal),*) => {$(
+            /// An array of N values drawn independently from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+    uniform_ctor!(
+        uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform20 => 20, uniform32 => 32
+    );
+}
+
+pub mod prelude {
+    //! The glob import used by property tests.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs property-test functions: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Each `fn` becomes a regular `#[test]` that draws `config.cases`
+/// successful cases from a deterministic [`TestRng`](test_runner::TestRng).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$attr:meta])*
+     fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(__r)) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({}); last: {}",
+                                stringify!($name), __rejected, __r
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), __passed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {x}")` — fails the
+/// current case (works only inside [`proptest!`] bodies).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                    __l, __r, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left != right`\n  both: {:?}",
+                    __l
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&($left), &($right));
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left != right`\n  both: {:?}\n{}",
+                    __l, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — rejects the case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice among the arm strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::deterministic("combinators");
+        let strat = crate::collection::vec((0u32..10, any::<bool>()), 1..5).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = strat.generate(&mut rng);
+            assert!((1..5).contains(&n));
+        }
+        let arr = crate::array::uniform20(any::<u8>()).generate(&mut rng);
+        assert_eq!(arr.len(), 20);
+        let choice = prop_oneof![0u8..1, 10u8..11, Just(99u8)].generate(&mut rng);
+        assert!(choice == 0 || choice == 10 || choice == 99);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn runner_draws_in_range(x in 5u32..15, (lo, hi) in (0u8..10, 100u8..200)) {
+            prop_assert!((5..15).contains(&x));
+            prop_assert!(lo < 10 && hi >= 100);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! Offline stub of [`serde`](https://serde.rs). See `vendor/README.md`.
+//!
+//! Upstream serde separates the data model (`Serializer`/`Deserializer`
+//! visitors) from formats. This stub collapses that onto one
+//! self-describing value tree, [`Value`], which is all the workspace
+//! needs: the MPIL crates only `#[derive(Serialize, Deserialize)]` on
+//! config/report structs and unit enums. A tiny JSON reader/writer
+//! ([`json`]) is included so round-trips can cross a text boundary, which
+//! is what the vendor smoke test exercises.
+//!
+//! Supported shapes (enforced by `serde_derive` at compile time):
+//!
+//! * structs with named fields → [`Value::Map`];
+//! * tuple structs → [`Value::Seq`];
+//! * enums with unit variants (discriminants allowed) → [`Value::Str`].
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the stub's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string (also unit-enum variants).
+    Str(String),
+    /// A sequence (also tuple structs and arrays).
+    Seq(Vec<Value>),
+    /// Named fields, in declaration order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Why deserialization failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// A type-mismatch error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError(format!("expected {what} for {context}"))
+    }
+}
+
+/// Looks up a field in a [`Value::Map`]'s entries (derive-internal).
+pub fn map_get<'v>(map: &'v [(String, Value)], key: &str) -> Result<&'v Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{key}`")))
+}
+
+/// Serialization into the stub's [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the stub's [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", &format!("{other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::U64(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", &format!("{other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("float", &format!("{other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", &format!("{other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "array"))?;
+        if seq.len() != N {
+            return Err(DeError(format!("expected {N} elements, got {}", seq.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($T:ident . $idx:tt),+))*) => {$(
+        impl<$($T: Serialize),+> Serialize for ($($T,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($T: Deserialize),+> Deserialize for ($($T,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let expected = [$( $idx + 1 ),+].len();
+                if seq.len() != expected {
+                    return Err(DeError(format!(
+                        "expected {expected} elements, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($T::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+pub mod json {
+    //! A minimal JSON writer/reader over [`Value`](super::Value): the
+    //! stub's stand-in for `serde_json`.
+
+    use super::{DeError, Deserialize, Serialize, Value};
+
+    /// Serializes any [`Serialize`] type to a JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out);
+        out
+    }
+
+    /// Deserializes any [`Deserialize`] type from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on malformed JSON or a shape mismatch.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, DeError> {
+        let mut p = Parser {
+            s: s.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(DeError("trailing characters after JSON value".into()));
+        }
+        T::from_value(&v)
+    }
+
+    fn write_value(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Keep a decimal point so floats stay floats on re-read.
+                    let s = format!("{x:?}");
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_string(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(item, out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, val)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    write_value(val, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct Parser<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, DeError> {
+            self.skip_ws();
+            self.s
+                .get(self.i)
+                .copied()
+                .ok_or_else(|| DeError("unexpected end of JSON".into()))
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), DeError> {
+            if self.peek()? == b {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(DeError(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.i
+                )))
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, DeError> {
+            if self.s[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(DeError(format!("invalid literal at byte {}", self.i)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, DeError> {
+            match self.peek()? {
+                b'n' => self.lit("null", Value::Null),
+                b't' => self.lit("true", Value::Bool(true)),
+                b'f' => self.lit("false", Value::Bool(false)),
+                b'"' => self.string().map(Value::Str),
+                b'[' => {
+                    self.eat(b'[')?;
+                    let mut items = Vec::new();
+                    if self.peek()? == b']' {
+                        self.i += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        match self.peek()? {
+                            b',' => self.i += 1,
+                            b']' => {
+                                self.i += 1;
+                                return Ok(Value::Seq(items));
+                            }
+                            c => {
+                                return Err(DeError(format!(
+                                    "expected `,` or `]`, found `{}`",
+                                    c as char
+                                )))
+                            }
+                        }
+                    }
+                }
+                b'{' => {
+                    self.eat(b'{')?;
+                    let mut entries = Vec::new();
+                    if self.peek()? == b'}' {
+                        self.i += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        entries.push((key, self.value()?));
+                        match self.peek()? {
+                            b',' => self.i += 1,
+                            b'}' => {
+                                self.i += 1;
+                                return Ok(Value::Map(entries));
+                            }
+                            c => {
+                                return Err(DeError(format!(
+                                    "expected `,` or `}}`, found `{}`",
+                                    c as char
+                                )))
+                            }
+                        }
+                    }
+                }
+                _ => self.number(),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, DeError> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.s.get(self.i) else {
+                    return Err(DeError("unterminated string".into()));
+                };
+                self.i += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&e) = self.s.get(self.i) else {
+                            return Err(DeError("unterminated escape".into()));
+                        };
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .s
+                                    .get(self.i..self.i + 4)
+                                    .ok_or_else(|| DeError("short \\u escape".into()))?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| DeError("bad \\u escape".into()))?,
+                                    16,
+                                )
+                                .map_err(|_| DeError("bad \\u escape".into()))?;
+                                self.i += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| DeError("bad \\u code point".into()))?,
+                                );
+                            }
+                            other => {
+                                return Err(DeError(format!(
+                                    "unknown escape `\\{}`",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    other => {
+                        // Re-decode UTF-8: back up and take the full char.
+                        if other < 0x80 {
+                            out.push(other as char);
+                        } else {
+                            let start = self.i - 1;
+                            let rest = std::str::from_utf8(&self.s[start..])
+                                .map_err(|_| DeError("invalid UTF-8 in string".into()))?;
+                            let c = rest.chars().next().expect("non-empty");
+                            out.push(c);
+                            self.i = start + c.len_utf8();
+                        }
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, DeError> {
+            self.skip_ws();
+            let start = self.i;
+            if self.s.get(self.i) == Some(&b'-') {
+                self.i += 1;
+            }
+            while self.s.get(self.i).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.i += 1;
+            }
+            let text = std::str::from_utf8(&self.s[start..self.i])
+                .map_err(|_| DeError("invalid number".into()))?;
+            if text.is_empty() {
+                return Err(DeError(format!("expected a value at byte {start}")));
+            }
+            if !text.contains(['.', 'e', 'E']) {
+                if let Some(stripped) = text.strip_prefix('-') {
+                    if let Ok(n) = stripped.parse::<u64>() {
+                        if n <= i64::MAX as u64 {
+                            return Ok(Value::I64(-(n as i64)));
+                        }
+                    }
+                } else if let Ok(n) = text.parse::<u64>() {
+                    return Ok(Value::U64(n));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| DeError(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let v = vec![1u32, 5, 9];
+        let s = json::to_string(&v);
+        assert_eq!(s, "[1,5,9]");
+        assert_eq!(json::from_str::<Vec<u32>>(&s).unwrap(), v);
+
+        let f = 0.25f64;
+        assert_eq!(json::from_str::<f64>(&json::to_string(&f)).unwrap(), f);
+
+        let s = String::from("hi \"there\"\n");
+        assert_eq!(json::from_str::<String>(&json::to_string(&s)).unwrap(), s);
+
+        assert_eq!(json::from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(json::from_str::<Option<u8>>("7").unwrap(), Some(7));
+        assert_eq!(json::from_str::<[u8; 3]>("[1,2,3]").unwrap(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_and_float_numbers_parse() {
+        assert_eq!(json::from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(json::from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert!(json::from_str::<u32>("-1").is_err());
+        assert!(json::from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        for bad in ["", "{", "[1,", "\"abc", "tru", "{\"a\":}", "[1 2]", "nullx"] {
+            assert!(json::from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    impl Deserialize for Value {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            Ok(v.clone())
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` targeting the vendored `serde` stub's
+//! value-tree model (see `vendor/serde`).
+//!
+//! No `syn`/`quote` — the container shape is parsed straight off the
+//! `proc_macro` token stream. Supported shapes, which cover every derive
+//! in this workspace:
+//!
+//! * structs with named fields and tuple structs,
+//! * enums with unit (discriminants allowed), tuple, and struct
+//!   variants, externally tagged as in upstream serde.
+//!
+//! Anything else (generics, `#[serde(...)]` attributes) is a compile
+//! error here rather than a silent mis-serialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The container shape the parser recovered.
+enum Shape {
+    /// `struct S { a: T, b: U }` with field names.
+    Named(Vec<String>),
+    /// `struct S(T, U);` with field count.
+    Tuple(usize),
+    /// `enum E { ... }` with per-variant shapes.
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// How a variant carries data.
+enum VariantKind {
+    /// `A` or `A = 3`.
+    Unit,
+    /// `A(T, U)` with field count.
+    Tuple(usize),
+    /// `A { x: T }` with field names.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_container(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Map(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            // Externally tagged, like upstream serde's default:
+            // unit -> "Variant"; data -> {"Variant": payload}.
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Seq(::std::vec::Vec::from([{}])))]))",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(::std::vec::Vec::from([{}])))]))",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_container(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_get(__map, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = ::serde::Value::as_map(v)\
+                     .ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::Value::as_seq(v)\
+                     .ok_or_else(|| ::serde::DeError::expected(\"seq\", \"{name}\"))?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                         \"expected {n} elements for {name}, got {{}}\", __seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __seq = ::serde::Value::as_seq(__payload)\
+                                         .ok_or_else(|| ::serde::DeError::expected(\
+                                             \"seq\", \"{name}::{vn}\"))?;\n\
+                                     if __seq.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError(\
+                                             ::std::format!(\"expected {n} elements for \
+                                             {name}::{vn}, got {{}}\", __seq.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                             ::serde::map_get(__map, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __map = ::serde::Value::as_map(__payload)\
+                                         .ok_or_else(|| ::serde::DeError::expected(\
+                                             \"map\", \"{name}::{vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"string or single-entry map\", \"{name}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}
+
+/// Parses the container name and [`Shape`] from a derive input stream.
+fn parse_container(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(kw)) => kw.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("serde_derive stub: expected container name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match (keyword.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            (name, Shape::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            (name, Shape::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = parse_variants(g.stream());
+            (name, Shape::Enum(variants))
+        }
+        (kw, other) => panic!(
+            "serde_derive stub: unsupported container `{kw} {name}` (body {other:?}); \
+             only field structs, tuple structs and unit enums are supported"
+        ),
+    }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attribute groups (doc comments included).
+fn skip_attributes(tokens: &mut TokenIter) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive stub: malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &mut TokenIter) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(field)) => {
+                fields.push(field.to_string());
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!(
+                        "serde_derive stub: expected `:` after field `{field}`, found {other:?}"
+                    ),
+                }
+                skip_type_until_comma(&mut tokens);
+            }
+            other => panic!("serde_derive stub: expected field name, found {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Consumes a type, stopping after the `,` that ends the field (or at
+/// end of stream). Tracks `<...>` nesting so commas inside generic
+/// arguments don't end the field early.
+fn skip_type_until_comma(tokens: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct body: segments separated by
+/// top-level commas, ignoring a trailing comma.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut in_segment = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if in_segment {
+                        fields += 1;
+                        in_segment = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        fields += 1;
+    }
+    fields
+}
+
+/// Extracts variants (unit, tuple, or struct) from an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(variant)) => {
+                let name = variant.to_string();
+                match tokens.next() {
+                    None => {
+                        variants.push(Variant {
+                            name,
+                            kind: VariantKind::Unit,
+                        });
+                        break;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(Variant {
+                            name,
+                            kind: VariantKind::Unit,
+                        });
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Integer discriminant: skip its expression.
+                        skip_type_until_comma(&mut tokens);
+                        variants.push(Variant {
+                            name,
+                            kind: VariantKind::Unit,
+                        });
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        variants.push(Variant {
+                            name,
+                            kind: VariantKind::Tuple(count_tuple_fields(g.stream())),
+                        });
+                        eat_optional_comma(&mut tokens);
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push(Variant {
+                            name,
+                            kind: VariantKind::Struct(parse_named_fields(g.stream())),
+                        });
+                        eat_optional_comma(&mut tokens);
+                    }
+                    other => panic!(
+                        "serde_derive stub: unexpected token after variant \
+                         `{name}`: {other:?}"
+                    ),
+                }
+            }
+            other => panic!("serde_derive stub: expected enum variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Consumes a single `,` if present.
+fn eat_optional_comma(tokens: &mut TokenIter) {
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        tokens.next();
+    }
+}
