@@ -110,7 +110,7 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("encode_forward_12hop", |b| {
         b.iter(|| black_box(wire.encode()))
     });
-    let encoded = wire.encode();
+    let encoded = wire.encode().expect("encode");
     group.bench_function("decode_forward_12hop", |b| {
         b.iter(|| black_box(WireMessage::decode(&encoded).expect("valid")))
     });

@@ -1,127 +1,13 @@
-//! Baselines: MPIL vs Gnutella-style flooding vs k random walks.
-//!
-//! Section 1 of the paper dismisses flooding as "neither efficient nor
-//! scalable" while acknowledging its robustness; Section 2 discusses
-//! random-walk search (Lv et al.). This bench puts numbers on the
-//! efficiency claim: success rate vs messages per lookup on the same
-//! overlays and workload.
+//! Baselines: MPIL vs Gnutella-style flooding vs k random walks
+//! ([`mpil_bench::figures::ablation_baselines`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ablation_baselines [--full] [--csv] [--seed N]
 //! ```
 
-use mpil::{MpilConfig, StaticEngine, UnstructuredEngine};
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::Family;
-use mpil_bench::Args;
-use mpil_id::Id;
-use mpil_workload::{RunningStats, Table};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let n = *scale.sizes.last().expect("non-empty sizes");
-    let objects = scale.objects;
-
-    let mut table = Table::new(vec![
-        "family".into(),
-        "system".into(),
-        "success %".into(),
-        "msgs/lookup".into(),
-        "hops".into(),
-    ]);
-
-    for family in [
-        Family::PowerLaw,
-        Family::Random {
-            degree: scale.random_degree,
-        },
-    ] {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let topo = family.generate(n, &mut rng);
-        let pairs: Vec<(Id, u32, u32)> = (0..objects)
-            .map(|_| {
-                (
-                    Id::random(&mut rng),
-                    rng.gen_range(0..n as u32),
-                    rng.gen_range(0..n as u32),
-                )
-            })
-            .collect();
-
-        // MPIL: paper settings (insert 30x5, lookup 10x5).
-        {
-            let mut engine = StaticEngine::new(
-                &topo,
-                MpilConfig::default()
-                    .with_max_flows(30)
-                    .with_num_replicas(5),
-                seed ^ 1,
-            );
-            for &(object, owner, _) in &pairs {
-                engine.insert(mpil_overlay::NodeIdx::new(owner), object);
-            }
-            engine.set_config(
-                MpilConfig::default()
-                    .with_max_flows(10)
-                    .with_num_replicas(5),
-            );
-            let (mut ok, mut msgs, mut hops) = (0u64, RunningStats::new(), RunningStats::new());
-            for &(object, _, from) in &pairs {
-                let r = engine.lookup(mpil_overlay::NodeIdx::new(from), object);
-                msgs.push(r.messages as f64);
-                if r.success {
-                    ok += 1;
-                    hops.push(f64::from(r.first_reply_hops.unwrap_or(0)));
-                }
-            }
-            table.row(vec![
-                family.label().into(),
-                "MPIL (10x5)".into(),
-                format!("{:.1}", 100.0 * ok as f64 / pairs.len() as f64),
-                format!("{:.1}", msgs.mean()),
-                format!("{:.2}", hops.mean()),
-            ]);
-        }
-
-        // Flooding and random walks share a store with the same replica
-        // budget MPIL gets (~#replicas MPIL creates ≈ 15), for fairness.
-        for (label, kind) in [("Flooding (TTL=5)", 0u8), ("Random walks (10x50)", 1u8)] {
-            let mut engine = UnstructuredEngine::new(&topo, seed ^ 2);
-            for &(object, owner, _) in &pairs {
-                engine.store(mpil_overlay::NodeIdx::new(owner), object, 14);
-            }
-            let (mut ok, mut msgs, mut hops) = (0u64, RunningStats::new(), RunningStats::new());
-            for &(object, _, from) in &pairs {
-                let r = match kind {
-                    0 => engine.flood(mpil_overlay::NodeIdx::new(from), object, 5),
-                    _ => engine.random_walk(mpil_overlay::NodeIdx::new(from), object, 10, 50),
-                };
-                msgs.push(r.messages as f64);
-                if r.success {
-                    ok += 1;
-                    hops.push(f64::from(r.first_reply_hops.unwrap_or(0)));
-                }
-            }
-            table.row(vec![
-                family.label().into(),
-                label.into(),
-                format!("{:.1}", 100.0 * ok as f64 / pairs.len() as f64),
-                format!("{:.1}", msgs.mean()),
-                format!("{:.2}", hops.mean()),
-            ]);
-        }
-    }
-    println!("Baselines: MPIL vs unstructured search ({n} nodes, equal replica budgets)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::ablation_baselines(&args).print(args.flag("csv"));
 }

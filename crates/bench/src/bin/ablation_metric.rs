@@ -1,77 +1,13 @@
 //! Ablation: the MPIL common-digit metric vs prefix and suffix matching
-//! (Section 4.2, "Continuous Forwarding over Arbitrary Overlays").
-//!
-//! The paper argues prefix/suffix routing cannot distinguish neighbors on
-//! arbitrary overlays — with base-4 digits, two random IDs share no
-//! prefix at all with probability 3/4, so most neighbors look identical
-//! (metric 0) and redundancy is spent blindly. The common-digit metric
-//! almost never ties at zero, so every hop makes measurable progress.
+//! ([`mpil_bench::figures::ablation_metric`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ablation_metric [--full] [--csv] [--seed N]
 //! ```
 
-use mpil::{MpilConfig, RoutingMetric, SplitPolicy};
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::{lookup_behavior, Family};
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let n = *scale.sizes.last().expect("non-empty sizes");
-
-    let mut table = Table::new(vec![
-        "family".into(),
-        "metric".into(),
-        "success %".into(),
-        "traffic".into(),
-        "hops".into(),
-    ]);
-    for family in [
-        Family::PowerLaw,
-        Family::Random {
-            degree: scale.random_degree,
-        },
-    ] {
-        for metric in [
-            RoutingMetric::CommonDigits,
-            RoutingMetric::PrefixMatch,
-            RoutingMetric::SuffixMatch,
-        ] {
-            // Tie-based splitting exposes the metric's distinguishing
-            // power: an uninformative metric ties everywhere and cannot
-            // steer the limited flow budget (with TopK fan-out the extra
-            // redundancy masks the difference).
-            let insert = MpilConfig::default()
-                .with_max_flows(30)
-                .with_num_replicas(5)
-                .with_metric(metric)
-                .with_split_policy(SplitPolicy::MetricTies);
-            let lookup = MpilConfig::default()
-                .with_max_flows(10)
-                .with_num_replicas(3)
-                .with_metric(metric)
-                .with_split_policy(SplitPolicy::MetricTies);
-            let b = lookup_behavior(family, n, scale.graphs, scale.objects, insert, lookup, seed);
-            table.row(vec![
-                family.label().into(),
-                format!("{metric:?}"),
-                format!("{:.1}", b.success_rate),
-                format!("{:.1}", b.mean_traffic),
-                format!("{:.2}", b.mean_hops),
-            ]);
-        }
-    }
-    println!("Ablation: routing metric (Section 4.2), {n} nodes, tie-splitting, lookups mf=10 r=3");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::ablation_metric(&args).print(args.flag("csv"));
 }

@@ -1,74 +1,13 @@
-//! Ablation: tie-based vs top-k flow splitting.
-//!
-//! The paper's Figure 5 pseudo-code splits a message across neighbors
-//! *tied* at the best metric; its Section 4 prose and the realized flow
-//! counts of Table 3 (~9 of a 10-flow budget) imply fan-out to the *best
-//! few* neighbors up to the budget. This binary quantifies the choice on
-//! both static-overlay families; `TopK` is the crate default because it
-//! reproduces Tables 1–3 (see EXPERIMENTS.md).
+//! Ablation: tie-based vs top-k flow splitting
+//! ([`mpil_bench::figures::ablation_split_policy`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ablation_split_policy [--full] [--csv] [--seed N]
 //! ```
 
-use mpil::{MpilConfig, SplitPolicy};
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::{lookup_behavior, Family};
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let n = *scale.sizes.last().expect("non-empty sizes");
-
-    let mut table = Table::new(vec![
-        "family".into(),
-        "policy".into(),
-        "lookup cfg".into(),
-        "success %".into(),
-        "flows".into(),
-        "traffic".into(),
-        "hops".into(),
-    ]);
-    for family in [
-        Family::PowerLaw,
-        Family::Random {
-            degree: scale.random_degree,
-        },
-    ] {
-        for policy in [SplitPolicy::MetricTies, SplitPolicy::TopK] {
-            for (mf, r) in [(10u32, 3u32), (10, 5), (5, 1)] {
-                let insert = MpilConfig::default()
-                    .with_max_flows(30)
-                    .with_num_replicas(5)
-                    .with_split_policy(policy);
-                let lookup = MpilConfig::default()
-                    .with_max_flows(mf)
-                    .with_num_replicas(r)
-                    .with_split_policy(policy);
-                let b =
-                    lookup_behavior(family, n, scale.graphs, scale.objects, insert, lookup, seed);
-                table.row(vec![
-                    family.label().into(),
-                    format!("{policy:?}"),
-                    format!("mf={mf} r={r}"),
-                    format!("{:.1}", b.success_rate),
-                    format!("{:.2}", b.mean_flows),
-                    format!("{:.1}", b.mean_traffic),
-                    format!("{:.2}", b.mean_hops),
-                ]);
-            }
-        }
-    }
-    println!("Ablation: flow-splitting policy ({n} nodes)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::ablation_split_policy(&args).print(args.flag("csv"));
 }

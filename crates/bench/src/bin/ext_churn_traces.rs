@@ -1,203 +1,13 @@
-//! Extension: trace-driven churn instead of periodic flapping.
-//!
-//! The paper motivates perturbation with the measured availability of
-//! real deployments (Bhagwan et al.'s Overnet crawl, Saroiu et al.'s
-//! Napster/Gnutella study — Section 2) but evaluates only the synthetic
-//! flapping model. This binary replays synthetic session traces with
-//! exponential on/off times calibrated to those studies' headline
-//! numbers (median session lengths of tens of minutes, mean availability
-//! well below 1) and compares MPIL against Pastry-with-maintenance on
-//! the same frozen overlay.
+//! Extension: trace-driven churn instead of periodic flapping
+//! ([`mpil_bench::figures::ext_churn_traces`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ext_churn_traces [--csv] [--seed N]
 //! ```
 
-use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
-use mpil_overlay::transit_stub::{self, TransitStubConfig};
-use mpil_overlay::NodeIdx;
-use mpil_pastry::{build_converged_states, PastryConfig, PastrySim};
-use mpil_sim::{AlwaysOn, SimDuration, SimTime, TraceChurn, TransitStubLatency};
-use mpil_workload::Table;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-struct Scenario {
-    label: &'static str,
-    mean_online_s: u64,
-    mean_offline_s: u64,
-}
+use mpil_bench::{figures, Args};
 
 fn main() {
-    let args = mpil_bench::Args::parse_env();
-    let (_full, csv, seed) = args.standard();
-    let nodes = args.value_or("nodes", 400usize);
-    let ops = args.value_or("ops", 80usize);
-
-    // Session scales bracketing the measurement studies: Gnutella-like
-    // (short sessions, ~50% availability), Overnet-like (longer sessions,
-    // ~70%), and a stable fleet (~90%).
-    let scenarios = [
-        Scenario {
-            label: "gnutella-like (50% up)",
-            mean_online_s: 600,
-            mean_offline_s: 600,
-        },
-        Scenario {
-            label: "overnet-like (70% up)",
-            mean_online_s: 1400,
-            mean_offline_s: 600,
-        },
-        Scenario {
-            label: "stable fleet (90% up)",
-            mean_online_s: 5400,
-            mean_offline_s: 600,
-        },
-    ];
-
-    let mut table = Table::new(vec![
-        "scenario".into(),
-        "MSPastry %".into(),
-        "MPIL w/o DS %".into(),
-    ]);
-    for sc in &scenarios {
-        let pastry = run_pastry(sc, nodes, ops, seed);
-        let mpil = run_mpil(sc, nodes, ops, seed);
-        table.row(vec![
-            sc.label.into(),
-            format!("{pastry:.1}"),
-            format!("{mpil:.1}"),
-        ]);
-        eprintln!("{}: pastry {pastry:.1}%, mpil {mpil:.1}%", sc.label);
-    }
-    println!("Extension: success under trace-driven churn ({nodes} nodes, {ops} lookups)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
-}
-
-fn trace(sc: &Scenario, nodes: usize, horizon: SimTime, origin: NodeIdx, seed: u64) -> TraceChurn {
-    use rand::Rng;
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0ffee);
-    let exp = |rng: &mut SmallRng, mean_us: f64| -> u64 {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        (-mean_us * u.ln()).max(1.0) as u64
-    };
-    let on_us = sc.mean_online_s as f64 * 1e6;
-    let off_us = sc.mean_offline_s as f64 * 1e6;
-    let mut all: Vec<Vec<(SimTime, SimTime)>> = Vec::with_capacity(nodes);
-    for i in 0..nodes {
-        if i == origin.index() {
-            // The measurement origin is always up.
-            all.push(vec![(
-                SimTime::ZERO,
-                horizon + SimDuration::from_secs(3600),
-            )]);
-            continue;
-        }
-        let mut list = Vec::new();
-        let mut t = if rng.gen_bool(0.5) {
-            0
-        } else {
-            exp(&mut rng, off_us)
-        };
-        while t < horizon.as_micros() {
-            let end = (t + exp(&mut rng, on_us)).min(horizon.as_micros());
-            list.push((SimTime::from_micros(t), SimTime::from_micros(end)));
-            t = end + exp(&mut rng, off_us);
-        }
-        all.push(list);
-    }
-    TraceChurn::from_sessions(all)
-}
-
-fn run_pastry(sc: &Scenario, nodes: usize, ops: usize, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let config = PastryConfig::default();
-    let ids = mpil_pastry::bootstrap::random_ids(nodes, &mut rng);
-    let states = build_converged_states(&ids, &config, &mut rng);
-    let ts = transit_stub::generate(nodes, TransitStubConfig::default(), &mut rng).expect("ts");
-    let mut sim = PastrySim::new(
-        ids,
-        states,
-        config,
-        Box::new(AlwaysOn),
-        Box::new(TransitStubLatency::new(ts, 0.1)),
-        seed ^ 0x77,
-    );
-    let origin = NodeIdx::new(0);
-    let objects: Vec<_> = (0..ops).map(|_| mpil_id::Id::random(&mut rng)).collect();
-    for &o in &objects {
-        sim.insert(origin, o);
-    }
-    sim.run_to_quiescence();
-    sim.start_maintenance();
-
-    let period = SimDuration::from_secs(120);
-    let horizon = sim.now() + period * (ops as u64 + 2);
-    sim.set_availability(Box::new(trace(sc, nodes, horizon, origin, seed)));
-
-    let mut lookups = Vec::new();
-    for &o in objects.iter() {
-        sim.run_until(sim.now() + period);
-        lookups.push(sim.issue_lookup(origin, o, sim.now() + SimDuration::from_secs(60)));
-    }
-    sim.run_until(sim.now() + SimDuration::from_secs(90));
-    let ok = lookups
-        .iter()
-        .filter(|&&l| {
-            matches!(
-                sim.lookup_outcome(l),
-                mpil_pastry::LookupOutcome::Succeeded { .. }
-            )
-        })
-        .count();
-    100.0 * ok as f64 / lookups.len() as f64
-}
-
-fn run_mpil(sc: &Scenario, nodes: usize, ops: usize, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let config = PastryConfig::default();
-    let ids = mpil_pastry::bootstrap::random_ids(nodes, &mut rng);
-    let states = build_converged_states(&ids, &config, &mut rng);
-    let neighbors: Vec<Vec<NodeIdx>> = states.iter().map(|s| s.neighbor_list()).collect();
-    let ts = transit_stub::generate(nodes, TransitStubConfig::default(), &mut rng).expect("ts");
-    let mut net = DynamicNetwork::new(
-        ids,
-        neighbors,
-        DynamicConfig {
-            mpil: MpilConfig::default().with_duplicate_suppression(false),
-            heartbeat_period: None,
-        },
-        Box::new(AlwaysOn),
-        Box::new(TransitStubLatency::new(ts, 0.1)),
-        seed ^ 0x77,
-    );
-    let origin = NodeIdx::new(0);
-    let objects: Vec<_> = (0..ops).map(|_| mpil_id::Id::random(&mut rng)).collect();
-    for &o in &objects {
-        net.insert(origin, o);
-    }
-    net.run_to_quiescence();
-
-    let period = SimDuration::from_secs(120);
-    let horizon = net.now() + period * (ops as u64 + 2);
-    net.set_availability(Box::new(trace(sc, nodes, horizon, origin, seed)));
-
-    let mut lookups = Vec::new();
-    for &o in objects.iter() {
-        net.run_until(net.now() + period);
-        lookups.push(net.issue_lookup(origin, o, net.now() + SimDuration::from_secs(60)));
-    }
-    net.run_until(net.now() + SimDuration::from_secs(90));
-    let ok = lookups
-        .iter()
-        .filter(|&&l| matches!(net.lookup_status(l), LookupStatus::Succeeded { .. }))
-        .count();
-    100.0 * ok as f64 / lookups.len() as f64
+    let args = Args::parse_env();
+    figures::ext_churn_traces(&args).print(args.flag("csv"));
 }

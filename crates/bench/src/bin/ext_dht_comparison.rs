@@ -1,86 +1,13 @@
-//! Extension: the Figure 11 comparison widened to three DHT baselines.
-//!
-//! Figure 11 compares MPIL against MSPastry only. This binary adds
-//! Chord (with full stabilization) and Kademlia in two configurations —
-//! single-copy/single-path (`k = 1, α = 1`, the apples-to-apples peer of
-//! MSPastry's one-root storage) and stock (`k = 8, α = 3`) — all under
-//! the same 30:30 flapping sweep, against MPIL over each baseline's own
-//! frozen overlay.
-//!
-//! Expected shape: every *single-copy* maintained DHT collapses as p
-//! grows; replicated Kademlia holds (the literature's churn-resistance
-//! result); MPIL over any frozen graph stays at the top without any
-//! maintenance at all.
+//! Extension: the Figure 11 comparison widened to three DHT baselines
+//! ([`mpil_bench::figures::ext_dht_comparison`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ext_dht_comparison [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::dhts::{run_baseline, run_mpil_over, Baseline, OverlaySource};
-use mpil_bench::perturb::PerturbRun;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
-    let args = mpil_bench::Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let (nodes, ops) = if full { (1000, 500) } else { (250, 50) };
-    let nodes = args.value_or("nodes", nodes);
-    let ops = args.value_or("ops", ops);
-    let probabilities = [0.2, 0.5, 0.9];
-
-    let run_at = |p: f64| PerturbRun {
-        nodes,
-        operations: ops,
-        idle_secs: 30,
-        offline_secs: 30,
-        probability: p,
-        deadline_cap_secs: 60,
-        loss_probability: 0.0,
-        seed,
-    };
-
-    let mut header: Vec<String> = vec!["system".into()];
-    header.extend(probabilities.iter().map(|p| format!("p={p} %")));
-    let mut table = Table::new(header);
-
-    let baselines = [
-        Baseline::Pastry,
-        Baseline::Chord,
-        Baseline::Kademlia { k: 1, alpha: 1 },
-        Baseline::Kademlia { k: 8, alpha: 3 },
-    ];
-    for b in baselines {
-        let mut cells = vec![b.label()];
-        for &p in &probabilities {
-            let rate = run_baseline(b, run_at(p));
-            cells.push(format!("{rate:.1}"));
-            eprintln!("{} p={p}: {rate:.1}%", b.label());
-        }
-        table.row(cells);
-    }
-    for src in [
-        OverlaySource::Pastry,
-        OverlaySource::Chord,
-        OverlaySource::Kademlia,
-    ] {
-        let mut cells = vec![format!("MPIL over {}", src.label())];
-        for &p in &probabilities {
-            let r = run_mpil_over(src, run_at(p));
-            cells.push(format!("{:.1}", r.success_rate));
-            eprintln!("MPIL/{} p={p}: {:.1}%", src.label(), r.success_rate);
-        }
-        table.row(cells);
-    }
-    println!(
-        "Extension: maintained DHTs vs maintenance-free MPIL under flapping \
-         ({nodes} nodes, {ops} lookups, idle:offline=30:30)"
-    );
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    let args = Args::parse_env();
+    figures::ext_dht_comparison(&args).print(args.flag("csv"));
 }

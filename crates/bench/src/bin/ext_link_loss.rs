@@ -1,78 +1,13 @@
-//! Extension: link loss instead of (and combined with) node flapping.
-//!
-//! Castro et al.'s dependability study (cited in Section 2 as the source
-//! of MSPastry's maintenance techniques) evaluates Pastry under *network
-//! message loss* as well as churn. The MPIL paper only perturbs nodes;
-//! this binary closes that gap: an independent per-message loss
-//! probability is injected during the lookup stage, alone and on top of
-//! moderate flapping.
-//!
-//! Expected shape: per-hop retransmission lets MSPastry absorb small
-//! loss rates; MPIL absorbs them through flow redundancy without any
-//! retransmission. Under combined loss + flapping the ordering of
-//! Figure 11 (MPIL on top) must persist.
+//! Extension: link loss instead of (and combined with) node flapping
+//! ([`mpil_bench::figures::ext_link_loss`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ext_link_loss [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::perturb::{run_system, PerturbRun, System};
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
-    let args = mpil_bench::Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let (nodes, ops) = if full { (1000, 1000) } else { (300, 60) };
-    let nodes = args.value_or("nodes", nodes);
-    let ops = args.value_or("ops", ops);
-
-    let losses = [0.0, 0.05, 0.1, 0.2, 0.4];
-
-    let mut table = Table::new(vec![
-        "loss".into(),
-        "flap p".into(),
-        "MSPastry %".into(),
-        "MPIL w/o DS %".into(),
-        "MSPastry msgs/lookup".into(),
-        "MPIL msgs/lookup".into(),
-    ]);
-    for &flap in &[0.0, 0.5] {
-        for &loss in &losses {
-            let run = PerturbRun {
-                nodes,
-                operations: ops,
-                idle_secs: 30,
-                offline_secs: 30,
-                probability: flap,
-                deadline_cap_secs: 60,
-                loss_probability: loss,
-                seed,
-            };
-            let pastry = run_system(System::Pastry, run);
-            let mpil = run_system(System::MpilNoDs, run);
-            table.row(vec![
-                format!("{loss:.2}"),
-                format!("{flap:.1}"),
-                format!("{:.1}", pastry.success_rate),
-                format!("{:.1}", mpil.success_rate),
-                format!("{:.1}", pastry.lookup_messages as f64 / ops as f64),
-                format!("{:.1}", mpil.lookup_messages as f64 / ops as f64),
-            ]);
-            eprintln!(
-                "loss {loss:.2} flap {flap:.1}: pastry {:.1}%, mpil {:.1}%",
-                pastry.success_rate, mpil.success_rate
-            );
-        }
-    }
-    println!(
-        "Extension: success under link loss ({nodes} nodes, {ops} lookups, idle:offline=30:30)"
-    );
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    let args = Args::parse_env();
+    figures::ext_link_loss(&args).print(args.flag("csv"));
 }

@@ -1,89 +1,13 @@
-//! Extension: overlay-independence across five overlay families.
-//!
-//! The paper demonstrates overlay-independence on random and power-law
-//! graphs (Section 6.1) and on the MSPastry overlay (Section 6.2). With
-//! Chord and Kademlia built as additional substrates, this binary runs
-//! the *same* MPIL configuration (max_flows = 10, per-flow replicas = 5,
-//! no DS, no maintenance) over the frozen neighbor graphs of all five
-//! families — Pastry, Chord, Kademlia, random-regular, power-law — both
-//! unperturbed and under 30:30 flapping at p = 0.5 and p = 0.9.
-//!
-//! Expected shape: success stays high and hops/traffic stay in the same
-//! band on *every* family; the structured overlays' sparser graphs
-//! (Chord's ≈ log N out-degree) cost a few points at heavy flapping but
-//! do not change the story.
+//! Extension: overlay-independence across five overlay families
+//! ([`mpil_bench::figures::ext_overlay_independence`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin ext_overlay_independence [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::dhts::{mean_out_degree, run_mpil_over, OverlaySource};
-use mpil_bench::perturb::PerturbRun;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
-    let args = mpil_bench::Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let (nodes, ops) = if full { (1000, 500) } else { (300, 60) };
-    let nodes = args.value_or("nodes", nodes);
-    let ops = args.value_or("ops", ops);
-
-    let sources = [
-        OverlaySource::Pastry,
-        OverlaySource::Chord,
-        OverlaySource::Kademlia,
-        OverlaySource::RandomRegular(16),
-        OverlaySource::PowerLaw,
-    ];
-
-    let mut table = Table::new(vec![
-        "overlay".into(),
-        "out-degree".into(),
-        "p=0 %".into(),
-        "p=0.5 %".into(),
-        "p=0.9 %".into(),
-        "hops (p=0)".into(),
-        "msgs/lookup (p=0)".into(),
-    ]);
-    for src in sources {
-        let (_, nbrs) = src.build(nodes, seed);
-        let degree = mean_out_degree(&nbrs);
-        let mut cells = vec![src.label(), format!("{degree:.1}")];
-        let mut calm_hops = String::new();
-        let mut calm_msgs = String::new();
-        for p in [0.0, 0.5, 0.9] {
-            let run = PerturbRun {
-                nodes,
-                operations: ops,
-                idle_secs: 30,
-                offline_secs: 30,
-                probability: p,
-                deadline_cap_secs: 60,
-                loss_probability: 0.0,
-                seed,
-            };
-            let r = run_mpil_over(src, run);
-            cells.push(format!("{:.1}", r.success_rate));
-            if p == 0.0 {
-                calm_hops = format!("{:.2}", r.mean_reply_hops);
-                calm_msgs = format!("{:.1}", r.lookup_messages as f64 / ops as f64);
-            }
-            eprintln!("{} p={p}: {:.1}%", src.label(), r.success_rate);
-        }
-        cells.push(calm_hops);
-        cells.push(calm_msgs);
-        table.row(cells);
-    }
-    println!(
-        "Extension: MPIL overlay-independence across overlay families \
-         ({nodes} nodes, {ops} lookups, max_flows=10, r=5, idle:offline=30:30)"
-    );
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    let args = Args::parse_env();
+    figures::ext_overlay_independence(&args).print(args.flag("csv"));
 }

@@ -1,71 +1,13 @@
-//! Figure 10: MPIL lookup latency (hops of the first successful reply,
-//! left panel) and lookup traffic (right panel) vs overlay size, for
-//! power-law and random overlays.
-//!
-//! Paper parameters: lookups with max_flows = 10 and per-flow
-//! replicas = 5 ("that setting gives 100% success rates for all sizes").
+//! Figure 10: MPIL lookup latency and traffic vs overlay size
+//! ([`mpil_bench::figures::fig10_lookup_cost`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig10_lookup_cost [--full] [--csv] [--seed N]
 //! ```
 
-use mpil::MpilConfig;
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::{lookup_behavior, paper_insert_config, Family};
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let insert_config = paper_insert_config();
-    let lookup_config = MpilConfig::default()
-        .with_max_flows(10)
-        .with_num_replicas(5);
-
-    let mut table = Table::new(vec![
-        "family".into(),
-        "nodes".into(),
-        "success %".into(),
-        "avg latency (hops)".into(),
-        "avg traffic".into(),
-        "traffic to 1st reply".into(),
-    ]);
-    for family in [
-        Family::PowerLaw,
-        Family::Random {
-            degree: scale.random_degree,
-        },
-    ] {
-        for &n in scale.sizes {
-            eprintln!("fig10: {} {n} nodes", family.label());
-            let b = lookup_behavior(
-                family,
-                n,
-                scale.graphs,
-                scale.objects,
-                insert_config,
-                lookup_config,
-                seed,
-            );
-            table.row(vec![
-                family.label().into(),
-                n.to_string(),
-                format!("{:.1}", b.success_rate),
-                format!("{:.2}", b.mean_hops),
-                format!("{:.1}", b.mean_traffic),
-                format!("{:.1}", b.mean_traffic_to_first_reply),
-            ]);
-        }
-    }
-    println!("Figure 10: MPIL lookup latency and traffic (max_flows=10, per-flow replicas=5)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::fig10_lookup_cost(&args).print(args.flag("csv"));
 }

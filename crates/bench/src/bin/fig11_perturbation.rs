@@ -1,62 +1,14 @@
-//! Figure 11: success rate under perturbation for the four systems —
-//! MSPastry, MSPastry with RR, MPIL with DS, MPIL without DS — at
-//! idle:offline settings 1:1, 30:30 and 300:300 seconds.
+//! Figure 11: success rate under perturbation for the four systems
+//! ([`mpil_bench::figures::fig11_perturbation`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig11_perturbation [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::perturb::{run_points, PerturbRun, System};
-use mpil_bench::scale::perturb_scale;
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
-    let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = perturb_scale(full);
-    let workers = args.value_or("workers", 2usize);
-    let settings: &[(u64, u64)] = &[(1, 1), (30, 30), (300, 300)];
-    let systems = System::all();
-
-    for &(idle, offline) in settings {
-        let mut points = Vec::new();
-        for &system in &systems {
-            for &p in scale.probabilities {
-                let mut run = PerturbRun::new(idle, offline, p);
-                run.nodes = scale.nodes;
-                run.operations = scale.operations;
-                run.seed = seed;
-                points.push((system, run));
-            }
-        }
-        eprintln!(
-            "fig11 idle:offline={idle}:{offline}: {} runs, {} nodes, {} lookups each",
-            points.len(),
-            scale.nodes,
-            scale.operations
-        );
-        let results = run_points(&points, workers);
-
-        let mut headers = vec!["flap prob".to_string()];
-        headers.extend(systems.iter().map(|s| s.label().to_string()));
-        let mut table = Table::new(headers);
-        for (pi, &p) in scale.probabilities.iter().enumerate() {
-            let mut row = vec![format!("{p:.1}")];
-            for si in 0..systems.len() {
-                let r = &results[si * scale.probabilities.len() + pi];
-                row.push(format!("{:.1}", r.success_rate));
-            }
-            table.row(row);
-        }
-        println!("Figure 11 (idle:offline = {idle}:{offline}): success rate (%)");
-        println!(
-            "{}",
-            if csv {
-                table.render_csv()
-            } else {
-                table.render()
-            }
-        );
-    }
+    // fig11 streams: each idle:offline setting's table prints as soon
+    // as its sweep completes.
+    figures::fig11_perturbation(&Args::parse_env());
 }

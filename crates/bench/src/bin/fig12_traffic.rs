@@ -1,75 +1,13 @@
-//! Figure 12: overall traffic under perturbation (idle:offline = 30:30) —
-//! forwarded lookup messages (left panel) and total messages including
-//! maintenance and acks (right panel), vs flapping probability.
+//! Figure 12: overall traffic under perturbation
+//! ([`mpil_bench::figures::fig12_traffic`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig12_traffic [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::perturb::{run_points, PerturbRun, System};
-use mpil_bench::scale::perturb_scale;
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = perturb_scale(full);
-    let workers = args.value_or("workers", 2usize);
-    let systems = [System::Pastry, System::MpilDs, System::MpilNoDs];
-
-    let mut points = Vec::new();
-    for &system in &systems {
-        for &p in scale.probabilities {
-            let mut run = PerturbRun::new(30, 30, p);
-            run.nodes = scale.nodes;
-            run.operations = scale.operations;
-            run.seed = seed;
-            points.push((system, run));
-        }
-    }
-    eprintln!(
-        "fig12: {} runs, {} nodes, {} lookups each",
-        points.len(),
-        scale.nodes,
-        scale.operations
-    );
-    let results = run_points(&points, workers);
-
-    for (title, pick) in [
-        (
-            "Figure 12 (left): forwarded lookup messages (idle:offline = 30:30)",
-            0usize,
-        ),
-        (
-            "Figure 12 (right): total messages incl. maintenance (idle:offline = 30:30)",
-            1usize,
-        ),
-    ] {
-        let mut headers = vec!["flap prob".to_string()];
-        headers.extend(systems.iter().map(|s| s.label().to_string()));
-        let mut table = Table::new(headers);
-        for (pi, &p) in scale.probabilities.iter().enumerate() {
-            let mut row = vec![format!("{p:.1}")];
-            for si in 0..systems.len() {
-                let r = &results[si * scale.probabilities.len() + pi];
-                let v = if pick == 0 {
-                    r.lookup_messages
-                } else {
-                    r.total_messages
-                };
-                row.push(v.to_string());
-            }
-            table.row(row);
-        }
-        println!("{title}");
-        println!(
-            "{}",
-            if csv {
-                table.render_csv()
-            } else {
-                table.render()
-            }
-        );
-    }
+    figures::fig12_traffic(&args).print(args.flag("csv"));
 }

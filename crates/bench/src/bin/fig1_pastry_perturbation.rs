@@ -1,62 +1,13 @@
-//! Figure 1: the effect of perturbation on MSPastry.
-//!
-//! Success rate (%) vs flapping probability for idle:offline settings
-//! 1:1, 45:15, 30:30 and 300:300 seconds.
+//! Figure 1: the effect of perturbation on MSPastry
+//! ([`mpil_bench::figures::fig1_pastry_perturbation`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig1_pastry_perturbation [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::perturb::{run_points, PerturbRun, System};
-use mpil_bench::scale::perturb_scale;
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = perturb_scale(full);
-    let workers = args.value_or("workers", 2usize);
-    let settings: &[(u64, u64)] = &[(1, 1), (45, 15), (30, 30), (300, 300)];
-
-    let mut points = Vec::new();
-    for &(idle, offline) in settings {
-        for &p in scale.probabilities {
-            let mut run = PerturbRun::new(idle, offline, p);
-            run.nodes = scale.nodes;
-            run.operations = scale.operations;
-            run.seed = seed;
-            points.push((System::Pastry, run));
-        }
-    }
-    eprintln!(
-        "fig1: {} runs ({} settings x {} probabilities), {} nodes, {} lookups each",
-        points.len(),
-        settings.len(),
-        scale.probabilities.len(),
-        scale.nodes,
-        scale.operations
-    );
-    let results = run_points(&points, workers);
-
-    let mut headers = vec!["flap prob".to_string()];
-    headers.extend(settings.iter().map(|&(i, o)| format!("{i}:{o}")));
-    let mut table = Table::new(headers);
-    for (pi, &p) in scale.probabilities.iter().enumerate() {
-        let mut row = vec![format!("{p:.1}")];
-        for si in 0..settings.len() {
-            let r = &results[si * scale.probabilities.len() + pi];
-            row.push(format!("{:.1}", r.success_rate));
-        }
-        table.row(row);
-    }
-    println!("Figure 1: MSPastry success rate (%) under perturbation");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::fig1_pastry_perturbation(&args).print(args.flag("csv"));
 }

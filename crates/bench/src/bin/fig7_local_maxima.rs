@@ -1,78 +1,13 @@
 //! Figure 7: expected number of local maxima for random regular
-//! topologies (Section 5.2 closed form), with an optional Monte-Carlo
-//! cross-check against actual generated graphs (`--validate`).
+//! topologies ([`mpil_bench::figures::fig7_local_maxima`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig7_local_maxima [--csv] [--validate]
 //! ```
 
-use mpil_analysis::AnalysisModel;
-use mpil_bench::Args;
-use mpil_id::{Id, IdSpace};
-use mpil_workload::Table;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (_full, csv, seed) = args.standard();
-    let model = AnalysisModel::base4();
-    let sizes = [4000usize, 8000, 16000];
-    let degrees: Vec<usize> = (10..=100).step_by(10).collect();
-
-    let mut headers = vec!["degree".to_string()];
-    headers.extend(sizes.iter().map(|n| format!("{n} nodes")));
-    if args.flag("validate") {
-        headers.push("simulated (1000, d)".into());
-    }
-    let mut table = Table::new(headers);
-    for &d in &degrees {
-        let mut row = vec![d.to_string()];
-        for &n in &sizes {
-            row.push(format!("{:.1}", model.expected_local_maxima_regular(n, d)));
-        }
-        if args.flag("validate") {
-            row.push(format!("{:.1}", monte_carlo(1000, d, seed)));
-        }
-        table.row(row);
-    }
-    println!("Figure 7: expected number of local maxima (random regular topologies, base-4)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
-    println!(
-        "expected hops to a local maximum (1/C): d=10 -> {:.1}, d=50 -> {:.1}, d=100 -> {:.1}",
-        model.expected_hops_regular(10),
-        model.expected_hops_regular(50),
-        model.expected_hops_regular(100)
-    );
-}
-
-/// Counts actual local maxima on generated graphs (scaled to the formula's
-/// per-node probability times 1000 nodes for comparability).
-fn monte_carlo(nodes: usize, degree: usize, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let topo = mpil_overlay::generators::random_regular(nodes, degree, &mut rng)
-        .expect("graph generation");
-    let space = IdSpace::base4();
-    let trials = 40;
-    let mut total = 0usize;
-    for _ in 0..trials {
-        let object = Id::random(&mut rng);
-        total += topo
-            .iter_nodes()
-            .filter(|&n| {
-                let own = space.common_digits(object, topo.id(n));
-                topo.neighbors(n)
-                    .iter()
-                    .all(|&m| space.common_digits(object, topo.id(m)) <= own)
-            })
-            .count();
-    }
-    total as f64 / trials as f64
+    figures::fig7_local_maxima(&args).print(args.flag("csv"));
 }

@@ -1,77 +1,13 @@
 //! Figure 8: expected number of replicas on complete topologies
-//! (Section 5.2 closed form), with an optional simulated cross-check on
-//! small complete graphs (`--validate`).
+//! ([`mpil_bench::figures::fig8_complete_replicas`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig8_complete_replicas [--csv] [--validate]
 //! ```
 
-use mpil::{MpilConfig, StaticEngine};
-use mpil_analysis::AnalysisModel;
-use mpil_bench::Args;
-use mpil_id::Id;
-use mpil_overlay::{generators, NodeIdx};
-use mpil_workload::{RunningStats, Table};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (_full, csv, seed) = args.standard();
-    let model = AnalysisModel::base4();
-    let sizes: Vec<usize> = (1..=8).map(|k| k * 2000).collect();
-
-    let mut headers = vec!["nodes".to_string(), "expected replicas".to_string()];
-    if args.flag("validate") {
-        headers.push("simulated (n=800)".into());
-    }
-    let mut table = Table::new(headers);
-    let simulated = if args.flag("validate") {
-        Some(simulate_complete(800, seed))
-    } else {
-        None
-    };
-    for &n in &sizes {
-        let mut row = vec![
-            n.to_string(),
-            format!("{:.3}", model.expected_replicas_complete(n)),
-        ];
-        if let Some(sim) = simulated {
-            row.push(format!(
-                "{sim:.3} (formula {:.3})",
-                model.expected_replicas_complete(800)
-            ));
-        }
-        table.row(row);
-    }
-    println!("Figure 8: expected number of replicas (complete topologies, base-4)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
-}
-
-/// Inserts random objects into an actual complete graph and reports the
-/// mean replica count (every tied global maximum stores).
-fn simulate_complete(n: usize, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let topo = generators::complete(n, &mut rng).expect("complete graph");
-    // One flow suffices on a complete graph (every node is everyone's
-    // neighbor); give the budget room for ties.
-    let config = MpilConfig::default()
-        .with_max_flows(30)
-        .with_num_replicas(1);
-    let mut engine = StaticEngine::new(&topo, config, seed ^ 1);
-    let mut stats = RunningStats::new();
-    for _ in 0..60 {
-        let object = Id::random(&mut rng);
-        let origin = NodeIdx::new(rng.gen_range(0..n as u32));
-        let report = engine.insert(origin, object);
-        stats.push(f64::from(report.replicas));
-    }
-    stats.mean()
+    figures::fig8_complete_replicas(&args).print(args.flag("csv"));
 }

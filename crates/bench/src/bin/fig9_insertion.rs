@@ -1,67 +1,13 @@
-//! Figure 9: MPIL insertion behavior over power-law and random overlays —
-//! replicas per insertion (left panel), insertion traffic (center), and
-//! duplicate messages (right), vs overlay size.
-//!
-//! Paper parameters: max_flows = 30, per-flow replicas = 5, DS on.
+//! Figure 9: MPIL insertion behavior over power-law and random overlays
+//! ([`mpil_bench::figures::fig9_insertion`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin fig9_insertion [--full] [--csv] [--seed N]
 //! ```
 
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::{insertion_behavior, paper_insert_config, Family};
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let config = paper_insert_config();
-    let families = [
-        Family::PowerLaw,
-        Family::Random {
-            degree: scale.random_degree,
-        },
-    ];
-
-    let mut table = Table::new(vec![
-        "family".into(),
-        "nodes".into(),
-        "avg replicas".into(),
-        "avg traffic".into(),
-        "total duplicates".into(),
-        "avg flows".into(),
-    ]);
-    for family in families {
-        for &n in scale.sizes {
-            eprintln!(
-                "fig9: {} {n} nodes ({} graphs x {} inserts)",
-                family.label(),
-                scale.graphs,
-                scale.objects
-            );
-            let b = insertion_behavior(family, n, scale.graphs, scale.objects, config, seed);
-            table.row(vec![
-                family.label().into(),
-                n.to_string(),
-                format!("{:.1}", b.mean_replicas),
-                format!("{:.1}", b.mean_traffic),
-                b.total_duplicates.to_string(),
-                format!("{:.2}", b.mean_flows),
-            ]);
-        }
-    }
-    println!(
-        "Figure 9: MPIL insertion behavior (max_flows=30, per-flow replicas=5; replica bound {})",
-        config.replica_bound()
-    );
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::fig9_insertion(&args).print(args.flag("csv"));
 }

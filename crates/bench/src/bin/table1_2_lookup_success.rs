@@ -1,73 +1,13 @@
-//! Tables 1 and 2: MPIL lookup success rate (%) over power-law
-//! (Table 1) and random (Table 2) topologies, for max_flows ∈ {5, 10, 15}
-//! × per-flow replicas ∈ {1..5}.
-//!
-//! Insertions use the paper's setting (max_flows = 30, per-flow
-//! replicas = 5) before each grid.
+//! Tables 1 and 2: MPIL lookup success rates
+//! ([`mpil_bench::figures::table1_2_lookup_success`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin table1_2_lookup_success [--full] [--csv] [--seed N]
 //! ```
 
-use mpil::MpilConfig;
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::{lookup_behavior, paper_insert_config, Family};
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let insert_config = paper_insert_config();
-    let max_flows = [5u32, 10, 15];
-    let replicas = [1u32, 2, 3, 4, 5];
-
-    for (label, family) in [
-        (
-            "Table 1: MPIL lookup success rate over power-law topologies",
-            Family::PowerLaw,
-        ),
-        (
-            "Table 2: MPIL lookup success rate over random topologies",
-            Family::Random {
-                degree: scale.random_degree,
-            },
-        ),
-    ] {
-        let mut headers = vec!["# nodes".to_string(), "Max flows".to_string()];
-        headers.extend(replicas.iter().map(|r| format!("r={r}")));
-        let mut table = Table::new(headers);
-        for &n in scale.sizes {
-            for &mf in &max_flows {
-                eprintln!("{}: {n} nodes, max_flows={mf}", family.label());
-                let mut row = vec![n.to_string(), mf.to_string()];
-                for &r in &replicas {
-                    let lookup_config = MpilConfig::default()
-                        .with_max_flows(mf)
-                        .with_num_replicas(r);
-                    let b = lookup_behavior(
-                        family,
-                        n,
-                        scale.graphs,
-                        scale.objects,
-                        insert_config,
-                        lookup_config,
-                        seed,
-                    );
-                    row.push(format!("{:.1}", b.success_rate));
-                }
-                table.row(row);
-            }
-        }
-        println!("{label}");
-        println!(
-            "{}",
-            if csv {
-                table.render_csv()
-            } else {
-                table.render()
-            }
-        );
-    }
+    figures::table1_2_lookup_success(&args).print(args.flag("csv"));
 }

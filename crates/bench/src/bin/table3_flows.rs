@@ -1,56 +1,13 @@
-//! Table 3: the actual number of flows created by lookups with
-//! max_flows = 10 and per-flow replicas = 3.
+//! Table 3: the actual number of flows created by lookups
+//! ([`mpil_bench::figures::table3_flows`]).
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin table3_flows [--full] [--csv] [--seed N]
 //! ```
 
-use mpil::MpilConfig;
-use mpil_bench::scale::static_scale;
-use mpil_bench::static_exp::{lookup_behavior, paper_insert_config, Family};
-use mpil_bench::Args;
-use mpil_workload::Table;
+use mpil_bench::{figures, Args};
 
 fn main() {
     let args = Args::parse_env();
-    let (full, csv, seed) = args.standard();
-    let scale = static_scale(full);
-    let insert_config = paper_insert_config();
-    let lookup_config = MpilConfig::default()
-        .with_max_flows(10)
-        .with_num_replicas(3);
-
-    let mut table = Table::new(vec!["topology".into(), "actual # of flows".into()]);
-    for family in [
-        Family::PowerLaw,
-        Family::Random {
-            degree: scale.random_degree,
-        },
-    ] {
-        for &n in scale.sizes {
-            eprintln!("table3: {} {n} nodes", family.label());
-            let b = lookup_behavior(
-                family,
-                n,
-                scale.graphs,
-                scale.objects,
-                insert_config,
-                lookup_config,
-                seed,
-            );
-            table.row(vec![
-                format!("{} {n}", family.label()),
-                format!("{:.3}", b.mean_flows),
-            ]);
-        }
-    }
-    println!("Table 3: actual number of flows of lookups (max_flows=10, per-flow replicas=3)");
-    println!(
-        "{}",
-        if csv {
-            table.render_csv()
-        } else {
-            table.render()
-        }
-    );
+    figures::table3_flows(&args).print(args.flag("csv"));
 }

@@ -1,4 +1,4 @@
-//! Cross-DHT experiment runners (extensions beyond the paper).
+//! Cross-DHT experiment entry points (extensions beyond the paper).
 //!
 //! The paper demonstrates overlay-independence by running MPIL over the
 //! MSPastry overlay. With Chord and Kademlia implemented as additional
@@ -11,175 +11,25 @@
 //! * **baseline-independence** — the Figure 11 result (redundant flows
 //!   beat maintained single-path routing under perturbation) holds
 //!   against Chord and single-copy Kademlia too, not just MSPastry.
+//!
+//! The engines themselves run through
+//! [`mpil_harness::DiscoveryEngine`]; this module keeps the extension
+//! experiments' vocabulary ([`Baseline`]) and maps it onto
+//! [`EngineSpec`]s.
 
-use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
-use mpil_chord::{ChordConfig, ChordSim};
-use mpil_id::Id;
-use mpil_kademlia::{KademliaConfig, KademliaSim};
+use mpil_harness::{EngineSpec, Scenario};
 use mpil_overlay::{generators, NodeIdx, Topology};
-use mpil_pastry::PastryConfig;
-use mpil_sim::{AlwaysOn, ConstantLatency, Flapping, FlappingConfig, SimDuration};
-use mpil_workload::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::perturb::{PerturbResult, PerturbRun};
 
-/// A source of frozen neighbor graphs for MPIL.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OverlaySource {
-    /// Pastry leaf sets ∪ routing tables.
-    Pastry,
-    /// Chord successors ∪ fingers ∪ predecessor.
-    Chord,
-    /// Kademlia bucket contents.
-    Kademlia,
-    /// Random regular graph with the given degree.
-    RandomRegular(usize),
-    /// Inet-style power-law graph.
-    PowerLaw,
-}
-
-impl OverlaySource {
-    /// Label used in tables.
-    pub fn label(&self) -> String {
-        match self {
-            OverlaySource::Pastry => "Pastry overlay".into(),
-            OverlaySource::Chord => "Chord overlay".into(),
-            OverlaySource::Kademlia => "Kademlia overlay".into(),
-            OverlaySource::RandomRegular(d) => format!("random d={d}"),
-            OverlaySource::PowerLaw => "power-law".into(),
-        }
-    }
-
-    /// Builds the frozen (ids, neighbor lists) pair.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a generator fails for the requested size (degree too
-    /// large for `nodes`, etc.).
-    pub fn build(&self, nodes: usize, seed: u64) -> (Vec<Id>, Vec<Vec<NodeIdx>>) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        match self {
-            OverlaySource::Pastry => {
-                let config = PastryConfig::default();
-                let ids = mpil_pastry::bootstrap::random_ids(nodes, &mut rng);
-                let states = mpil_pastry::build_converged_states(&ids, &config, &mut rng);
-                let nbrs = states.iter().map(|s| s.neighbor_list()).collect();
-                (ids, nbrs)
-            }
-            OverlaySource::Chord => {
-                let config = ChordConfig::default();
-                let ids = mpil_chord::random_ids(nodes, &mut rng);
-                let states = mpil_chord::build_converged_states(&ids, &config);
-                let nbrs = states.iter().map(|s| s.neighbor_list()).collect();
-                (ids, nbrs)
-            }
-            OverlaySource::Kademlia => {
-                let config = KademliaConfig::default();
-                let ids = mpil_chord::random_ids(nodes, &mut rng);
-                let tables = mpil_kademlia::build_converged_tables(&ids, &config);
-                let nbrs = tables.iter().map(|t| t.iter().collect()).collect();
-                (ids, nbrs)
-            }
-            OverlaySource::RandomRegular(d) => {
-                let topo = generators::random_regular(nodes, *d, &mut rng).expect("generator");
-                let nbrs = topo
-                    .iter_nodes()
-                    .map(|n| topo.neighbors(n).to_vec())
-                    .collect();
-                (topo.ids().to_vec(), nbrs)
-            }
-            OverlaySource::PowerLaw => {
-                let topo =
-                    generators::power_law(nodes, Default::default(), &mut rng).expect("generator");
-                let nbrs = topo
-                    .iter_nodes()
-                    .map(|n| topo.neighbors(n).to_vec())
-                    .collect();
-                (topo.ids().to_vec(), nbrs)
-            }
-        }
-    }
-}
+pub use mpil_harness::OverlaySource;
 
 /// Runs MPIL (no maintenance) over the frozen neighbor graph of
 /// `source` under the flapping parameters of `run`.
 pub fn run_mpil_over(source: OverlaySource, run: PerturbRun) -> PerturbResult {
-    let (ids, neighbors) = source.build(run.nodes, run.seed);
-    let mut rng = SmallRng::seed_from_u64(run.seed ^ 0xdada);
-    let mpil_config = MpilConfig::default()
-        .with_max_flows(10)
-        .with_num_replicas(5)
-        .with_duplicate_suppression(false);
-    let mut net = DynamicNetwork::new(
-        ids,
-        neighbors,
-        DynamicConfig {
-            mpil: mpil_config,
-            heartbeat_period: None,
-        },
-        Box::new(AlwaysOn),
-        Box::new(ConstantLatency(SimDuration::from_millis(20))),
-        run.seed ^ 0x5151,
-    );
-
-    let origin = NodeIdx::new(0);
-    let objects: Vec<Id> = (0..run.operations).map(|_| Id::random(&mut rng)).collect();
-    for &o in &objects {
-        net.insert(origin, o);
-    }
-    net.run_to_quiescence();
-    let mean_replicas = {
-        let mut s = RunningStats::new();
-        for &o in &objects {
-            s.push(net.replica_holders(o).len() as f64);
-        }
-        s.mean()
-    };
-
-    let flap_cfg = FlappingConfig {
-        idle: SimDuration::from_secs(run.idle_secs),
-        offline: SimDuration::from_secs(run.offline_secs),
-        probability: run.probability,
-        start: net.now(),
-    };
-    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
-    flap.exempt(origin);
-    net.set_availability(Box::new(flap));
-    net.set_loss_probability(run.loss_probability);
-    let start = net.now();
-    let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
-    let window =
-        SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
-
-    let before = net.stats();
-    let before_net = net.net_stats();
-    let mut handles = Vec::with_capacity(objects.len());
-    for (i, &o) in objects.iter().enumerate() {
-        let at = start + period * (i as u64 + 1);
-        net.run_until(at);
-        handles.push(net.issue_lookup(origin, o, at + window));
-    }
-    net.run_until(net.now() + window + SimDuration::from_secs(30));
-
-    let mut hops = RunningStats::new();
-    let mut ok = 0u64;
-    for &h in &handles {
-        if let LookupStatus::Succeeded { hops: hp, .. } = net.lookup_status(h) {
-            ok += 1;
-            hops.push(f64::from(hp));
-        }
-    }
-    let after = net.stats();
-    let after_net = net.net_stats();
-    PerturbResult {
-        success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
-        lookup_messages: after.lookup_messages - before.lookup_messages,
-        total_messages: after_net.sent - before_net.sent,
-        mean_reply_hops: hops.mean(),
-        mean_replicas,
-    }
+    mpil_harness::run_scenario(&Scenario::new(EngineSpec::MpilOver(source), run))
 }
 
 /// Which maintained DHT baseline to run natively.
@@ -201,10 +51,20 @@ pub enum Baseline {
 impl Baseline {
     /// Label used in tables.
     pub fn label(&self) -> String {
+        self.spec().label()
+    }
+
+    /// The harness engine this baseline names.
+    pub fn spec(&self) -> EngineSpec {
         match self {
-            Baseline::Pastry => "MSPastry".into(),
-            Baseline::Chord => "Chord".into(),
-            Baseline::Kademlia { k, alpha } => format!("Kademlia k={k} α={alpha}"),
+            Baseline::Pastry => EngineSpec::Pastry {
+                replication_on_route: false,
+            },
+            Baseline::Chord => EngineSpec::Chord,
+            Baseline::Kademlia { k, alpha } => EngineSpec::Kademlia {
+                k: *k,
+                alpha: *alpha,
+            },
         }
     }
 }
@@ -212,128 +72,11 @@ impl Baseline {
 /// Runs a maintained DHT baseline under the flapping parameters of
 /// `run`, mirroring the paper's two-stage methodology.
 pub fn run_baseline(baseline: Baseline, run: PerturbRun) -> f64 {
-    match baseline {
-        Baseline::Pastry => {
-            crate::perturb::run_pastry(crate::perturb::System::Pastry, run).success_rate
-        }
-        Baseline::Chord => run_chord(run),
-        Baseline::Kademlia { k, alpha } => run_kademlia(run, k, alpha),
-    }
+    mpil_harness::run_scenario(&Scenario::new(baseline.spec(), run)).success_rate
 }
 
-fn run_chord(run: PerturbRun) -> f64 {
-    let config = ChordConfig::default();
-    let mut rng = SmallRng::seed_from_u64(run.seed);
-    let ids = mpil_chord::random_ids(run.nodes, &mut rng);
-    let states = mpil_chord::build_converged_states(&ids, &config);
-    let mut sim = ChordSim::new(
-        ids,
-        states,
-        config,
-        Box::new(AlwaysOn),
-        Box::new(ConstantLatency(SimDuration::from_millis(20))),
-        run.seed ^ 0x5151,
-    );
-    let origin = NodeIdx::new(0);
-    let objects: Vec<Id> = (0..run.operations).map(|_| Id::random(&mut rng)).collect();
-    for &o in &objects {
-        sim.insert(origin, o);
-    }
-    sim.run_to_quiescence();
-    sim.start_maintenance();
-
-    let flap_cfg = FlappingConfig {
-        idle: SimDuration::from_secs(run.idle_secs),
-        offline: SimDuration::from_secs(run.offline_secs),
-        probability: run.probability,
-        start: sim.now(),
-    };
-    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
-    flap.exempt(origin);
-    sim.set_availability(Box::new(flap));
-    sim.set_loss_probability(run.loss_probability);
-    let start = sim.now();
-    let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
-    let window =
-        SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
-
-    let mut handles = Vec::with_capacity(objects.len());
-    for (i, &o) in objects.iter().enumerate() {
-        let at = start + period * (i as u64 + 1);
-        sim.run_until(at);
-        handles.push(sim.issue_lookup(origin, o, at + window));
-    }
-    sim.run_until(sim.now() + window + SimDuration::from_secs(30));
-    let ok = handles
-        .iter()
-        .filter(|&&h| {
-            matches!(
-                sim.lookup_outcome(h),
-                mpil_chord::LookupOutcome::Succeeded { .. }
-            )
-        })
-        .count();
-    100.0 * ok as f64 / handles.len().max(1) as f64
-}
-
-fn run_kademlia(run: PerturbRun, k: usize, alpha: usize) -> f64 {
-    let config = KademliaConfig::default().with_k(k).with_alpha(alpha);
-    let mut rng = SmallRng::seed_from_u64(run.seed);
-    let ids = mpil_chord::random_ids(run.nodes, &mut rng);
-    let tables = mpil_kademlia::build_converged_tables(&ids, &config);
-    let mut sim = KademliaSim::new(
-        ids,
-        tables,
-        config,
-        Box::new(AlwaysOn),
-        Box::new(ConstantLatency(SimDuration::from_millis(20))),
-        run.seed ^ 0x5151,
-    );
-    let origin = NodeIdx::new(0);
-    let objects: Vec<Id> = (0..run.operations).map(|_| Id::random(&mut rng)).collect();
-    for &o in &objects {
-        sim.insert(origin, o);
-    }
-    sim.run_to_quiescence();
-    sim.start_maintenance();
-
-    let flap_cfg = FlappingConfig {
-        idle: SimDuration::from_secs(run.idle_secs),
-        offline: SimDuration::from_secs(run.offline_secs),
-        probability: run.probability,
-        start: sim.now(),
-    };
-    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
-    flap.exempt(origin);
-    sim.set_availability(Box::new(flap));
-    sim.set_loss_probability(run.loss_probability);
-    let start = sim.now();
-    let period = SimDuration::from_secs(run.idle_secs + run.offline_secs);
-    let window =
-        SimDuration::from_secs((run.idle_secs + run.offline_secs).min(run.deadline_cap_secs));
-
-    let mut handles = Vec::with_capacity(objects.len());
-    for (i, &o) in objects.iter().enumerate() {
-        let at = start + period * (i as u64 + 1);
-        sim.run_until(at);
-        handles.push(sim.issue_lookup(origin, o, at + window));
-    }
-    sim.run_until(sim.now() + window + SimDuration::from_secs(30));
-    let ok = handles
-        .iter()
-        .filter(|&&h| {
-            matches!(
-                sim.lookup_outcome(h),
-                mpil_kademlia::LookupOutcome::Succeeded { .. }
-            )
-        })
-        .count();
-    100.0 * ok as f64 / handles.len().max(1) as f64
-}
-
-/// Builds a [`Topology`] from a frozen neighbor-list pair by
-/// symmetrizing directed pointers (diagnostics/degree stats for the
-/// tables).
+/// Mean out-degree of a frozen neighbor-list set (diagnostics/degree
+/// stats for the tables).
 pub fn mean_out_degree(neighbors: &[Vec<NodeIdx>]) -> f64 {
     if neighbors.is_empty() {
         return 0.0;

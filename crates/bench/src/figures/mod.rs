@@ -1,0 +1,22 @@
+//! One function per figure/table driver.
+//!
+//! Every `src/bin/*` binary is a three-line shim over a function here:
+//! parse [`crate::Args`], build a [`mpil_harness::Report`], print it.
+//! The experiment fan-out runs through
+//! [`mpil_harness::ExperimentRunner`] and — for every event-driven
+//! engine — the [`mpil_harness::DiscoveryEngine`] lifecycle, so every
+//! figure is reproducible against every engine from one code path.
+
+pub mod ablations;
+pub mod analysis;
+pub mod extensions;
+pub mod perturbation;
+pub mod statics;
+
+pub use ablations::{ablation_baselines, ablation_metric, ablation_split_policy};
+pub use analysis::{fig7_local_maxima, fig8_complete_replicas};
+pub use extensions::{
+    ext_churn_traces, ext_dht_comparison, ext_link_loss, ext_overlay_independence,
+};
+pub use perturbation::{fig11_perturbation, fig12_traffic, fig1_pastry_perturbation};
+pub use statics::{fig10_lookup_cost, fig9_insertion, table1_2_lookup_success, table3_flows};

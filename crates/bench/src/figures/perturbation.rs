@@ -1,0 +1,203 @@
+//! Perturbation figures (Sections 3 and 6.2: Figures 1, 11, 12).
+//!
+//! Each figure builds its (system × setting × probability) point list,
+//! fans it out through [`ExperimentRunner`], and formats the
+//! order-preserved results.
+
+use mpil_harness::{ExperimentRunner, PerturbResult, Scenario};
+use mpil_workload::Table;
+
+use crate::cli::Args;
+use crate::perturb::{PerturbRun, System};
+use crate::scale::perturb_scale;
+use mpil_harness::Report;
+
+fn point(
+    system: System,
+    idle: u64,
+    offline: u64,
+    p: f64,
+    nodes: usize,
+    ops: usize,
+    seed: u64,
+) -> Scenario {
+    let mut run = PerturbRun::new(idle, offline, p);
+    run.nodes = nodes;
+    run.operations = ops;
+    run.seed = seed;
+    Scenario::new(system.spec(), run)
+}
+
+/// Figure 1: the effect of perturbation on MSPastry.
+///
+/// Success rate (%) vs flapping probability for idle:offline settings
+/// 1:1, 45:15, 30:30 and 300:300 seconds.
+pub fn fig1_pastry_perturbation(args: &Args) -> Report {
+    let (full, _csv, seed) = args.standard();
+    let scale = perturb_scale(full);
+    let workers = args.value_or("workers", 2usize);
+    let settings: &[(u64, u64)] = &[(1, 1), (45, 15), (30, 30), (300, 300)];
+
+    let mut points = Vec::new();
+    for &(idle, offline) in settings {
+        for &p in scale.probabilities {
+            points.push(point(
+                System::Pastry,
+                idle,
+                offline,
+                p,
+                scale.nodes,
+                scale.operations,
+                seed,
+            ));
+        }
+    }
+    eprintln!(
+        "fig1: {} runs ({} settings x {} probabilities), {} nodes, {} lookups each",
+        points.len(),
+        settings.len(),
+        scale.probabilities.len(),
+        scale.nodes,
+        scale.operations
+    );
+    let results = ExperimentRunner::new(workers).run_scenarios(&points);
+
+    let mut headers = vec!["flap prob".to_string()];
+    headers.extend(settings.iter().map(|&(i, o)| format!("{i}:{o}")));
+    let mut table = Table::new(headers);
+    for (pi, &p) in scale.probabilities.iter().enumerate() {
+        let mut row = vec![format!("{p:.1}")];
+        for si in 0..settings.len() {
+            let r = &results[si * scale.probabilities.len() + pi];
+            row.push(format!("{:.1}", r.success_rate));
+        }
+        table.row(row);
+    }
+    let mut report = Report::new();
+    report.table(
+        "Figure 1: MSPastry success rate (%) under perturbation",
+        table,
+    );
+    report
+}
+
+/// Figure 11: success rate under perturbation for the four systems —
+/// MSPastry, MSPastry with RR, MPIL with DS, MPIL without DS — at
+/// idle:offline settings 1:1, 30:30 and 300:300 seconds.
+///
+/// Unlike the other figure functions, this one **streams**: each
+/// setting's table is printed as soon as its sweep completes (paper
+/// scale takes hours per setting — a killed run must not discard the
+/// settings it already finished).
+pub fn fig11_perturbation(args: &Args) {
+    let (full, csv, seed) = args.standard();
+    let scale = perturb_scale(full);
+    let workers = args.value_or("workers", 2usize);
+    let settings: &[(u64, u64)] = &[(1, 1), (30, 30), (300, 300)];
+    let systems = System::all();
+
+    for &(idle, offline) in settings {
+        let mut points = Vec::new();
+        for &system in &systems {
+            for &p in scale.probabilities {
+                points.push(point(
+                    system,
+                    idle,
+                    offline,
+                    p,
+                    scale.nodes,
+                    scale.operations,
+                    seed,
+                ));
+            }
+        }
+        eprintln!(
+            "fig11 idle:offline={idle}:{offline}: {} runs, {} nodes, {} lookups each",
+            points.len(),
+            scale.nodes,
+            scale.operations
+        );
+        let results = ExperimentRunner::new(workers).run_scenarios(&points);
+
+        let mut headers = vec!["flap prob".to_string()];
+        headers.extend(systems.iter().map(|s| s.label().to_string()));
+        let mut table = Table::new(headers);
+        for (pi, &p) in scale.probabilities.iter().enumerate() {
+            let mut row = vec![format!("{p:.1}")];
+            for si in 0..systems.len() {
+                let r = &results[si * scale.probabilities.len() + pi];
+                row.push(format!("{:.1}", r.success_rate));
+            }
+            table.row(row);
+        }
+        let mut report = Report::new();
+        report.table(
+            format!("Figure 11 (idle:offline = {idle}:{offline}): success rate (%)"),
+            table,
+        );
+        report.print(csv);
+    }
+}
+
+/// Figure 12: overall traffic under perturbation (idle:offline = 30:30) —
+/// forwarded lookup messages (left panel) and total messages including
+/// maintenance and acks (right panel), vs flapping probability.
+pub fn fig12_traffic(args: &Args) -> Report {
+    let (full, _csv, seed) = args.standard();
+    let scale = perturb_scale(full);
+    let workers = args.value_or("workers", 2usize);
+    let systems = [System::Pastry, System::MpilDs, System::MpilNoDs];
+
+    let mut points = Vec::new();
+    for &system in &systems {
+        for &p in scale.probabilities {
+            points.push(point(
+                system,
+                30,
+                30,
+                p,
+                scale.nodes,
+                scale.operations,
+                seed,
+            ));
+        }
+    }
+    eprintln!(
+        "fig12: {} runs, {} nodes, {} lookups each",
+        points.len(),
+        scale.nodes,
+        scale.operations
+    );
+    let results = ExperimentRunner::new(workers).run_scenarios(&points);
+
+    let mut report = Report::new();
+    for (title, pick) in [
+        (
+            "Figure 12 (left): forwarded lookup messages (idle:offline = 30:30)",
+            0usize,
+        ),
+        (
+            "Figure 12 (right): total messages incl. maintenance (idle:offline = 30:30)",
+            1usize,
+        ),
+    ] {
+        let mut headers = vec!["flap prob".to_string()];
+        headers.extend(systems.iter().map(|s| s.label().to_string()));
+        let mut table = Table::new(headers);
+        for (pi, &p) in scale.probabilities.iter().enumerate() {
+            let mut row = vec![format!("{p:.1}")];
+            for si in 0..systems.len() {
+                let r: &PerturbResult = &results[si * scale.probabilities.len() + pi];
+                let v = if pick == 0 {
+                    r.lookup_messages
+                } else {
+                    r.total_messages
+                };
+                row.push(v.to_string());
+            }
+            table.row(row);
+        }
+        report.table(title, table);
+    }
+    report
+}

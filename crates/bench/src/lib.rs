@@ -26,12 +26,20 @@
 //!
 //! All binaries accept `--full` (paper-scale parameters), `--csv`
 //! (machine-readable output), and `--seed <u64>`.
+//!
+//! Since the `mpil-harness` refactor, every binary is a thin shim over
+//! a [`figures`] function: the experiments fan out through
+//! [`mpil_harness::ExperimentRunner`] and drive the engines through
+//! [`mpil_harness::DiscoveryEngine`], and all output goes through
+//! [`mpil_harness::Report`]. The historical entry points in
+//! [`perturb`] and [`dhts`] remain as wrappers over the harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod dhts;
+pub mod figures;
 pub mod perturb;
 pub mod scale;
 pub mod static_exp;

@@ -1,5 +1,5 @@
-//! Perturbation experiment runners (Sections 3 and 6.2: Figures 1, 11,
-//! 12).
+//! Perturbation experiment entry points (Sections 3 and 6.2: Figures 1,
+//! 11, 12).
 //!
 //! Methodology, following the paper: 1000 nodes over a GT-ITM-style
 //! transit-stub Internet topology. Stage 1 inserts 1000 objects from one
@@ -9,16 +9,17 @@
 //! same objects. Success = a positive reply before the deadline
 //! (`min(period, 60 s)`, the cap standing in for MSPastry's application
 //! timeout; see EXPERIMENTS.md).
+//!
+//! The methodology itself lives in [`mpil_harness::run_scenario`] — one
+//! drive loop for every engine behind
+//! [`mpil_harness::DiscoveryEngine`]. This module keeps the paper's
+//! four-system vocabulary ([`System`]) and maps it onto
+//! [`EngineSpec`]s.
 
-use mpil::{DynamicConfig, DynamicNetwork, LookupStatus, MpilConfig};
-use mpil_overlay::transit_stub::{self, TransitStubConfig};
-use mpil_overlay::NodeIdx;
-use mpil_pastry::{build_converged_states, LookupOutcome, PastryConfig, PastrySim};
-use mpil_sim::{AlwaysOn, Flapping, FlappingConfig, SimDuration, TransitStubLatency};
-use mpil_workload::RunningStats;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mpil_harness::{EngineSpec, ExperimentRunner, Scenario};
 use serde::{Deserialize, Serialize};
+
+pub use mpil_harness::{PerturbResult, PerturbRun};
 
 /// The four systems Figure 11 compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,281 +54,52 @@ impl System {
             System::MpilNoDs,
         ]
     }
-}
 
-/// One perturbation run's parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PerturbRun {
-    /// Overlay size (1000 in the paper).
-    pub nodes: usize,
-    /// Insert/lookup pairs (1000 in the paper).
-    pub operations: usize,
-    /// Idle (online) seconds per flapping period.
-    pub idle_secs: u64,
-    /// Offline seconds per flapping period.
-    pub offline_secs: u64,
-    /// Flapping probability.
-    pub probability: f64,
-    /// Cap on the per-lookup deadline in seconds (60 by default).
-    pub deadline_cap_secs: u64,
-    /// Independent per-message link-loss probability injected in stage 2
-    /// (0 = lossless; Castro et al.'s dependability study sweeps this).
-    pub loss_probability: f64,
-    /// Master seed.
-    pub seed: u64,
-}
-
-impl PerturbRun {
-    /// A run with the paper's defaults for everything but the sweep
-    /// variables.
-    pub fn new(idle_secs: u64, offline_secs: u64, probability: f64) -> Self {
-        PerturbRun {
-            nodes: 1000,
-            operations: 1000,
-            idle_secs,
-            offline_secs,
-            probability,
-            deadline_cap_secs: 60,
-            loss_probability: 0.0,
-            seed: 42,
+    /// The harness engine this system names.
+    pub fn spec(&self) -> EngineSpec {
+        match self {
+            System::Pastry => EngineSpec::Pastry {
+                replication_on_route: false,
+            },
+            System::PastryRr => EngineSpec::Pastry {
+                replication_on_route: true,
+            },
+            System::MpilDs => EngineSpec::MpilOverPastry {
+                duplicate_suppression: true,
+            },
+            System::MpilNoDs => EngineSpec::MpilOverPastry {
+                duplicate_suppression: false,
+            },
         }
     }
-
-    /// Sets the stage-2 link-loss probability.
-    pub fn with_loss(mut self, loss_probability: f64) -> Self {
-        self.loss_probability = loss_probability;
-        self
-    }
-
-    fn period(&self) -> SimDuration {
-        SimDuration::from_secs(self.idle_secs + self.offline_secs)
-    }
-
-    fn deadline_window(&self) -> SimDuration {
-        SimDuration::from_secs((self.idle_secs + self.offline_secs).min(self.deadline_cap_secs))
-    }
-}
-
-/// What one run measured.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PerturbResult {
-    /// Percentage of lookups answered positively before their deadline.
-    pub success_rate: f64,
-    /// Lookup-message transmissions (Figure 12, left).
-    pub lookup_messages: u64,
-    /// All messages sent, including maintenance and acks (Figure 12,
-    /// right).
-    pub total_messages: u64,
-    /// Mean forward-path hops of successful replies.
-    pub mean_reply_hops: f64,
-    /// Mean replicas per object after stage 1.
-    pub mean_replicas: f64,
 }
 
 /// Runs MSPastry (optionally with RR) under flapping perturbation.
 pub fn run_pastry(system: System, run: PerturbRun) -> PerturbResult {
     assert!(matches!(system, System::Pastry | System::PastryRr));
-    let mut rng = SmallRng::seed_from_u64(run.seed);
-    let config =
-        PastryConfig::default().with_replication_on_route(matches!(system, System::PastryRr));
-    let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
-    let states = build_converged_states(&ids, &config, &mut rng);
-    let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
-        .expect("transit-stub generation");
-    let latency = TransitStubLatency::new(ts, 0.1);
-    let mut sim = PastrySim::new(
-        ids,
-        states,
-        config,
-        Box::new(AlwaysOn),
-        Box::new(latency),
-        run.seed ^ 0x5151,
-    );
-
-    // Stage 1: inserts on the static overlay, all from the origin.
-    let origin = NodeIdx::new(0);
-    let objects: Vec<_> = (0..run.operations)
-        .map(|_| mpil_id::Id::random(&mut rng))
-        .collect();
-    for &object in &objects {
-        sim.insert(origin, object);
-    }
-    sim.run_to_quiescence();
-    let mean_replicas = {
-        let mut s = RunningStats::new();
-        for &object in &objects {
-            s.push(sim.replica_holders(object).len() as f64);
-        }
-        s.mean()
-    };
-
-    // Stage 2: maintenance + flapping + one lookup per period.
-    sim.start_maintenance();
-    let warmup = sim.now() + SimDuration::from_secs(90);
-    sim.run_until(warmup);
-    let flap_cfg = FlappingConfig {
-        idle: SimDuration::from_secs(run.idle_secs),
-        offline: SimDuration::from_secs(run.offline_secs),
-        probability: run.probability,
-        start: sim.now(),
-    };
-    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
-    flap.exempt(origin);
-    sim.set_availability(Box::new(flap));
-    sim.set_loss_probability(run.loss_probability);
-    let flap_start = sim.now();
-
-    let before = sim.stats();
-    let mut lookup_ids = Vec::with_capacity(objects.len());
-    for (i, &object) in objects.iter().enumerate() {
-        let issue_at = flap_start + run.period() * (i as u64 + 1);
-        sim.run_until(issue_at);
-        let deadline = issue_at + run.deadline_window();
-        lookup_ids.push(sim.issue_lookup(origin, object, deadline));
-    }
-    let tail = sim.now() + run.deadline_window() + SimDuration::from_secs(30);
-    sim.run_until(tail);
-
-    let mut hops = RunningStats::new();
-    let mut ok = 0u64;
-    for &lk in &lookup_ids {
-        if let LookupOutcome::Succeeded { hops: h, .. } = sim.lookup_outcome(lk) {
-            ok += 1;
-            hops.push(f64::from(h));
-        }
-    }
-    let after = sim.stats();
-    PerturbResult {
-        success_rate: 100.0 * ok as f64 / lookup_ids.len().max(1) as f64,
-        lookup_messages: after.lookup_messages - before.lookup_messages,
-        total_messages: after.total_messages() - before.total_messages(),
-        mean_reply_hops: hops.mean(),
-        mean_replicas,
-    }
+    mpil_harness::run_scenario(&Scenario::new(system.spec(), run))
 }
 
 /// Runs MPIL over the frozen Pastry overlay (no maintenance) under
 /// flapping perturbation — "MPIL with/without DS" in Figures 11–12.
 pub fn run_mpil_over_pastry(system: System, run: PerturbRun) -> PerturbResult {
     assert!(matches!(system, System::MpilDs | System::MpilNoDs));
-    let mut rng = SmallRng::seed_from_u64(run.seed);
-    // Build the same structured overlay MSPastry would have...
-    let pastry_config = PastryConfig::default();
-    let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
-    let states = build_converged_states(&ids, &pastry_config, &mut rng);
-    let neighbors: Vec<Vec<NodeIdx>> = states.iter().map(|s| s.neighbor_list()).collect();
-    let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
-        .expect("transit-stub generation");
-    let latency = TransitStubLatency::new(ts, 0.1);
-    // ...then route on it with MPIL and zero maintenance.
-    let mpil_config = MpilConfig::default()
-        .with_max_flows(10)
-        .with_num_replicas(5)
-        .with_duplicate_suppression(matches!(system, System::MpilDs));
-    let mut net = DynamicNetwork::new(
-        ids,
-        neighbors,
-        DynamicConfig {
-            mpil: mpil_config,
-            heartbeat_period: None,
-        },
-        Box::new(AlwaysOn),
-        Box::new(latency),
-        run.seed ^ 0x5151,
-    );
-
-    let origin = NodeIdx::new(0);
-    let objects: Vec<_> = (0..run.operations)
-        .map(|_| mpil_id::Id::random(&mut rng))
-        .collect();
-    for &object in &objects {
-        net.insert(origin, object);
-    }
-    net.run_to_quiescence();
-    let mean_replicas = {
-        let mut s = RunningStats::new();
-        for &object in &objects {
-            s.push(net.replica_holders(object).len() as f64);
-        }
-        s.mean()
-    };
-
-    let flap_cfg = FlappingConfig {
-        idle: SimDuration::from_secs(run.idle_secs),
-        offline: SimDuration::from_secs(run.offline_secs),
-        probability: run.probability,
-        start: net.now(),
-    };
-    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
-    flap.exempt(origin);
-    net.set_availability(Box::new(flap));
-    net.set_loss_probability(run.loss_probability);
-    let flap_start = net.now();
-
-    let before = net.stats();
-    let before_net = net.net_stats();
-    let mut lookup_ids = Vec::with_capacity(objects.len());
-    for (i, &object) in objects.iter().enumerate() {
-        let issue_at = flap_start + run.period() * (i as u64 + 1);
-        net.run_until(issue_at);
-        let deadline = issue_at + run.deadline_window();
-        lookup_ids.push(net.issue_lookup(origin, object, deadline));
-    }
-    let tail = net.now() + run.deadline_window() + SimDuration::from_secs(30);
-    net.run_until(tail);
-
-    let mut hops = RunningStats::new();
-    let mut ok = 0u64;
-    for &lk in &lookup_ids {
-        if let LookupStatus::Succeeded { hops: h, .. } = net.lookup_status(lk) {
-            ok += 1;
-            hops.push(f64::from(h));
-        }
-    }
-    let after = net.stats();
-    let after_net = net.net_stats();
-    PerturbResult {
-        success_rate: 100.0 * ok as f64 / lookup_ids.len().max(1) as f64,
-        lookup_messages: after.lookup_messages - before.lookup_messages,
-        total_messages: after_net.sent - before_net.sent,
-        mean_reply_hops: hops.mean(),
-        mean_replicas,
-    }
+    mpil_harness::run_scenario(&Scenario::new(system.spec(), run))
 }
 
 /// Dispatches to the right runner for a system.
 pub fn run_system(system: System, run: PerturbRun) -> PerturbResult {
-    match system {
-        System::Pastry | System::PastryRr => run_pastry(system, run),
-        System::MpilDs | System::MpilNoDs => run_mpil_over_pastry(system, run),
-    }
+    mpil_harness::run_scenario(&Scenario::new(system.spec(), run))
 }
 
 /// Runs several (system, probability) points in parallel with a bounded
 /// worker pool, preserving input order in the output.
 pub fn run_points(points: &[(System, PerturbRun)], workers: usize) -> Vec<PerturbResult> {
-    assert!(workers >= 1);
-    let results: Vec<std::sync::Mutex<Option<PerturbResult>>> =
-        points.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers.min(points.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= points.len() {
-                    break;
-                }
-                let (system, run) = points[i];
-                let r = run_system(system, run);
-                *results[i].lock().expect("poisoned") = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("all points run"))
-        .collect()
+    let scenarios: Vec<Scenario> = points
+        .iter()
+        .map(|&(system, run)| Scenario::new(system.spec(), run))
+        .collect();
+    ExperimentRunner::new(workers).run_scenarios(&scenarios)
 }
 
 #[cfg(test)]
@@ -398,5 +170,12 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn system_specs_share_labels_with_the_harness() {
+        for system in System::all() {
+            assert_eq!(system.spec().label(), system.label());
+        }
     }
 }

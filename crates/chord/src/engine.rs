@@ -146,22 +146,8 @@ impl ChordStats {
     }
 }
 
-/// Outcome of one lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LookupOutcome {
-    /// No terminal event yet.
-    Pending,
-    /// Found before the deadline.
-    Succeeded {
-        /// Forward-path overlay hops.
-        hops: u32,
-        /// Issue-to-reply latency.
-        latency: SimDuration,
-    },
-    /// A negative reply arrived, the deadline passed, or the message was
-    /// lost.
-    Failed,
-}
+/// Outcome of one lookup (the shared engine-agnostic enum).
+pub use mpil_sim::LookupOutcome;
 
 #[derive(Debug)]
 struct LookupState {

@@ -6,6 +6,7 @@ pub mod live;
 pub mod overlay;
 pub mod perturb;
 pub mod simulate;
+pub mod sweep;
 
 use crate::CliError;
 use mpil_overlay::{generators, Topology};

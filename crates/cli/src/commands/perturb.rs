@@ -1,18 +1,42 @@
 //! `mpilctl perturb` — one perturbation run (Sections 3 / 6.2, plus the
 //! Chord/Kademlia extension baselines).
 
-use mpil_bench::dhts::{run_baseline, run_mpil_over, Baseline, OverlaySource};
-use mpil_bench::perturb::{run_system, PerturbRun, System};
 use mpil_bench::Args;
+use mpil_harness::{run_scenario, EngineSpec, OverlaySource, PerturbResult, PerturbRun, Scenario};
 
 use crate::CliError;
 
-/// Runs the subcommand.
-///
-/// # Errors
-///
-/// [`CliError`] on an unknown `--system`.
-pub fn run(args: &Args) -> Result<String, CliError> {
+/// Parses `--system` into a harness engine spec.
+pub(crate) fn parse_system(system: &str) -> Result<EngineSpec, CliError> {
+    Ok(match system {
+        "pastry" => EngineSpec::Pastry {
+            replication_on_route: false,
+        },
+        "pastry-rr" => EngineSpec::Pastry {
+            replication_on_route: true,
+        },
+        "mpil" => EngineSpec::MpilOverPastry {
+            duplicate_suppression: false,
+        },
+        "mpil-ds" => EngineSpec::MpilOverPastry {
+            duplicate_suppression: true,
+        },
+        "mpil-chord" => EngineSpec::MpilOver(OverlaySource::Chord),
+        "mpil-kademlia" => EngineSpec::MpilOver(OverlaySource::Kademlia),
+        "chord" => EngineSpec::Chord,
+        "kademlia" => EngineSpec::Kademlia { k: 8, alpha: 3 },
+        "kademlia-1" => EngineSpec::Kademlia { k: 1, alpha: 1 },
+        other => {
+            return Err(CliError(format!(
+                "unknown system {other:?} (want pastry|pastry-rr|chord|kademlia|kademlia-1|\
+                 mpil|mpil-ds|mpil-chord|mpil-kademlia)"
+            )))
+        }
+    })
+}
+
+/// Builds the scenario named by the standard perturbation flags.
+pub(crate) fn parse_scenario(args: &Args) -> Result<Scenario, CliError> {
     let system = args.value("system").unwrap_or("mpil").to_string();
     let run = PerturbRun {
         nodes: args.value_or("nodes", 300usize),
@@ -24,36 +48,20 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         loss_probability: args.value_or("loss", 0.0f64),
         seed: args.value_or("seed", 42u64),
     };
-    let header = format!(
-        "{} nodes, {} lookups, idle:offline={}:{}, flap p={}, loss={}\n",
-        run.nodes,
-        run.operations,
-        run.idle_secs,
-        run.offline_secs,
-        run.probability,
-        run.loss_probability
-    );
-    let body = match system.as_str() {
-        "pastry" => detail(run_system(System::Pastry, run)),
-        "pastry-rr" => detail(run_system(System::PastryRr, run)),
-        "mpil" => detail(run_system(System::MpilNoDs, run)),
-        "mpil-ds" => detail(run_system(System::MpilDs, run)),
-        "mpil-chord" => detail(run_mpil_over(OverlaySource::Chord, run)),
-        "mpil-kademlia" => detail(run_mpil_over(OverlaySource::Kademlia, run)),
-        "chord" => rate_only(run_baseline(Baseline::Chord, run)),
-        "kademlia" => rate_only(run_baseline(Baseline::Kademlia { k: 8, alpha: 3 }, run)),
-        "kademlia-1" => rate_only(run_baseline(Baseline::Kademlia { k: 1, alpha: 1 }, run)),
-        other => {
-            return Err(CliError(format!(
-                "unknown system {other:?} (want pastry|pastry-rr|chord|kademlia|kademlia-1|\
-                 mpil|mpil-ds|mpil-chord|mpil-kademlia)"
-            )))
-        }
-    };
-    Ok(format!("{system}: {header}{body}"))
+    Ok(Scenario::new(parse_system(&system)?, run))
 }
 
-fn detail(r: mpil_bench::perturb::PerturbResult) -> String {
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError`] on an unknown `--system`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let scenario = parse_scenario(args)?;
+    Ok(format!("{scenario}\n{}", detail(run_scenario(&scenario))))
+}
+
+fn detail(r: PerturbResult) -> String {
     format!(
         "success rate     = {:.1}%\n\
          lookup traffic   = {} msgs\n\
@@ -62,10 +70,6 @@ fn detail(r: mpil_bench::perturb::PerturbResult) -> String {
          replicas/object  = {:.1}\n",
         r.success_rate, r.lookup_messages, r.total_messages, r.mean_reply_hops, r.mean_replicas
     )
-}
-
-fn rate_only(rate: f64) -> String {
-    format!("success rate     = {rate:.1}%\n")
 }
 
 #[cfg(test)]
@@ -80,6 +84,7 @@ mod tests {
     fn mpil_run_reports_success() {
         let out = run(&args("--system mpil --nodes 120 --ops 10 --p 0.0")).expect("ok");
         assert!(out.contains("success rate"), "got:\n{out}");
+        assert!(out.contains("MPIL without DS"), "got:\n{out}");
     }
 
     #[test]
@@ -91,5 +96,22 @@ mod tests {
     #[test]
     fn unknown_system_is_an_error() {
         assert!(run(&args("--system gnutella2")).is_err());
+    }
+
+    #[test]
+    fn every_documented_system_parses() {
+        for s in [
+            "pastry",
+            "pastry-rr",
+            "chord",
+            "kademlia",
+            "kademlia-1",
+            "mpil",
+            "mpil-ds",
+            "mpil-chord",
+            "mpil-kademlia",
+        ] {
+            assert!(parse_system(s).is_ok(), "{s}");
+        }
     }
 }

@@ -55,6 +55,8 @@ COMMANDS:
   perturb   one perturbation run (paper Sections 3/6.2)
             --system pastry|pastry-rr|chord|kademlia|mpil|mpil-ds
             --nodes N --ops K --idle S --offline S --p P [--loss L] [--seed S]
+  sweep     one perturbation scenario across many seeds, in parallel
+            (same flags as perturb) [--seeds K] [--workers W] [--json]
   live      spawn a real thread-per-node cluster and run operations
             --nodes N [--degree D] [--ops K] [--udp] [--seed S]
   help      print this message
@@ -77,6 +79,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(args: I) -> Result<String, CliEr
         "analyze" => commands::analyze::run(&rest),
         "simulate" => commands::simulate::run(&rest),
         "perturb" => commands::perturb::run(&rest),
+        "sweep" => commands::sweep::run(&rest),
         "live" => commands::live::run(&rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!(

@@ -50,20 +50,10 @@ pub struct DynamicStats {
 }
 
 /// Outcome of a lookup issued through [`DynamicNetwork::issue_lookup`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LookupStatus {
-    /// No reply yet (and the deadline has not been declared passed).
-    Pending,
-    /// A replica holder's reply reached the origin before the deadline.
-    Succeeded {
-        /// Forward-path hops of the first reply.
-        hops: u32,
-        /// Time from issue to first reply.
-        latency: SimDuration,
-    },
-    /// The deadline passed with no reply.
-    Failed,
-}
+///
+/// The shared engine-agnostic enum ([`mpil_sim::LookupOutcome`]) under
+/// its historical MPIL name.
+pub type LookupStatus = mpil_sim::LookupOutcome;
 
 #[derive(Debug, Clone)]
 enum Wire {

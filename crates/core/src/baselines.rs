@@ -98,8 +98,10 @@ impl<'a> UnstructuredEngine<'a> {
         walkers: usize,
         max_steps: u32,
     ) -> LookupReport {
-        let mut report = LookupReport::default();
-        report.flows_created = walkers as u32;
+        let mut report = LookupReport {
+            flows_created: walkers as u32,
+            ..LookupReport::default()
+        };
         for _ in 0..walkers {
             let mut at = origin;
             let mut prev: Option<NodeIdx> = None;

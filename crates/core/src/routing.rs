@@ -117,7 +117,7 @@ pub fn routing_decision_policy(
     if policy == SplitPolicy::TopK && !scored.is_empty() {
         let take = (budget as usize).min(scored.len()).max(1);
         // Stable by neighbor-list order within equal metrics.
-        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        scored.sort_by_key(|&(m, _)| std::cmp::Reverse(m));
         scored.truncate(take);
         candidates = scored.into_iter().map(|(_, n)| n).collect();
     }

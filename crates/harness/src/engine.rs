@@ -1,0 +1,148 @@
+//! The [`DiscoveryEngine`] trait: one lifecycle for every substrate.
+
+use mpil_id::Id;
+use mpil_overlay::NodeIdx;
+use mpil_sim::{Availability, LookupOutcome, NetStats, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An opaque handle to a lookup in flight, engine-independent.
+///
+/// Engines hand these out from [`DiscoveryEngine::issue_lookup`] and
+/// resolve them in [`DiscoveryEngine::lookup_outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LookupHandle(pub u64);
+
+/// Protocol counters in a shape every engine can fill, attributing the
+/// kernel's raw sends to operations.
+///
+/// `total_messages` is everything the engine put on the wire — for
+/// maintained DHTs the sum of their per-class counters, for MPIL the
+/// kernel's send count (MPIL has no acks, so the two coincide).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Transmissions carrying lookups.
+    pub lookup_messages: u64,
+    /// Transmissions carrying inserts (and replication pushes).
+    pub insert_messages: u64,
+    /// Direct lookup replies.
+    pub reply_messages: u64,
+    /// Maintenance traffic: probes, stabilization, refreshes,
+    /// heartbeats, deletes.
+    pub maintenance_messages: u64,
+    /// Everything sent, including acks where the protocol has them.
+    pub total_messages: u64,
+}
+
+/// The lifecycle shared by all four discovery engines.
+///
+/// The paper's experiments drive every system the same way; this trait
+/// is that drive order, as API:
+///
+/// 1. **build** — construct the engine converged
+///    ([`crate::Scenario::build`] does this per substrate);
+/// 2. **insert** objects on the quiet network and settle with
+///    [`DiscoveryEngine::run_to_quiescence`];
+/// 3. optionally **start maintenance** and swap in a perturbed
+///    availability model;
+/// 4. **churn_tick / advance** the clock one flapping period at a time,
+///    issuing a **lookup** per period;
+/// 5. read outcomes and **stats** ([`Counters`] + [`NetStats`]).
+///
+/// Engines without a notion of explicit joins (MPIL over a frozen
+/// graph, Kademlia's converged tables) keep the default [`join`]
+/// returning `false`; Chord and Pastry override it.
+///
+/// [`join`]: DiscoveryEngine::join
+pub trait DiscoveryEngine {
+    /// Short human-readable engine name ("MPIL", "Chord", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the engine has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Starts an insertion of `object` from `origin`; propagation
+    /// happens as the caller runs the clock.
+    fn insert(&mut self, origin: NodeIdx, object: Id);
+
+    /// Issues a lookup of `object` from `origin`, succeeding only if a
+    /// positive reply arrives by `deadline`.
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle;
+
+    /// Resolves a lookup handle. A lookup still pending at its deadline
+    /// reports [`LookupOutcome::Failed`].
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome;
+
+    /// Lets `joiner` (re-)join the overlay through `bootstrap`.
+    ///
+    /// Returns `false` when the engine has no join protocol (the frozen
+    /// MPIL graphs, Kademlia's converged tables); the default does
+    /// nothing.
+    fn join(&mut self, _joiner: NodeIdx, _bootstrap: NodeIdx) -> bool {
+        false
+    }
+
+    /// Turns on periodic overlay maintenance. A no-op for engines that
+    /// are maintenance-free by design (MPIL).
+    fn start_maintenance(&mut self) {}
+
+    /// Replaces the availability model (static stage → perturbed stage).
+    fn set_availability(&mut self, availability: Box<dyn Availability>);
+
+    /// Sets the independent per-message link-loss probability.
+    fn set_loss_probability(&mut self, p: f64);
+
+    /// Nodes currently storing a replica/pointer for `object`.
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx>;
+
+    /// Runs the event loop until `deadline` (inclusive); the clock ends
+    /// at `deadline` even if the queue drains early.
+    fn run_until(&mut self, deadline: SimTime);
+
+    /// Runs until no events remain (only sensible without periodic
+    /// maintenance timers).
+    fn run_to_quiescence(&mut self);
+
+    /// Advances the clock by `by` from now.
+    fn advance(&mut self, by: SimDuration) {
+        let deadline = self.now() + by;
+        self.run_until(deadline);
+    }
+
+    /// Advances through one full churn (flapping) period, letting the
+    /// availability model flip nodes and the engine react.
+    fn churn_tick(&mut self, period: SimDuration) {
+        self.advance(period);
+    }
+
+    /// Protocol counters attributed to operations.
+    fn counters(&self) -> Counters;
+
+    /// Kernel counters (raw sends, deliveries, offline/loss drops).
+    fn net_stats(&self) -> NetStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_default_to_zero() {
+        let c = Counters::default();
+        assert_eq!(c.total_messages, 0);
+        assert_eq!(c.lookup_messages, 0);
+    }
+
+    #[test]
+    fn lookup_handles_are_plain_values() {
+        assert_eq!(LookupHandle(7), LookupHandle(7));
+        assert_ne!(LookupHandle(7), LookupHandle(8));
+    }
+}

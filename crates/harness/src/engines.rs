@@ -1,0 +1,282 @@
+//! [`DiscoveryEngine`] implementations for all four engines.
+//!
+//! Each impl is a direct mapping onto the engine's existing inherent
+//! API — no behavior lives here, so driving an engine through the trait
+//! is bit-identical to driving it directly.
+
+use mpil::{DynamicNetwork, MessageId};
+use mpil_chord::ChordSim;
+use mpil_id::Id;
+use mpil_kademlia::KademliaSim;
+use mpil_overlay::NodeIdx;
+use mpil_pastry::PastrySim;
+use mpil_sim::{Availability, LookupOutcome, NetStats, SimTime};
+
+use crate::engine::{Counters, DiscoveryEngine, LookupHandle};
+
+impl DiscoveryEngine for DynamicNetwork {
+    fn name(&self) -> &'static str {
+        "MPIL"
+    }
+
+    fn len(&self) -> usize {
+        DynamicNetwork::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        DynamicNetwork::now(self)
+    }
+
+    fn insert(&mut self, origin: NodeIdx, object: Id) {
+        let _ = DynamicNetwork::insert(self, origin, object);
+    }
+
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle {
+        LookupHandle(DynamicNetwork::issue_lookup(self, origin, object, deadline).0)
+    }
+
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome {
+        self.lookup_status(MessageId(lookup.0))
+    }
+
+    fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        DynamicNetwork::set_availability(self, availability);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        DynamicNetwork::set_loss_probability(self, p);
+    }
+
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        DynamicNetwork::replica_holders(self, object)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        DynamicNetwork::run_until(self, deadline);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        DynamicNetwork::run_to_quiescence(self);
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.stats();
+        Counters {
+            lookup_messages: s.lookup_messages,
+            insert_messages: s.insert_messages,
+            reply_messages: s.replies_sent,
+            maintenance_messages: s.heartbeats_sent + s.deletes_sent,
+            // MPIL sends no acks: the kernel's send count is the total.
+            total_messages: self.net_stats().sent,
+        }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        DynamicNetwork::net_stats(self)
+    }
+}
+
+impl DiscoveryEngine for ChordSim {
+    fn name(&self) -> &'static str {
+        "Chord"
+    }
+
+    fn len(&self) -> usize {
+        ChordSim::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        ChordSim::now(self)
+    }
+
+    fn insert(&mut self, origin: NodeIdx, object: Id) {
+        ChordSim::insert(self, origin, object);
+    }
+
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle {
+        LookupHandle(ChordSim::issue_lookup(self, origin, object, deadline))
+    }
+
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome {
+        ChordSim::lookup_outcome(self, lookup.0)
+    }
+
+    fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) -> bool {
+        ChordSim::join(self, joiner, bootstrap);
+        true
+    }
+
+    fn start_maintenance(&mut self) {
+        ChordSim::start_maintenance(self);
+    }
+
+    fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        ChordSim::set_availability(self, availability);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        ChordSim::set_loss_probability(self, p);
+    }
+
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        ChordSim::replica_holders(self, object)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        ChordSim::run_until(self, deadline);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        ChordSim::run_to_quiescence(self);
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.stats();
+        Counters {
+            lookup_messages: s.lookup_messages,
+            insert_messages: s.insert_messages,
+            reply_messages: s.reply_messages,
+            maintenance_messages: s.maintenance_messages,
+            total_messages: s.total_messages(),
+        }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        ChordSim::net_stats(self)
+    }
+}
+
+impl DiscoveryEngine for KademliaSim {
+    fn name(&self) -> &'static str {
+        "Kademlia"
+    }
+
+    fn len(&self) -> usize {
+        KademliaSim::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        KademliaSim::now(self)
+    }
+
+    fn insert(&mut self, origin: NodeIdx, object: Id) {
+        KademliaSim::insert(self, origin, object);
+    }
+
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle {
+        LookupHandle(KademliaSim::issue_lookup(self, origin, object, deadline))
+    }
+
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome {
+        KademliaSim::lookup_outcome(self, lookup.0)
+    }
+
+    fn start_maintenance(&mut self) {
+        KademliaSim::start_maintenance(self);
+    }
+
+    fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        KademliaSim::set_availability(self, availability);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        KademliaSim::set_loss_probability(self, p);
+    }
+
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        KademliaSim::replica_holders(self, object)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        KademliaSim::run_until(self, deadline);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        KademliaSim::run_to_quiescence(self);
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.stats();
+        Counters {
+            lookup_messages: s.lookup_messages,
+            insert_messages: s.insert_messages,
+            reply_messages: s.reply_messages,
+            maintenance_messages: s.maintenance_messages,
+            total_messages: s.total_messages(),
+        }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        KademliaSim::net_stats(self)
+    }
+}
+
+impl DiscoveryEngine for PastrySim {
+    fn name(&self) -> &'static str {
+        "MSPastry"
+    }
+
+    fn len(&self) -> usize {
+        PastrySim::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        PastrySim::now(self)
+    }
+
+    fn insert(&mut self, origin: NodeIdx, object: Id) {
+        PastrySim::insert(self, origin, object);
+    }
+
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle {
+        LookupHandle(PastrySim::issue_lookup(self, origin, object, deadline))
+    }
+
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome {
+        PastrySim::lookup_outcome(self, lookup.0)
+    }
+
+    fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) -> bool {
+        PastrySim::join(self, joiner, bootstrap);
+        true
+    }
+
+    fn start_maintenance(&mut self) {
+        PastrySim::start_maintenance(self);
+    }
+
+    fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        PastrySim::set_availability(self, availability);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        PastrySim::set_loss_probability(self, p);
+    }
+
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        PastrySim::replica_holders(self, object)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        PastrySim::run_until(self, deadline);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        PastrySim::run_to_quiescence(self);
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.stats();
+        Counters {
+            lookup_messages: s.lookup_messages,
+            insert_messages: s.insert_messages,
+            reply_messages: s.reply_messages,
+            maintenance_messages: s.maintenance_messages,
+            total_messages: s.total_messages(),
+        }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        PastrySim::net_stats(self)
+    }
+}

@@ -1,0 +1,42 @@
+//! # mpil-harness
+//!
+//! The paper's central claim is *overlay-independence*: MPIL runs
+//! unchanged over any substrate. This crate turns that claim into an
+//! API. [`DiscoveryEngine`] is the one lifecycle every engine speaks —
+//! MPIL's [`mpil::DynamicNetwork`], [`mpil_chord::ChordSim`],
+//! [`mpil_kademlia::KademliaSim`], and [`mpil_pastry::PastrySim`] all
+//! implement it — and [`Scenario`] is the one experiment descriptor
+//! every figure driver speaks: which engine, how many nodes, which
+//! perturbation schedule, which workload.
+//!
+//! On top of both sits the [`ExperimentRunner`]: a bounded worker pool
+//! (crossbeam scoped threads) that fans scenarios — or one scenario
+//! across many seeds — out in parallel, with deterministic per-seed RNG
+//! streams and order-preserving result collection, so a parallel run is
+//! bit-identical to a sequential one. [`run_scenario`] is the single
+//! implementation of the paper's two-stage perturbation methodology
+//! (insert on the static overlay, then flap and look up), replacing the
+//! per-engine copies the bench crate used to carry.
+//!
+//! Results merge across seeds via [`mpil_workload::RunningStats`] and
+//! emit uniformly as text tables, CSV ([`Report`]), or JSON
+//! ([`SeedSweep::to_json`]).
+//!
+//! Adding a new substrate = implementing [`DiscoveryEngine`] (see the
+//! conformance suite in `tests/conformance.rs`) and, if its frozen
+//! pointer graph should also serve as an MPIL overlay, an
+//! [`OverlaySource`] variant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod engines;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use engine::{Counters, DiscoveryEngine, LookupHandle};
+pub use report::Report;
+pub use runner::{run_scenario, ExperimentRunner, PerturbResult, SeedStats, SeedSweep};
+pub use scenario::{EngineSpec, OverlaySource, PerturbRun, PreparedRun, Scenario};

@@ -1,0 +1,131 @@
+//! Uniform figure/table emission for every experiment driver.
+//!
+//! Binaries used to carry their own `if csv { table.render_csv() } else
+//! { table.render() }` blocks; a [`Report`] is the one place that
+//! decision lives. A report is an ordered list of titled tables plus
+//! free-standing notes, rendered to text tables (the default) or CSV.
+
+use std::fmt::Write as _;
+
+use mpil_workload::Table;
+
+#[derive(Debug, Clone)]
+enum Section {
+    Table { title: String, table: Table },
+    Note(String),
+}
+
+/// An ordered collection of titled tables and notes, printable as
+/// aligned text or CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a titled table.
+    pub fn table(&mut self, title: impl Into<String>, table: Table) -> &mut Self {
+        self.sections.push(Section::Table {
+            title: title.into(),
+            table,
+        });
+        self
+    }
+
+    /// Appends a free-standing text line (caption, closed-form check).
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.sections.push(Section::Note(text.into()));
+        self
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Returns `true` when the report has no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Renders every section; `csv` selects CSV table bodies.
+    ///
+    /// Matches the historical binary output byte-for-byte: each title
+    /// on its own line, then the rendered table followed by the blank
+    /// line its trailing newline plus `println!` used to produce.
+    pub fn render(&self, csv: bool) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            match section {
+                Section::Table { title, table } => {
+                    let _ = writeln!(out, "{title}");
+                    let body = if csv {
+                        table.render_csv()
+                    } else {
+                        table.render()
+                    };
+                    let _ = writeln!(out, "{body}");
+                }
+                Section::Note(text) => {
+                    let _ = writeln!(out, "{text}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self, csv: bool) {
+        print!("{}", self.render(csv));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(vec!["k".into(), "v".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t
+    }
+
+    #[test]
+    fn render_matches_the_legacy_println_sequence() {
+        let mut report = Report::new();
+        report.table("Title", sample_table());
+        let table = sample_table();
+        let legacy = format!("{}\n{}\n", "Title", table.render());
+        assert_eq!(report.render(false), legacy);
+        let legacy_csv = format!("{}\n{}\n", "Title", table.render_csv());
+        assert_eq!(report.render(true), legacy_csv);
+    }
+
+    #[test]
+    fn notes_are_plain_lines() {
+        let mut report = Report::new();
+        report.note("expected hops: 3.1");
+        assert_eq!(report.render(false), "expected hops: 3.1\n");
+        assert_eq!(report.len(), 1);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn sections_render_in_order() {
+        let mut report = Report::new();
+        report
+            .table("A", sample_table())
+            .note("between")
+            .table("B", sample_table());
+        let text = report.render(true);
+        let a = text.find("A\n").expect("A");
+        let b = text.find("B\n").expect("B");
+        let n = text.find("between").expect("note");
+        assert!(a < n && n < b);
+    }
+}

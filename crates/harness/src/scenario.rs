@@ -1,0 +1,530 @@
+//! [`Scenario`]: the one experiment descriptor every driver speaks.
+//!
+//! A scenario names an engine ([`EngineSpec`]), an overlay size, a
+//! workload (insert/lookup pairs from a designated origin), a flapping
+//! perturbation schedule, and a master seed. [`Scenario::build`]
+//! constructs the engine converged — reproducing, per engine, the exact
+//! RNG draw order the original per-experiment runners used, so results
+//! (and the calibrated test thresholds that depend on them) are
+//! bit-identical to the pre-harness code.
+
+use std::fmt;
+
+use mpil::{DynamicConfig, DynamicNetwork, MpilConfig};
+use mpil_chord::{ChordConfig, ChordSim};
+use mpil_id::Id;
+use mpil_kademlia::{KademliaConfig, KademliaSim};
+use mpil_overlay::transit_stub::{self, TransitStubConfig};
+use mpil_overlay::{generators, NodeIdx};
+use mpil_pastry::{PastryConfig, PastrySim};
+use mpil_sim::{AlwaysOn, ConstantLatency, SimDuration, TransitStubLatency};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::DiscoveryEngine;
+
+/// A source of frozen neighbor graphs for MPIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlaySource {
+    /// Pastry leaf sets ∪ routing tables.
+    Pastry,
+    /// Chord successors ∪ fingers ∪ predecessor.
+    Chord,
+    /// Kademlia bucket contents.
+    Kademlia,
+    /// Random regular graph with the given degree.
+    RandomRegular(usize),
+    /// Inet-style power-law graph.
+    PowerLaw,
+}
+
+impl OverlaySource {
+    /// Label used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            OverlaySource::Pastry => "Pastry overlay".into(),
+            OverlaySource::Chord => "Chord overlay".into(),
+            OverlaySource::Kademlia => "Kademlia overlay".into(),
+            OverlaySource::RandomRegular(d) => format!("random d={d}"),
+            OverlaySource::PowerLaw => "power-law".into(),
+        }
+    }
+
+    /// Builds the frozen (ids, neighbor lists) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generator fails for the requested size (degree too
+    /// large for `nodes`, etc.).
+    pub fn build(&self, nodes: usize, seed: u64) -> (Vec<Id>, Vec<Vec<NodeIdx>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            OverlaySource::Pastry => {
+                let config = PastryConfig::default();
+                let ids = mpil_pastry::bootstrap::random_ids(nodes, &mut rng);
+                let states = mpil_pastry::build_converged_states(&ids, &config, &mut rng);
+                let nbrs = states.iter().map(|s| s.neighbor_list()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::Chord => {
+                let config = ChordConfig::default();
+                let ids = mpil_chord::random_ids(nodes, &mut rng);
+                let states = mpil_chord::build_converged_states(&ids, &config);
+                let nbrs = states.iter().map(|s| s.neighbor_list()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::Kademlia => {
+                let config = KademliaConfig::default();
+                let ids = mpil_chord::random_ids(nodes, &mut rng);
+                let tables = mpil_kademlia::build_converged_tables(&ids, &config);
+                let nbrs = tables.iter().map(|t| t.iter().collect()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::RandomRegular(d) => {
+                let topo = generators::random_regular(nodes, *d, &mut rng).expect("generator");
+                let nbrs = topo
+                    .iter_nodes()
+                    .map(|n| topo.neighbors(n).to_vec())
+                    .collect();
+                (topo.ids().to_vec(), nbrs)
+            }
+            OverlaySource::PowerLaw => {
+                let topo =
+                    generators::power_law(nodes, Default::default(), &mut rng).expect("generator");
+                let nbrs = topo
+                    .iter_nodes()
+                    .map(|n| topo.neighbors(n).to_vec())
+                    .collect();
+                (topo.ids().to_vec(), nbrs)
+            }
+        }
+    }
+}
+
+impl fmt::Display for OverlaySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One perturbation run's parameters (overlay size, workload, flapping
+/// schedule, failure injection, master seed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbRun {
+    /// Overlay size (1000 in the paper).
+    pub nodes: usize,
+    /// Insert/lookup pairs (1000 in the paper).
+    pub operations: usize,
+    /// Idle (online) seconds per flapping period.
+    pub idle_secs: u64,
+    /// Offline seconds per flapping period.
+    pub offline_secs: u64,
+    /// Flapping probability.
+    pub probability: f64,
+    /// Cap on the per-lookup deadline in seconds (60 by default).
+    pub deadline_cap_secs: u64,
+    /// Independent per-message link-loss probability injected in stage 2
+    /// (0 = lossless; Castro et al.'s dependability study sweeps this).
+    pub loss_probability: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PerturbRun {
+    /// A run with the paper's defaults for everything but the sweep
+    /// variables.
+    pub fn new(idle_secs: u64, offline_secs: u64, probability: f64) -> Self {
+        PerturbRun {
+            nodes: 1000,
+            operations: 1000,
+            idle_secs,
+            offline_secs,
+            probability,
+            deadline_cap_secs: 60,
+            loss_probability: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Sets the stage-2 link-loss probability.
+    pub fn with_loss(mut self, loss_probability: f64) -> Self {
+        self.loss_probability = loss_probability;
+        self
+    }
+
+    /// One full flapping period (idle + offline).
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_secs(self.idle_secs + self.offline_secs)
+    }
+
+    /// The per-lookup deadline window: `min(period, cap)`.
+    pub fn deadline_window(&self) -> SimDuration {
+        SimDuration::from_secs((self.idle_secs + self.offline_secs).min(self.deadline_cap_secs))
+    }
+}
+
+/// Which engine a scenario runs, with its engine-specific knobs.
+///
+/// Each variant reproduces one of the original experiment methodologies
+/// exactly, including its latency model and RNG stream layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineSpec {
+    /// MSPastry with full maintenance over transit-stub latencies
+    /// (Figures 1 and 11), optionally with Replication on Route.
+    Pastry {
+        /// Leave replicas along the insert route (the "RR" variant).
+        replication_on_route: bool,
+    },
+    /// Chord with stabilize/fix-fingers/check-predecessor, constant
+    /// latency (the `ext_dht_comparison` baseline).
+    Chord,
+    /// Kademlia with the given `(k, alpha)`, constant latency.
+    Kademlia {
+        /// Bucket size / replication factor.
+        k: usize,
+        /// Lookup parallelism.
+        alpha: usize,
+    },
+    /// MPIL over the frozen Pastry overlay with transit-stub latencies
+    /// and zero maintenance — "MPIL with/without DS" in Figures 11–12.
+    MpilOverPastry {
+        /// Duplicate suppression on/off.
+        duplicate_suppression: bool,
+    },
+    /// MPIL (no maintenance, no DS) over the frozen neighbor graph of
+    /// any overlay family, constant latency (the overlay-independence
+    /// extensions).
+    MpilOver(OverlaySource),
+}
+
+impl EngineSpec {
+    /// The system label used in figure legends and table rows.
+    pub fn label(&self) -> String {
+        match self {
+            EngineSpec::Pastry {
+                replication_on_route: false,
+            } => "MSPastry".into(),
+            EngineSpec::Pastry {
+                replication_on_route: true,
+            } => "MSPastry with RR".into(),
+            EngineSpec::Chord => "Chord".into(),
+            EngineSpec::Kademlia { k, alpha } => format!("Kademlia k={k} α={alpha}"),
+            EngineSpec::MpilOverPastry {
+                duplicate_suppression: true,
+            } => "MPIL with DS".into(),
+            EngineSpec::MpilOverPastry {
+                duplicate_suppression: false,
+            } => "MPIL without DS".into(),
+            EngineSpec::MpilOver(src) => format!("MPIL over {}", src.label()),
+        }
+    }
+}
+
+impl fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A fully-specified experiment: an engine plus run parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Which engine (and engine knobs) to run.
+    pub engine: EngineSpec,
+    /// Overlay size, workload, perturbation schedule, seed.
+    pub run: PerturbRun,
+}
+
+impl Scenario {
+    /// Pairs an engine with run parameters.
+    pub fn new(engine: EngineSpec, run: PerturbRun) -> Self {
+        Scenario { engine, run }
+    }
+
+    /// The single label all drivers and table emitters use: the engine
+    /// label (scenario rows vary the engine; sweep variables go in
+    /// column headers).
+    pub fn label(&self) -> String {
+        self.engine.label()
+    }
+
+    /// Builds the engine converged and ready for stage 1, with the
+    /// workload objects drawn and the RNG parked exactly where the
+    /// perturbation stage expects it.
+    pub fn build(&self) -> PreparedRun {
+        let run = self.run;
+        match self.engine {
+            EngineSpec::Pastry {
+                replication_on_route,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(run.seed);
+                let config =
+                    PastryConfig::default().with_replication_on_route(replication_on_route);
+                let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
+                let states = mpil_pastry::build_converged_states(&ids, &config, &mut rng);
+                let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
+                    .expect("transit-stub generation");
+                let latency = TransitStubLatency::new(ts, 0.1);
+                let sim = PastrySim::new(
+                    ids,
+                    states,
+                    config,
+                    Box::new(AlwaysOn),
+                    Box::new(latency),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(sim),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: true,
+                    warmup_secs: 90,
+                }
+            }
+            EngineSpec::Chord => {
+                let config = ChordConfig::default();
+                let mut rng = SmallRng::seed_from_u64(run.seed);
+                let ids = mpil_chord::random_ids(run.nodes, &mut rng);
+                let states = mpil_chord::build_converged_states(&ids, &config);
+                let sim = ChordSim::new(
+                    ids,
+                    states,
+                    config,
+                    Box::new(AlwaysOn),
+                    Box::new(ConstantLatency(SimDuration::from_millis(20))),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(sim),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: true,
+                    warmup_secs: 0,
+                }
+            }
+            EngineSpec::Kademlia { k, alpha } => {
+                let config = KademliaConfig::default().with_k(k).with_alpha(alpha);
+                let mut rng = SmallRng::seed_from_u64(run.seed);
+                // Historical quirk, kept for stream compatibility: the
+                // Kademlia baseline (and OverlaySource::Kademlia) draw
+                // their ids through the Chord helper.
+                let ids = mpil_chord::random_ids(run.nodes, &mut rng);
+                let tables = mpil_kademlia::build_converged_tables(&ids, &config);
+                let sim = KademliaSim::new(
+                    ids,
+                    tables,
+                    config,
+                    Box::new(AlwaysOn),
+                    Box::new(ConstantLatency(SimDuration::from_millis(20))),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(sim),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: true,
+                    warmup_secs: 0,
+                }
+            }
+            EngineSpec::MpilOverPastry {
+                duplicate_suppression,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(run.seed);
+                // Build the same structured overlay MSPastry would have...
+                let pastry_config = PastryConfig::default();
+                let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
+                let states = mpil_pastry::build_converged_states(&ids, &pastry_config, &mut rng);
+                let neighbors: Vec<Vec<NodeIdx>> =
+                    states.iter().map(|s| s.neighbor_list()).collect();
+                let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
+                    .expect("transit-stub generation");
+                let latency = TransitStubLatency::new(ts, 0.1);
+                // ...then route on it with MPIL and zero maintenance.
+                let mpil_config = MpilConfig::default()
+                    .with_max_flows(10)
+                    .with_num_replicas(5)
+                    .with_duplicate_suppression(duplicate_suppression);
+                let net = DynamicNetwork::new(
+                    ids,
+                    neighbors,
+                    DynamicConfig {
+                        mpil: mpil_config,
+                        heartbeat_period: None,
+                    },
+                    Box::new(AlwaysOn),
+                    Box::new(latency),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(net),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: false,
+                    warmup_secs: 0,
+                }
+            }
+            EngineSpec::MpilOver(source) => {
+                let (ids, neighbors) = source.build(run.nodes, run.seed);
+                let mut rng = SmallRng::seed_from_u64(run.seed ^ 0xdada);
+                let mpil_config = MpilConfig::default()
+                    .with_max_flows(10)
+                    .with_num_replicas(5)
+                    .with_duplicate_suppression(false);
+                let net = DynamicNetwork::new(
+                    ids,
+                    neighbors,
+                    DynamicConfig {
+                        mpil: mpil_config,
+                        heartbeat_period: None,
+                    },
+                    Box::new(AlwaysOn),
+                    Box::new(ConstantLatency(SimDuration::from_millis(20))),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(net),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: false,
+                    warmup_secs: 0,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = &self.run;
+        write!(
+            f,
+            "{} ({} nodes, {} ops, idle:offline={}:{}, p={}, loss={}, seed={})",
+            self.engine.label(),
+            r.nodes,
+            r.operations,
+            r.idle_secs,
+            r.offline_secs,
+            r.probability,
+            r.loss_probability,
+            r.seed
+        )
+    }
+}
+
+/// A converged engine plus everything stage 2 needs, in exact legacy
+/// RNG order.
+pub struct PreparedRun {
+    /// The engine, converged and quiet.
+    pub engine: Box<dyn DiscoveryEngine>,
+    /// The designated measurement origin (exempt from flapping).
+    pub origin: NodeIdx,
+    /// The workload objects, already drawn.
+    pub objects: Vec<Id>,
+    /// The scenario RNG, parked where the flapping model expects it.
+    pub rng: SmallRng,
+    /// Whether to turn on overlay maintenance before perturbing.
+    pub maintenance: bool,
+    /// Seconds to run between starting maintenance and perturbing.
+    pub warmup_secs: u64,
+}
+
+fn draw_objects(operations: usize, rng: &mut SmallRng) -> Vec<Id> {
+    (0..operations).map(|_| Id::random(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_legacy_legend() {
+        assert_eq!(
+            EngineSpec::Pastry {
+                replication_on_route: false
+            }
+            .label(),
+            "MSPastry"
+        );
+        assert_eq!(
+            EngineSpec::Pastry {
+                replication_on_route: true
+            }
+            .label(),
+            "MSPastry with RR"
+        );
+        assert_eq!(
+            EngineSpec::MpilOverPastry {
+                duplicate_suppression: true
+            }
+            .label(),
+            "MPIL with DS"
+        );
+        assert_eq!(
+            EngineSpec::MpilOverPastry {
+                duplicate_suppression: false
+            }
+            .label(),
+            "MPIL without DS"
+        );
+        assert_eq!(
+            EngineSpec::Kademlia { k: 8, alpha: 3 }.label(),
+            "Kademlia k=8 α=3"
+        );
+        assert_eq!(
+            EngineSpec::MpilOver(OverlaySource::Chord).label(),
+            "MPIL over Chord overlay"
+        );
+    }
+
+    #[test]
+    fn scenario_display_names_the_sweep_variables() {
+        let s = Scenario::new(EngineSpec::Chord, PerturbRun::new(30, 30, 0.5));
+        let text = s.to_string();
+        assert!(text.contains("Chord"));
+        assert!(text.contains("idle:offline=30:30"));
+        assert!(text.contains("p=0.5"));
+    }
+
+    #[test]
+    fn build_prepares_each_engine_kind() {
+        let mut run = PerturbRun::new(30, 30, 0.0);
+        run.nodes = 60;
+        run.operations = 3;
+        for spec in [
+            EngineSpec::Pastry {
+                replication_on_route: false,
+            },
+            EngineSpec::Chord,
+            EngineSpec::Kademlia { k: 4, alpha: 2 },
+            EngineSpec::MpilOverPastry {
+                duplicate_suppression: false,
+            },
+            EngineSpec::MpilOver(OverlaySource::RandomRegular(8)),
+        ] {
+            let prepared = Scenario::new(spec, run).build();
+            assert_eq!(prepared.engine.len(), 60, "{}", spec.label());
+            assert_eq!(prepared.objects.len(), 3, "{}", spec.label());
+            assert_eq!(prepared.origin, NodeIdx::new(0));
+        }
+    }
+
+    #[test]
+    fn deadline_window_is_capped() {
+        let run = PerturbRun::new(300, 300, 0.5);
+        assert_eq!(run.period(), SimDuration::from_secs(600));
+        assert_eq!(run.deadline_window(), SimDuration::from_secs(60));
+        let short = PerturbRun::new(1, 1, 0.5);
+        assert_eq!(short.deadline_window(), SimDuration::from_secs(2));
+    }
+}

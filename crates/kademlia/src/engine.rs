@@ -130,21 +130,8 @@ impl KademliaStats {
     }
 }
 
-/// Outcome of one lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LookupOutcome {
-    /// No terminal event yet.
-    Pending,
-    /// A holder was found before the deadline.
-    Succeeded {
-        /// RPC depth of the replying holder.
-        hops: u32,
-        /// Issue-to-reply latency.
-        latency: SimDuration,
-    },
-    /// The iteration converged empty-handed or the deadline passed.
-    Failed,
-}
+/// Outcome of one lookup (the shared engine-agnostic enum).
+pub use mpil_sim::LookupOutcome;
 
 #[derive(Debug)]
 struct LookupState {

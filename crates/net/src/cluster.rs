@@ -193,9 +193,10 @@ impl LiveCluster {
             self.config.max_flows,
             self.config.num_replicas,
         );
-        let _ = self
-            .client
-            .send(origin.index(), WireMessage::Forward(initial).encode());
+        let frame = WireMessage::Forward(initial)
+            .encode()
+            .expect("fresh messages have empty routes");
+        let _ = self.client.send(origin.index(), frame);
         let mut holders = Vec::new();
         let deadline = Instant::now() + wait;
         while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
@@ -239,9 +240,10 @@ impl LiveCluster {
             self.config.num_replicas,
         );
         let started = Instant::now();
-        let _ = self
-            .client
-            .send(origin.index(), WireMessage::Forward(initial).encode());
+        let frame = WireMessage::Forward(initial)
+            .encode()
+            .expect("fresh messages have empty routes");
+        let _ = self.client.send(origin.index(), frame);
         let deadline = started + timeout;
         while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
             if remaining.is_zero() {

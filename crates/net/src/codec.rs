@@ -64,6 +64,31 @@ pub enum WireMessage {
     Shutdown,
 }
 
+/// Why a frame failed to encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The route does not fit the 16-bit length field of the wire
+    /// format.
+    RouteTooLong {
+        /// Actual route length.
+        len: usize,
+        /// The format's limit (`u16::MAX`).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::RouteTooLong { len, max } => {
+                write!(f, "route of {len} hops exceeds the wire limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// Why a frame failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -89,11 +114,23 @@ impl std::error::Error for DecodeError {}
 
 impl WireMessage {
     /// Encodes the frame.
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::RouteTooLong`] if a forwarded message's route
+    /// exceeds the format's 16-bit length field (a frame that long
+    /// would silently truncate on the wire otherwise).
+    pub fn encode(&self) -> Result<Bytes, EncodeError> {
         let mut buf = BytesMut::with_capacity(64);
         buf.put_u8(WIRE_VERSION);
         match self {
             WireMessage::Forward(m) => {
+                if m.route.len() > usize::from(u16::MAX) {
+                    return Err(EncodeError::RouteTooLong {
+                        len: m.route.len(),
+                        max: usize::from(u16::MAX),
+                    });
+                }
                 buf.put_u8(match m.kind {
                     MessageKind::Insert => 0,
                     MessageKind::Lookup => 1,
@@ -133,7 +170,7 @@ impl WireMessage {
             }
             WireMessage::Shutdown => buf.put_u8(4),
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Decodes a frame.
@@ -246,7 +283,7 @@ mod tests {
     fn forward_round_trips() {
         let m = sample_message();
         let wire = WireMessage::Forward(m);
-        let decoded = WireMessage::decode(&wire.encode()).expect("decode");
+        let decoded = WireMessage::decode(&wire.encode().expect("encode")).expect("decode");
         assert_eq!(decoded, wire);
     }
 
@@ -254,10 +291,10 @@ mod tests {
     fn insert_and_lookup_kinds_are_distinct() {
         let mut m = sample_message();
         m.kind = MessageKind::Insert;
-        let enc = WireMessage::Forward(m.clone()).encode();
+        let enc = WireMessage::Forward(m.clone()).encode().expect("encode");
         assert_eq!(enc[1], 0);
         m.kind = MessageKind::Lookup;
-        let enc = WireMessage::Forward(m).encode();
+        let enc = WireMessage::Forward(m).encode().expect("encode");
         assert_eq!(enc[1], 1);
     }
 
@@ -269,7 +306,10 @@ mod tests {
             holder: NodeIdx::new(17),
             hops: 3,
         };
-        assert_eq!(WireMessage::decode(&wire.encode()).expect("decode"), wire);
+        assert_eq!(
+            WireMessage::decode(&wire.encode().expect("encode")).expect("decode"),
+            wire
+        );
     }
 
     #[test]
@@ -279,12 +319,15 @@ mod tests {
             object: Id::MAX,
             holder: NodeIdx::new(0),
         };
-        assert_eq!(WireMessage::decode(&wire.encode()).expect("decode"), wire);
+        assert_eq!(
+            WireMessage::decode(&wire.encode().expect("encode")).expect("decode"),
+            wire
+        );
     }
 
     #[test]
     fn shutdown_is_two_bytes() {
-        let enc = WireMessage::Shutdown.encode();
+        let enc = WireMessage::Shutdown.encode().expect("encode");
         assert_eq!(enc.len(), 2);
         assert_eq!(
             WireMessage::decode(&enc).expect("decode"),
@@ -301,7 +344,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut enc = WireMessage::Shutdown.encode().to_vec();
+        let mut enc = WireMessage::Shutdown.encode().expect("encode").to_vec();
         enc[0] = 9;
         assert_eq!(WireMessage::decode(&enc), Err(DecodeError::BadVersion(9)));
     }
@@ -317,7 +360,7 @@ mod tests {
     #[test]
     fn truncated_route_rejected() {
         let m = sample_message();
-        let enc = WireMessage::Forward(m).encode();
+        let enc = WireMessage::Forward(m).encode().expect("encode");
         // Chop off the last route entry.
         assert_eq!(
             WireMessage::decode(&enc[..enc.len() - 2]),
@@ -330,5 +373,31 @@ mod tests {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::BadVersion(3).to_string().contains('3'));
         assert!(DecodeError::BadKind(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn overlong_route_is_an_encode_error() {
+        let mut m = sample_message();
+        m.route = vec![NodeIdx::new(0); usize::from(u16::MAX) + 1];
+        let err = WireMessage::Forward(m).encode().expect_err("too long");
+        assert_eq!(
+            err,
+            EncodeError::RouteTooLong {
+                len: usize::from(u16::MAX) + 1,
+                max: usize::from(u16::MAX),
+            }
+        );
+        assert!(err.to_string().contains("wire limit"));
+    }
+
+    #[test]
+    fn longest_legal_route_still_encodes() {
+        let mut m = sample_message();
+        m.route = vec![NodeIdx::new(0); usize::from(u16::MAX)];
+        let enc = WireMessage::Forward(m.clone()).encode().expect("encode");
+        assert_eq!(
+            WireMessage::decode(&enc).expect("decode"),
+            WireMessage::Forward(m)
+        );
     }
 }

@@ -49,7 +49,7 @@ pub mod node;
 pub mod transport;
 
 pub use cluster::{LiveCluster, LiveClusterBuilder, LiveLookup, TransportKind};
-pub use codec::{DecodeError, WireMessage, WIRE_VERSION};
+pub use codec::{DecodeError, EncodeError, WireMessage, WIRE_VERSION};
 pub use node::{NodeControl, NodeStats};
 pub use transport::{
     ChannelMesh, ChannelTransport, Transport, TransportError, UdpMesh, UdpTransport,

@@ -81,6 +81,12 @@ pub struct NodeStats {
     pub dropped_perturbed: u64,
     /// Frames that failed to decode.
     pub decode_errors: u64,
+    /// Outbound frames that failed to encode (route beyond the wire
+    /// format's limit).
+    pub encode_errors: u64,
+    /// Outbound frames the transport refused (oversized datagram,
+    /// unknown endpoint, torn-down mesh).
+    pub send_errors: u64,
 }
 
 /// Immutable per-node configuration.
@@ -183,8 +189,12 @@ fn step(
             holder: at,
             hops: msg.hops,
         };
-        if transport.send(setup.client, reply.encode()).is_ok() {
+        // Replies carry no route, so encoding cannot fail.
+        let frame = reply.encode().expect("reply frames always encode");
+        if transport.send(setup.client, frame).is_ok() {
             stats.replies += 1;
+        } else {
+            stats.send_errors += 1;
         }
         return;
     }
@@ -211,8 +221,12 @@ fn step(
                 object: msg.object,
                 holder: at,
             };
-            if transport.send(setup.client, ack.encode()).is_ok() {
+            // Store-acks carry no route, so encoding cannot fail.
+            let frame = ack.encode().expect("store-ack frames always encode");
+            if transport.send(setup.client, frame).is_ok() {
                 stats.store_acks += 1;
+            } else {
+                stats.send_errors += 1;
             }
         }
         msg.replicas_left -= 1;
@@ -231,9 +245,17 @@ fn step(
     let chosen: Vec<NodeIdx> = select_candidates(decision.candidates, plan.m as usize, rng);
     for (target, &child_quota) in chosen.iter().zip(plan.child_quotas.iter()) {
         let fwd = msg.forwarded(at, child_quota);
-        let frame = WireMessage::Forward(fwd).encode();
+        let frame = match WireMessage::Forward(fwd).encode() {
+            Ok(frame) => frame,
+            Err(_) => {
+                stats.encode_errors += 1;
+                continue;
+            }
+        };
         if transport.send(target.index(), frame).is_ok() {
             stats.forwards += 1;
+        } else {
+            stats.send_errors += 1;
         }
     }
 }

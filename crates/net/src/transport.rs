@@ -21,6 +21,20 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 pub enum TransportError {
     /// The peer endpoint is gone (mesh torn down).
     Disconnected,
+    /// The destination index names no endpoint of this mesh.
+    UnknownEndpoint {
+        /// The requested destination.
+        endpoint: usize,
+        /// How many endpoints the mesh has.
+        endpoints: usize,
+    },
+    /// The frame exceeds the transport's datagram budget (UDP only).
+    Oversized {
+        /// Frame size including the sender-index prefix.
+        len: usize,
+        /// The budget ([`MAX_DATAGRAM`]).
+        max: usize,
+    },
     /// An I/O error from the OS (UDP only).
     Io(std::io::Error),
 }
@@ -29,6 +43,18 @@ impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Disconnected => write!(f, "endpoint disconnected"),
+            TransportError::UnknownEndpoint {
+                endpoint,
+                endpoints,
+            } => {
+                write!(f, "endpoint {endpoint} out of range (mesh has {endpoints})")
+            }
+            TransportError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {max}-byte datagram budget"
+                )
+            }
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
         }
     }
@@ -38,7 +64,9 @@ impl std::error::Error for TransportError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransportError::Io(e) => Some(e),
-            TransportError::Disconnected => None,
+            TransportError::Disconnected
+            | TransportError::UnknownEndpoint { .. }
+            | TransportError::Oversized { .. } => None,
         }
     }
 }
@@ -56,7 +84,9 @@ pub trait Transport: Send {
     /// # Errors
     ///
     /// [`TransportError::Disconnected`] when the mesh is gone,
-    /// [`TransportError::Io`] for socket failures.
+    /// [`TransportError::UnknownEndpoint`] for an out-of-range
+    /// destination, [`TransportError::Oversized`] for a frame beyond the
+    /// datagram budget, [`TransportError::Io`] for socket failures.
     fn send(&self, to: usize, payload: Bytes) -> Result<(), TransportError>;
 
     /// Receives the next frame, waiting at most `timeout`. Returns
@@ -123,7 +153,10 @@ impl Transport for ChannelTransport {
         let tx = self
             .senders
             .get(to)
-            .unwrap_or_else(|| panic!("endpoint {to} out of range"));
+            .ok_or(TransportError::UnknownEndpoint {
+                endpoint: to,
+                endpoints: self.senders.len(),
+            })?;
         tx.send((self.index, payload))
             .map_err(|_| TransportError::Disconnected)
     }
@@ -194,15 +227,16 @@ impl Transport for UdpTransport {
     }
 
     fn send(&self, to: usize, payload: Bytes) -> Result<(), TransportError> {
-        assert!(
-            payload.len() + 4 <= MAX_DATAGRAM,
-            "frame of {} bytes exceeds the datagram budget",
-            payload.len()
-        );
-        let addr = self
-            .peers
-            .get(to)
-            .unwrap_or_else(|| panic!("endpoint {to} out of range"));
+        if payload.len() + 4 > MAX_DATAGRAM {
+            return Err(TransportError::Oversized {
+                len: payload.len() + 4,
+                max: MAX_DATAGRAM,
+            });
+        }
+        let addr = self.peers.get(to).ok_or(TransportError::UnknownEndpoint {
+            endpoint: to,
+            endpoints: self.peers.len(),
+        })?;
         let mut frame = Vec::with_capacity(payload.len() + 4);
         frame.extend_from_slice(&(self.index as u32).to_be_bytes());
         frame.extend_from_slice(&payload);
@@ -308,9 +342,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn channel_send_out_of_range_panics() {
+    fn channel_send_out_of_range_is_an_error() {
         let mesh = ChannelMesh::build(1);
-        let _ = mesh[0].send(5, Bytes::new());
+        let err = mesh[0].send(5, Bytes::new()).expect_err("out of range");
+        assert!(
+            matches!(
+                err,
+                TransportError::UnknownEndpoint {
+                    endpoint: 5,
+                    endpoints: 1
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn udp_send_out_of_range_is_an_error() {
+        let mesh = UdpMesh::build(1).expect("bind");
+        let err = mesh[0].send(9, Bytes::new()).expect_err("out of range");
+        assert!(
+            matches!(err, TransportError::UnknownEndpoint { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn udp_oversized_frame_is_an_error() {
+        let mesh = UdpMesh::build(1).expect("bind");
+        let big = Bytes::from(vec![0u8; MAX_DATAGRAM]);
+        let err = mesh[0].send(0, big).expect_err("oversized");
+        assert!(matches!(err, TransportError::Oversized { .. }), "{err}");
+        assert!(err.to_string().contains("datagram budget"));
     }
 }

@@ -63,7 +63,7 @@ fn arb_wire() -> impl Strategy<Value = WireMessage> {
 proptest! {
     #[test]
     fn encode_decode_round_trips(wire in arb_wire()) {
-        let encoded = wire.encode();
+        let encoded = wire.encode().expect("bounded routes encode");
         let decoded = WireMessage::decode(&encoded).expect("well-formed frame");
         prop_assert_eq!(decoded, wire);
     }
@@ -72,7 +72,7 @@ proptest! {
     /// either the frame itself or a clean Truncated error.
     #[test]
     fn prefixes_fail_cleanly(wire in arb_wire(), cut in 0usize..200) {
-        let encoded = wire.encode();
+        let encoded = wire.encode().expect("bounded routes encode");
         let cut = cut.min(encoded.len());
         let slice = &encoded[..cut];
         match WireMessage::decode(slice) {
@@ -92,7 +92,7 @@ proptest! {
     /// fails with BadVersion.
     #[test]
     fn version_is_enforced(wire in arb_wire(), v in 2u8..255) {
-        let mut enc = wire.encode().to_vec();
+        let mut enc = wire.encode().expect("bounded routes encode").to_vec();
         enc[0] = v;
         prop_assert_eq!(WireMessage::decode(&enc), Err(DecodeError::BadVersion(v)));
     }

@@ -112,8 +112,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "even")]
     fn odd_leaf_set_rejected() {
-        let mut c = PastryConfig::default();
-        c.leaf_set_size = 7;
+        let c = PastryConfig {
+            leaf_set_size: 7,
+            ..PastryConfig::default()
+        };
         c.assert_valid();
     }
 }

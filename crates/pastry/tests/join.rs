@@ -100,11 +100,11 @@ fn multiple_sequential_joins_converge() {
     }
     // All joiners have populated state.
     let lists = sim.neighbor_lists();
-    for j in (n - k)..n {
+    for (j, list) in lists.iter().enumerate().take(n).skip(n - k) {
         assert!(
-            lists[j].len() >= 8,
+            list.len() >= 8,
             "joiner {j} has only {} neighbors",
-            lists[j].len()
+            list.len()
         );
     }
     // Random lookups over objects inserted post-join all succeed.
@@ -146,7 +146,7 @@ fn unjoined_nodes_do_not_disturb_the_overlay() {
     ));
     // The blank nodes never appear in members' tables.
     let lists = sim.neighbor_lists();
-    for i in 0..(n - 2) {
-        assert!(lists[i].iter().all(|&x| x.index() < n - 2));
+    for list in lists.iter().take(n - 2) {
+        assert!(list.iter().all(|&x| x.index() < n - 2));
     }
 }

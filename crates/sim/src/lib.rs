@@ -29,10 +29,12 @@
 pub mod availability;
 pub mod latency;
 pub mod net;
+pub mod outcome;
 pub mod rng;
 pub mod time;
 
 pub use availability::{AlwaysOn, Availability, Flapping, FlappingConfig, TraceChurn};
 pub use latency::{ConstantLatency, LatencyModel, TransitStubLatency, UniformLatency};
 pub use net::{Event, NetStats, Network};
+pub use outcome::LookupOutcome;
 pub use time::{SimDuration, SimTime};

@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn fmt_f64_controls_precision() {
-        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
         assert_eq!(fmt_f64(2.0, 0), "2");
     }
 

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# CI gate, fully offline: the tier-1 verify plus formatting.
+# CI gate, fully offline: the tier-1 verify plus formatting, lints, and
+# bench-target compile checks.
 #
 #   tier-1:  cargo build --release && cargo test -q
-#   format:  cargo fmt --check   (stable rustfmt; options in rustfmt.toml)
+#   benches: cargo check --benches   (always; they are test = false)
+#   format:  cargo fmt --check       (stable rustfmt; options in rustfmt.toml)
+#   lints:   cargo clippy --workspace --all-targets -- -D warnings
 #
 # Everything resolves from vendor/ path entries (see vendor/README.md),
 # so this must pass from a clean checkout with no network access.
 #
-# Usage: scripts/ci.sh [--benches]
-#   --benches   additionally compile-check the criterion bench targets
+# Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
 cargo fmt --check
-scripts/verify.sh "$@"
+cargo clippy --workspace --all-targets -- -D warnings
+scripts/verify.sh --benches
 
 echo "ci: OK"

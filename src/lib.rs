@@ -23,6 +23,8 @@
 //!   channel/UDP transports, perturbable clusters).
 //! * [`mpil_analysis`] — closed-form analysis from Section 5 of the paper.
 //! * [`mpil_workload`] — workload generators, experiment harness, statistics.
+//! * [`mpil_harness`] — the `DiscoveryEngine` trait over all four engines,
+//!   `Scenario` descriptors, and the parallel multi-seed `ExperimentRunner`.
 //!
 //! Insert from one node, look up from another, on an arbitrary overlay:
 //!
@@ -46,6 +48,7 @@
 pub use mpil;
 pub use mpil_analysis;
 pub use mpil_chord;
+pub use mpil_harness;
 pub use mpil_id;
 pub use mpil_kademlia;
 pub use mpil_net;

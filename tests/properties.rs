@@ -18,7 +18,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
             1 => generators::power_law(n.max(8), Default::default(), &mut rng).unwrap(),
             2 => generators::ring(n.max(3), &mut rng).unwrap(),
             3 => generators::grid(4, (n / 4).max(2), &mut rng).unwrap(),
-            _ => generators::complete(n.min(40).max(2), &mut rng).unwrap(),
+            _ => generators::complete(n.clamp(2, 40), &mut rng).unwrap(),
         }
     })
 }

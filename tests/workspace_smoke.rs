@@ -55,6 +55,10 @@ fn every_umbrella_reexport_is_reachable() {
             stats.push(1.0);
             stats.count() == 1
         }),
+        (
+            "mpil_harness",
+            mpil_suite::mpil_harness::EngineSpec::Chord.label() == "Chord",
+        ),
     ];
     for (name, ok) in reachable {
         assert!(ok, "umbrella re-export `{name}` misbehaved");
