@@ -102,12 +102,38 @@ fn bench_fig11_point(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ext_gossip_point(c: &mut Criterion) {
+    use mpil_harness::{run_scenario, EngineSpec, LookupStrategy, Scenario};
+    let mut g = c.benchmark_group("ext_gossip_point");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("gossip_walk_30_30_p05", LookupStrategy::KRandomWalk),
+        ("gossip_ring_30_30_p05", LookupStrategy::ExpandingRing),
+    ] {
+        g.bench_function(name, |b| {
+            let spec = EngineSpec::Gossip {
+                view: 8,
+                walkers: 8,
+                ttl: 8,
+                strategy,
+            };
+            let mut run = small_perturb(30, 30, 0.5);
+            run.nodes = 120;
+            run.operations = 12;
+            let scenario = Scenario::new(spec, run);
+            b.iter(|| black_box(run_scenario(&scenario)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig1_point,
     bench_fig7_fig8_analysis,
     bench_fig9_point,
     bench_tables_point,
-    bench_fig11_point
+    bench_fig11_point,
+    bench_ext_gossip_point
 );
 criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Extension: epidemic gossip discovery vs DHTs vs MPIL under flapping
+//! ([`mpil_bench::figures::ext_gossip_discovery`]).
+//!
+//! ```text
+//! cargo run --release -p mpil-bench --bin ext_gossip_discovery [--full] [--csv] [--seed N]
+//! ```
+
+use mpil_bench::{figures, Args};
+
+fn main() {
+    let args = Args::parse_env();
+    figures::ext_gossip_discovery(&args).print(args.flag("csv"));
+}

@@ -16,7 +16,8 @@ pub mod statics;
 pub use ablations::{ablation_baselines, ablation_metric, ablation_split_policy};
 pub use analysis::{fig7_local_maxima, fig8_complete_replicas};
 pub use extensions::{
-    ext_churn_traces, ext_dht_comparison, ext_link_loss, ext_overlay_independence,
+    ext_churn_traces, ext_dht_comparison, ext_gossip_discovery, ext_link_loss,
+    ext_overlay_independence,
 };
 pub use perturbation::{fig11_perturbation, fig12_traffic, fig1_pastry_perturbation};
 pub use statics::{fig10_lookup_cost, fig9_insertion, table1_2_lookup_success, table3_flows};

@@ -21,8 +21,10 @@
 //! Beyond the paper: `ablation_split_policy`, `ablation_metric`,
 //! `ablation_baselines` (flooding / random walks), `ext_churn_traces`
 //! (trace-driven churn), `ext_link_loss` (loss injection),
-//! `ext_overlay_independence` (five overlay families), and
-//! `ext_dht_comparison` (Chord / Kademlia baselines).
+//! `ext_overlay_independence` (five overlay families),
+//! `ext_dht_comparison` (Chord / Kademlia baselines), and
+//! `ext_gossip_discovery` (the epidemic `mpil-gossip` engine — k-walk
+//! and expanding-ring — vs DHTs vs MPIL over the gossip views).
 //!
 //! All binaries accept `--full` (paper-scale parameters), `--csv`
 //! (machine-readable output), and `--seed <u64>`.

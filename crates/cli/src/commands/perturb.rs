@@ -2,7 +2,9 @@
 //! Chord/Kademlia extension baselines).
 
 use mpil_bench::Args;
-use mpil_harness::{run_scenario, EngineSpec, OverlaySource, PerturbResult, PerturbRun, Scenario};
+use mpil_harness::{
+    run_scenario, EngineSpec, LookupStrategy, OverlaySource, PerturbResult, PerturbRun, Scenario,
+};
 
 use crate::CliError;
 
@@ -23,13 +25,26 @@ pub(crate) fn parse_system(system: &str) -> Result<EngineSpec, CliError> {
         },
         "mpil-chord" => EngineSpec::MpilOver(OverlaySource::Chord),
         "mpil-kademlia" => EngineSpec::MpilOver(OverlaySource::Kademlia),
+        "mpil-gossip" => EngineSpec::MpilOver(OverlaySource::Gossip { view: 8 }),
         "chord" => EngineSpec::Chord,
         "kademlia" => EngineSpec::Kademlia { k: 8, alpha: 3 },
         "kademlia-1" => EngineSpec::Kademlia { k: 1, alpha: 1 },
+        "gossip" | "gossip-walk" => EngineSpec::Gossip {
+            view: 8,
+            walkers: 8,
+            ttl: 16,
+            strategy: LookupStrategy::KRandomWalk,
+        },
+        "gossip-ring" => EngineSpec::Gossip {
+            view: 8,
+            walkers: 8,
+            ttl: 8,
+            strategy: LookupStrategy::ExpandingRing,
+        },
         other => {
             return Err(CliError(format!(
                 "unknown system {other:?} (want pastry|pastry-rr|chord|kademlia|kademlia-1|\
-                 mpil|mpil-ds|mpil-chord|mpil-kademlia)"
+                 gossip|gossip-ring|mpil|mpil-ds|mpil-chord|mpil-kademlia|mpil-gossip)"
             )))
         }
     })
@@ -106,12 +121,23 @@ mod tests {
             "chord",
             "kademlia",
             "kademlia-1",
+            "gossip",
+            "gossip-walk",
+            "gossip-ring",
             "mpil",
             "mpil-ds",
             "mpil-chord",
             "mpil-kademlia",
+            "mpil-gossip",
         ] {
             assert!(parse_system(s).is_ok(), "{s}");
         }
+    }
+
+    #[test]
+    fn gossip_run_reports_success() {
+        let out = run(&args("--system gossip --nodes 100 --ops 8 --p 0.0")).expect("ok");
+        assert!(out.contains("success rate"), "got:\n{out}");
+        assert!(out.contains("Gossip k-walk"), "got:\n{out}");
     }
 }

@@ -94,6 +94,24 @@ mod tests {
     }
 
     #[test]
+    fn sweep_json_header_is_self_describing() {
+        // The document alone must identify the engine and seed range.
+        let out = run(&args(
+            "--system gossip --nodes 80 --ops 6 --p 0.0 --seed 7 --seeds 2 --json",
+        ))
+        .expect("ok");
+        assert!(
+            out.contains("\"engine\": \"Gossip k-walk view=8 k=8 ttl=16\""),
+            "got:\n{out}"
+        );
+        assert!(
+            out.contains("\"seed_range\": {\"first\": 7, \"last\": 8, \"count\": 2}"),
+            "got:\n{out}"
+        );
+        assert!(out.contains("\"scenario\": \"Gossip k-walk"), "got:\n{out}");
+    }
+
+    #[test]
     fn sweep_rejects_unknown_system() {
         assert!(run(&args("--system banana --seeds 2")).is_err());
     }

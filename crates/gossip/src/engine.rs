@@ -1,0 +1,993 @@
+//! The event-driven gossip simulation.
+//!
+//! An unstructured/epidemic substrate on the [`mpil_sim`] kernel, the
+//! fifth engine behind the harness's `DiscoveryEngine` lifecycle:
+//!
+//! * **Membership** — bounded partial views ([`crate::PartialView`])
+//!   maintained by periodic Cyclon-style push-pull shuffles (swap
+//!   semantics, age-based selection) with SWIM-style suspicion: a peer
+//!   that misses [`GossipConfig::suspicion_limit`] consecutive shuffle
+//!   replies is evicted, so churned nodes age out of every view.
+//! * **Replication** — inserts launch a few random walks that deposit
+//!   the object pointer at every node they visit.
+//! * **Lookup** — either `k` independent TTL-bounded random walks
+//!   (Lv et al., Ferretti) or expanding-ring flooding with doubling
+//!   scope, both replying directly to the origin on a hit.
+//!
+//! Like MPIL, the engine is ID-agnostic: no distance metric, no key
+//! space — only exact pointer matches at visited nodes. All randomness
+//! flows through the kernel RNG, so fixed seeds reproduce exactly.
+
+use std::collections::{HashMap, HashSet};
+
+use mpil_id::Id;
+use mpil_overlay::NodeIdx;
+use mpil_sim::{Availability, Event, LatencyModel, LookupOutcome, Network, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{GossipConfig, LookupStrategy};
+use crate::view::PartialView;
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// Push half of a shuffle: the initiator's sample, itself included
+    /// fresh.
+    ShufflePush { token: u64, entries: Vec<NodeIdx> },
+    /// Pull half: the responder's sample.
+    ShufflePull { token: u64, entries: Vec<NodeIdx> },
+    /// A replication walk: store, decrement, forward.
+    StoreWalk { object: Id, ttl: u32 },
+    /// One random-walk lookup step.
+    WalkQuery {
+        lookup: u64,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+    },
+    /// One expanding-ring flood step.
+    FloodQuery {
+        lookup: u64,
+        round: u32,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+    },
+    /// Direct positive reply from a replica holder to the origin.
+    Reply { lookup: u64, hops: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    /// Periodic per-node shuffle.
+    Gossip,
+    /// The pull half of shuffle `token` did not arrive in time.
+    ShuffleTimeout { token: u64 },
+    /// Time to widen the expanding ring for `lookup`.
+    RingRound { lookup: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingShuffle {
+    initiator: NodeIdx,
+    target: NodeIdx,
+    sent: Vec<NodeIdx>,
+}
+
+#[derive(Debug)]
+struct LookupState {
+    issued_at: SimTime,
+    deadline: SimTime,
+    outcome: LookupOutcome,
+}
+
+#[derive(Debug)]
+struct RingState {
+    origin: NodeIdx,
+    object: Id,
+    round: u32,
+    ttl: u32,
+    /// Nodes that already forwarded the current round (per-round
+    /// duplicate suppression).
+    forwarded: HashSet<NodeIdx>,
+}
+
+/// Counters split by traffic class (comparable to the DHT baselines and
+/// MPIL through the harness's unified `Counters`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipStats {
+    /// Walk/flood query transmissions sent by lookups.
+    pub lookup_messages: u64,
+    /// Replication-walk transmissions sent by inserts.
+    pub insert_messages: u64,
+    /// Direct replica-holder replies.
+    pub reply_messages: u64,
+    /// Shuffle pushes and pulls (the membership layer's entire cost).
+    pub maintenance_messages: u64,
+    /// Peers evicted from a view after repeated shuffle timeouts.
+    pub failure_declarations: u64,
+}
+
+impl GossipStats {
+    /// Everything the overlay sent (each class counts exactly one
+    /// kernel send, so this equals the kernel's send counter).
+    pub fn total_messages(&self) -> u64 {
+        self.lookup_messages
+            + self.insert_messages
+            + self.reply_messages
+            + self.maintenance_messages
+    }
+}
+
+/// The epidemic/unstructured overlay simulation.
+///
+/// Drive it like every other engine: build converged views
+/// ([`crate::build_converged_views`]), insert on the quiet network,
+/// start maintenance, swap in a perturbed availability model, then
+/// issue lookups and run the clock.
+pub struct GossipSim {
+    config: GossipConfig,
+    views: Vec<PartialView>,
+    stores: Vec<HashSet<Id>>,
+    net: Network<Msg, Timer>,
+    /// Consecutive failed shuffles per (node, peer).
+    suspicion: Vec<HashMap<NodeIdx, u32>>,
+    pending_shuffles: HashMap<u64, PendingShuffle>,
+    lookups: HashMap<u64, LookupState>,
+    rings: HashMap<u64, RingState>,
+    next_token: u64,
+    next_lookup: u64,
+    maintenance_started: bool,
+    stats: GossipStats,
+}
+
+impl GossipSim {
+    /// Builds the simulation from per-node partial views (see
+    /// [`crate::build_converged_views`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or a view names its owner
+    /// or an out-of-range peer.
+    pub fn new(
+        views: Vec<PartialView>,
+        config: GossipConfig,
+        availability: Box<dyn Availability>,
+        latency: Box<dyn LatencyModel>,
+        seed: u64,
+    ) -> Self {
+        config.assert_valid();
+        let n = views.len();
+        for (i, v) in views.iter().enumerate() {
+            v.assert_invariants();
+            assert_eq!(v.owner(), NodeIdx::new(i as u32), "view {i} owner");
+            for e in v.iter() {
+                assert!(e.peer.index() < n, "view {i} names out-of-range peer");
+            }
+        }
+        GossipSim {
+            config,
+            stores: vec![HashSet::new(); n],
+            net: Network::new(n, availability, latency, seed),
+            suspicion: vec![HashMap::new(); n],
+            pending_shuffles: HashMap::new(),
+            lookups: HashMap::new(),
+            rings: HashMap::new(),
+            next_token: 0,
+            next_lookup: 0,
+            maintenance_started: false,
+            stats: GossipStats::default(),
+            views,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Returns `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> GossipStats {
+        self.stats
+    }
+
+    /// Kernel counters.
+    pub fn net_stats(&self) -> mpil_sim::NetStats {
+        self.net.stats()
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &GossipConfig {
+        &self.config
+    }
+
+    /// Read access to a node's partial view (tests, diagnostics).
+    pub fn view(&self, node: NodeIdx) -> &PartialView {
+        &self.views[node.index()]
+    }
+
+    /// Each node's current view frozen as a neighbor list — the overlay
+    /// MPIL routes on in the overlay-independence experiments.
+    pub fn neighbor_lists(&self) -> Vec<Vec<NodeIdx>> {
+        self.views.iter().map(|v| v.peers()).collect()
+    }
+
+    /// Swaps the availability model (static stage → flapping stage).
+    pub fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        self.net.set_availability(availability);
+    }
+
+    /// Sets the independent per-message link-loss probability (see
+    /// [`mpil_sim::Network::set_loss_probability`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.net.set_loss_probability(p);
+    }
+
+    /// Nodes currently storing the pointer for `object`.
+    pub fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        (0..self.views.len() as u32)
+            .map(NodeIdx::new)
+            .filter(|n| self.stores[n.index()].contains(&object))
+            .collect()
+    }
+
+    /// Starts the periodic shuffle timers, staggered uniformly over one
+    /// gossip period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if maintenance was already started.
+    pub fn start_maintenance(&mut self) {
+        assert!(!self.maintenance_started, "maintenance already started");
+        self.maintenance_started = true;
+        let period = self.config.gossip_period.as_micros();
+        for i in 0..self.views.len() as u32 {
+            let node = NodeIdx::new(i);
+            let delay = SimDuration::from_micros(self.net.rng().gen_range(0..period));
+            self.net.schedule(node, delay, Timer::Gossip);
+        }
+    }
+
+    /// (Re-)joins `joiner` through `bootstrap`: the view collapses to
+    /// the bootstrap peer and an immediate shuffle pulls in a fresh
+    /// sample; subsequent gossip rounds re-diversify it.
+    pub fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) {
+        if joiner == bootstrap {
+            return;
+        }
+        self.views[joiner.index()].clear();
+        self.views[joiner.index()].insert_fresh(bootstrap);
+        self.suspicion[joiner.index()].clear();
+        self.initiate_shuffle(joiner, bootstrap);
+    }
+
+    /// Starts an insertion of `object` from `origin`: replication walks
+    /// deposit the pointer at every node they visit. The origin itself
+    /// stores nothing (the paper's engines count remote replicas only).
+    pub fn insert(&mut self, origin: NodeIdx, object: Id) {
+        let walkers = self.config.replication_walkers;
+        let ttl = self.config.replication_ttl;
+        let first_hops = self.views[origin.index()].sample(walkers, None, self.net.rng());
+        for next in first_hops {
+            self.stats.insert_messages += 1;
+            self.net.send(origin, next, Msg::StoreWalk { object, ttl });
+        }
+    }
+
+    /// Issues a lookup of `object` from `origin` with the given
+    /// deadline, using the configured [`LookupStrategy`].
+    pub fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> u64 {
+        let lookup = self.next_lookup;
+        self.next_lookup += 1;
+        self.lookups.insert(
+            lookup,
+            LookupState {
+                issued_at: self.net.now(),
+                deadline,
+                outcome: LookupOutcome::Pending,
+            },
+        );
+        if self.stores[origin.index()].contains(&object) {
+            self.complete_lookup(lookup, 0);
+            return lookup;
+        }
+        match self.config.strategy {
+            LookupStrategy::KRandomWalk => {
+                let first_hops =
+                    self.views[origin.index()].sample(self.config.walkers, None, self.net.rng());
+                for next in first_hops {
+                    self.stats.lookup_messages += 1;
+                    self.net.send(
+                        origin,
+                        next,
+                        Msg::WalkQuery {
+                            lookup,
+                            origin,
+                            object,
+                            ttl: self.config.ttl,
+                            hops: 1,
+                        },
+                    );
+                }
+            }
+            LookupStrategy::ExpandingRing => {
+                self.rings.insert(
+                    lookup,
+                    RingState {
+                        origin,
+                        object,
+                        round: 0,
+                        ttl: 1,
+                        forwarded: HashSet::new(),
+                    },
+                );
+                self.flood_round(lookup);
+                self.net.schedule(
+                    origin,
+                    self.config.ring_round_gap,
+                    Timer::RingRound { lookup },
+                );
+            }
+        }
+        lookup
+    }
+
+    /// Outcome of a lookup; `Pending` past its deadline reads as
+    /// `Failed`.
+    pub fn lookup_outcome(&self, lookup: u64) -> LookupOutcome {
+        match self.lookups.get(&lookup) {
+            None => LookupOutcome::Failed,
+            Some(s) => match s.outcome {
+                LookupOutcome::Pending if self.net.now() >= s.deadline => LookupOutcome::Failed,
+                o => o,
+            },
+        }
+    }
+
+    /// Runs the event loop until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.net.next_before(deadline) {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs until no events remain (only terminates before maintenance
+    /// starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`GossipSim::start_maintenance`]: periodic shuffles
+    /// never quiesce.
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            !self.maintenance_started,
+            "periodic gossip never quiesces; use run_until"
+        );
+        while let Some(ev) = self.net.next() {
+            self.dispatch(ev);
+        }
+    }
+
+    // --- membership -----------------------------------------------------------
+
+    fn initiate_shuffle(&mut self, node: NodeIdx, target: NodeIdx) {
+        let mut entries = vec![node];
+        entries.extend(self.views[node.index()].sample(
+            self.config.shuffle_len.saturating_sub(1),
+            Some(target),
+            self.net.rng(),
+        ));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_shuffles.insert(
+            token,
+            PendingShuffle {
+                initiator: node,
+                target,
+                sent: entries.clone(),
+            },
+        );
+        self.stats.maintenance_messages += 1;
+        self.net
+            .send(node, target, Msg::ShufflePush { token, entries });
+        self.net.schedule(
+            node,
+            self.config.shuffle_timeout,
+            Timer::ShuffleTimeout { token },
+        );
+    }
+
+    fn on_gossip_timer(&mut self, node: NodeIdx) {
+        // Offline nodes skip the round but keep the timer armed, like
+        // the DHT baselines' maintenance.
+        if self.net.is_online(node) {
+            self.views[node.index()].age_all();
+            if let Some(target) = self.views[node.index()].oldest() {
+                self.initiate_shuffle(node, target);
+            }
+        }
+        self.net
+            .schedule(node, self.config.gossip_period, Timer::Gossip);
+    }
+
+    fn on_shuffle_push(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Vec<NodeIdx>) {
+        let reply =
+            self.views[to.index()].sample(self.config.shuffle_len, Some(from), self.net.rng());
+        self.stats.maintenance_messages += 1;
+        self.net.send(
+            to,
+            from,
+            Msg::ShufflePull {
+                token,
+                entries: reply.clone(),
+            },
+        );
+        self.views[to.index()].merge(&entries, &reply);
+        // Hearing a push is direct evidence the initiator is alive.
+        self.suspicion[to.index()].remove(&from);
+        self.prune_suspicion(to);
+    }
+
+    fn on_shuffle_pull(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Vec<NodeIdx>) {
+        let Some(pending) = self.pending_shuffles.remove(&token) else {
+            return; // late pull after the timeout already fired
+        };
+        debug_assert_eq!(pending.initiator, to);
+        debug_assert_eq!(pending.target, from);
+        self.views[to.index()].merge(&entries, &pending.sent);
+        self.suspicion[to.index()].remove(&from);
+        self.prune_suspicion(to);
+    }
+
+    /// Drops strikes against peers no longer in `node`'s view. A merge
+    /// can swap a suspected peer out; if it is later re-admitted it
+    /// must start with a clean slate — `suspicion_limit` counts
+    /// *consecutive* misses while the peer stays in the view, and
+    /// strikes for departed peers must not accumulate as garbage.
+    fn prune_suspicion(&mut self, node: NodeIdx) {
+        let view = &self.views[node.index()];
+        self.suspicion[node.index()].retain(|&peer, _| view.contains(peer));
+    }
+
+    fn on_shuffle_timeout(&mut self, token: u64) {
+        let Some(pending) = self.pending_shuffles.remove(&token) else {
+            return; // the pull arrived in time
+        };
+        let u = pending.initiator.index();
+        if !self.views[u].contains(pending.target) {
+            // The peer was merged out while the shuffle was in flight;
+            // its slate is clean if it ever comes back.
+            self.suspicion[u].remove(&pending.target);
+            return;
+        }
+        let strikes = self.suspicion[u].entry(pending.target).or_insert(0);
+        *strikes += 1;
+        if *strikes >= self.config.suspicion_limit {
+            self.suspicion[u].remove(&pending.target);
+            if self.views[u].remove(pending.target) {
+                self.stats.failure_declarations += 1;
+            }
+        }
+    }
+
+    // --- replication and lookup ----------------------------------------------
+
+    fn on_store_walk(&mut self, from: NodeIdx, to: NodeIdx, object: Id, ttl: u32) {
+        self.stores[to.index()].insert(object);
+        if ttl <= 1 {
+            return;
+        }
+        if let Some(next) = self.views[to.index()].sample_one(Some(from), self.net.rng()) {
+            self.stats.insert_messages += 1;
+            self.net.send(
+                to,
+                next,
+                Msg::StoreWalk {
+                    object,
+                    ttl: ttl - 1,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_walk_query(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        lookup: u64,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+    ) {
+        if self.stores[to.index()].contains(&object) {
+            self.stats.reply_messages += 1;
+            self.net.send(to, origin, Msg::Reply { lookup, hops });
+            return; // the walk stops at a holder
+        }
+        if ttl <= 1 {
+            return;
+        }
+        if let Some(next) = self.views[to.index()].sample_one(Some(from), self.net.rng()) {
+            self.stats.lookup_messages += 1;
+            self.net.send(
+                to,
+                next,
+                Msg::WalkQuery {
+                    lookup,
+                    origin,
+                    object,
+                    ttl: ttl - 1,
+                    hops: hops + 1,
+                },
+            );
+        }
+    }
+
+    /// Launches one flood round for `lookup` at its current TTL.
+    fn flood_round(&mut self, lookup: u64) {
+        let Some(ring) = self.rings.get_mut(&lookup) else {
+            return;
+        };
+        ring.forwarded.clear();
+        let origin = ring.origin;
+        let object = ring.object;
+        let round = ring.round;
+        let ttl = ring.ttl;
+        let peers = self.views[origin.index()].peers();
+        for next in peers {
+            self.stats.lookup_messages += 1;
+            self.net.send(
+                origin,
+                next,
+                Msg::FloodQuery {
+                    lookup,
+                    round,
+                    origin,
+                    object,
+                    ttl,
+                    hops: 1,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_flood_query(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        lookup: u64,
+        round: u32,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+    ) {
+        if self.stores[to.index()].contains(&object) {
+            self.stats.reply_messages += 1;
+            self.net.send(to, origin, Msg::Reply { lookup, hops });
+            return;
+        }
+        if ttl <= 1 {
+            return;
+        }
+        let Some(ring) = self.rings.get_mut(&lookup) else {
+            return; // the ring was torn down (reply arrived or gave up)
+        };
+        if ring.round != round || !ring.forwarded.insert(to) {
+            return; // stale round, or this node already forwarded it
+        }
+        let peers = self.views[to.index()].peers();
+        for next in peers {
+            if next == from {
+                continue;
+            }
+            self.stats.lookup_messages += 1;
+            self.net.send(
+                to,
+                next,
+                Msg::FloodQuery {
+                    lookup,
+                    round,
+                    origin,
+                    object,
+                    ttl: ttl - 1,
+                    hops: hops + 1,
+                },
+            );
+        }
+    }
+
+    fn on_ring_round(&mut self, lookup: u64) {
+        let still_pending = matches!(
+            self.lookups.get(&lookup).map(|s| s.outcome),
+            Some(LookupOutcome::Pending)
+        );
+        let Some(ring) = self.rings.get_mut(&lookup) else {
+            return;
+        };
+        let deadline = self.lookups[&lookup].deadline;
+        let max_ttl = self.config.ttl;
+        if !still_pending || ring.ttl >= max_ttl || self.net.now() >= deadline {
+            self.rings.remove(&lookup);
+            return;
+        }
+        ring.ttl = (ring.ttl * 2).min(max_ttl);
+        ring.round += 1;
+        let origin = ring.origin;
+        self.flood_round(lookup);
+        self.net.schedule(
+            origin,
+            self.config.ring_round_gap,
+            Timer::RingRound { lookup },
+        );
+    }
+
+    fn complete_lookup(&mut self, lookup: u64, hops: u32) {
+        let now = self.net.now();
+        if let Some(state) = self.lookups.get_mut(&lookup) {
+            if matches!(state.outcome, LookupOutcome::Pending) {
+                state.outcome = if now <= state.deadline {
+                    LookupOutcome::Succeeded {
+                        hops,
+                        latency: now.duration_since(state.issued_at),
+                    }
+                } else {
+                    LookupOutcome::Failed
+                };
+            }
+        }
+        self.rings.remove(&lookup);
+    }
+
+    // --- event dispatch -------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event<Msg, Timer>) {
+        match ev {
+            Event::Message { from, to, msg } => match msg {
+                Msg::ShufflePush { token, entries } => {
+                    self.on_shuffle_push(from, to, token, entries)
+                }
+                Msg::ShufflePull { token, entries } => {
+                    self.on_shuffle_pull(from, to, token, entries)
+                }
+                Msg::StoreWalk { object, ttl } => self.on_store_walk(from, to, object, ttl),
+                Msg::WalkQuery {
+                    lookup,
+                    origin,
+                    object,
+                    ttl,
+                    hops,
+                } => self.on_walk_query(from, to, lookup, origin, object, ttl, hops),
+                Msg::FloodQuery {
+                    lookup,
+                    round,
+                    origin,
+                    object,
+                    ttl,
+                    hops,
+                } => self.on_flood_query(from, to, lookup, round, origin, object, ttl, hops),
+                Msg::Reply { lookup, hops } => self.complete_lookup(lookup, hops),
+            },
+            Event::Timer { node, timer } => match timer {
+                Timer::Gossip => self.on_gossip_timer(node),
+                Timer::ShuffleTimeout { token } => self.on_shuffle_timeout(token),
+                Timer::RingRound { lookup } => self.on_ring_round(lookup),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for GossipSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GossipSim")
+            .field("nodes", &self.views.len())
+            .field("now", &self.net.now())
+            .field("strategy", &self.config.strategy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::build_converged_views;
+    use mpil_sim::{AlwaysOn, ConstantLatency, Flapping, FlappingConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, config: GossipConfig, seed: u64) -> GossipSim {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let views = build_converged_views(n, config.view_size, &mut rng);
+        GossipSim::new(
+            views,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(ConstantLatency(SimDuration::from_millis(20))),
+            seed,
+        )
+    }
+
+    #[test]
+    fn insert_deposits_remote_replicas() {
+        let mut sim = build(100, GossipConfig::default(), 1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let object = Id::random(&mut rng);
+            sim.insert(NodeIdx::new(0), object);
+            sim.run_to_quiescence();
+            let holders = sim.replica_holders(object);
+            assert!(
+                holders.len() >= sim.config().replication_walkers,
+                "walks deposit at least one replica each, got {}",
+                holders.len()
+            );
+            assert!(
+                !holders.contains(&NodeIdx::new(0)),
+                "origin stores remotely"
+            );
+        }
+        assert!(sim.stats().insert_messages > 0);
+        assert_eq!(sim.stats().lookup_messages, 0);
+    }
+
+    #[test]
+    fn quiet_network_walk_lookups_succeed() {
+        let mut sim = build(100, GossipConfig::default(), 2);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let objects: Vec<Id> = (0..20).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+        }
+        sim.run_to_quiescence();
+        let deadline = sim.now() + SimDuration::from_secs(600);
+        let handles: Vec<u64> = objects
+            .iter()
+            .map(|&o| sim.issue_lookup(NodeIdx::new(50), o, deadline))
+            .collect();
+        sim.run_to_quiescence();
+        let ok = handles
+            .iter()
+            .filter(|&&h| sim.lookup_outcome(h).is_success())
+            .count();
+        assert!(ok >= 18, "only {ok}/20 walk lookups succeeded");
+        assert!(sim.stats().lookup_messages > 0);
+        assert!(sim.stats().reply_messages > 0);
+    }
+
+    #[test]
+    fn quiet_network_ring_lookups_succeed() {
+        let config = GossipConfig::default()
+            .with_strategy(LookupStrategy::ExpandingRing)
+            .with_ttl(8);
+        let mut sim = build(100, config, 3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let objects: Vec<Id> = (0..10).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+        }
+        sim.run_to_quiescence();
+        let deadline = sim.now() + SimDuration::from_secs(600);
+        let handles: Vec<u64> = objects
+            .iter()
+            .map(|&o| sim.issue_lookup(NodeIdx::new(50), o, deadline))
+            .collect();
+        sim.run_to_quiescence();
+        for h in handles {
+            assert!(
+                sim.lookup_outcome(h).is_success(),
+                "ring lookup {h} failed on a quiet network"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_rounds_stop_spending_after_a_hit() {
+        let config = GossipConfig::default()
+            .with_strategy(LookupStrategy::ExpandingRing)
+            .with_ttl(8);
+        let mut sim = build(60, config, 4);
+        let object = Id::from_low_u64(0xfeed);
+        sim.insert(NodeIdx::new(0), object);
+        sim.run_to_quiescence();
+        let h = sim.issue_lookup(
+            NodeIdx::new(30),
+            object,
+            sim.now() + SimDuration::from_secs(600),
+        );
+        sim.run_to_quiescence();
+        assert!(sim.lookup_outcome(h).is_success());
+        // A full 8-TTL flood over 60 nodes with view 8 would send far
+        // more than this; the early rounds finding the object must keep
+        // the spend bounded.
+        assert!(
+            sim.stats().lookup_messages < 60 * 8 * 4,
+            "ring kept flooding after the reply: {} msgs",
+            sim.stats().lookup_messages
+        );
+    }
+
+    #[test]
+    fn absent_object_fails_without_wedging() {
+        for strategy in [LookupStrategy::KRandomWalk, LookupStrategy::ExpandingRing] {
+            let mut sim = build(50, GossipConfig::default().with_strategy(strategy), 5);
+            let h = sim.issue_lookup(
+                NodeIdx::new(1),
+                Id::from_low_u64(0xdead),
+                sim.now() + SimDuration::from_secs(60),
+            );
+            sim.run_to_quiescence();
+            assert!(!sim.lookup_outcome(h).is_success(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn local_holder_succeeds_in_zero_hops() {
+        let mut sim = build(30, GossipConfig::default(), 6);
+        let object = Id::from_low_u64(7);
+        sim.stores[2].insert(object);
+        let h = sim.issue_lookup(
+            NodeIdx::new(2),
+            object,
+            sim.now() + SimDuration::from_secs(10),
+        );
+        assert!(matches!(
+            sim.lookup_outcome(h),
+            LookupOutcome::Succeeded { hops: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn maintenance_shuffles_run_and_views_stay_legal() {
+        let mut sim = build(60, GossipConfig::default(), 7);
+        sim.start_maintenance();
+        sim.run_until(SimTime::from_secs(120));
+        assert!(sim.stats().maintenance_messages > 0);
+        // Static network: nobody should have been declared dead.
+        assert_eq!(sim.stats().failure_declarations, 0);
+        for i in 0..sim.len() as u32 {
+            sim.view(NodeIdx::new(i)).assert_invariants();
+        }
+    }
+
+    #[test]
+    fn suspicion_evicts_churned_peers() {
+        let mut sim = build(40, GossipConfig::default(), 8);
+        sim.start_maintenance();
+        // Everyone but node 0 goes offline essentially forever.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let cfg = FlappingConfig {
+            idle: SimDuration::from_micros(1),
+            offline: SimDuration::from_secs(1_000_000),
+            probability: 1.0,
+            start: SimTime::ZERO,
+        };
+        let mut flap = Flapping::new(cfg, 40, 77, &mut rng);
+        flap.exempt(NodeIdx::new(0));
+        sim.set_availability(Box::new(flap));
+        sim.run_until(SimTime::from_secs(300));
+        assert!(
+            sim.stats().failure_declarations > 0,
+            "dead peers must age out of views"
+        );
+        sim.view(NodeIdx::new(0)).assert_invariants();
+    }
+
+    #[test]
+    fn join_rebuilds_a_view_through_the_bootstrap() {
+        let mut sim = build(30, GossipConfig::default(), 12);
+        sim.join(NodeIdx::new(5), NodeIdx::new(0));
+        assert_eq!(sim.view(NodeIdx::new(5)).peers(), vec![NodeIdx::new(0)]);
+        sim.run_to_quiescence();
+        // The immediate shuffle pulled fresh entries from the bootstrap.
+        assert!(sim.view(NodeIdx::new(5)).len() > 1);
+        sim.view(NodeIdx::new(5)).assert_invariants();
+        // Self-join is a no-op.
+        sim.join(NodeIdx::new(5), NodeIdx::new(5));
+    }
+
+    #[test]
+    fn stats_classes_sum_to_kernel_sends() {
+        let mut sim = build(80, GossipConfig::default(), 13);
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..5 {
+            sim.insert(NodeIdx::new(0), Id::random(&mut rng));
+        }
+        sim.run_to_quiescence();
+        let h = sim.issue_lookup(
+            NodeIdx::new(9),
+            Id::from_low_u64(1),
+            sim.now() + SimDuration::from_secs(60),
+        );
+        sim.start_maintenance();
+        sim.run_until(sim.now() + SimDuration::from_secs(90));
+        let _ = sim.lookup_outcome(h);
+        assert_eq!(sim.stats().total_messages(), sim.net_stats().sent);
+    }
+
+    #[test]
+    fn suspicion_resets_when_a_peer_leaves_the_view() {
+        // suspicion_limit counts *consecutive* misses while the peer
+        // stays in the view: a strike must not survive the peer being
+        // merged out (else a re-admitted peer dies after one miss).
+        let mut sim = build(30, GossipConfig::default(), 15);
+        let u = NodeIdx::new(0);
+        let absent = (1..30u32)
+            .map(NodeIdx::new)
+            .find(|&p| !sim.views[0].contains(p))
+            .expect("view 8 of 29 peers leaves someone out");
+        // A stale strike against a peer not in the view is dropped by
+        // the next merge-side prune...
+        sim.suspicion[0].insert(absent, 1);
+        sim.prune_suspicion(u);
+        assert!(sim.suspicion[0].is_empty(), "stale strike survived prune");
+        // ...and a shuffle timeout for a departed target strikes nobody.
+        sim.pending_shuffles.insert(
+            999,
+            PendingShuffle {
+                initiator: u,
+                target: absent,
+                sent: vec![],
+            },
+        );
+        sim.on_shuffle_timeout(999);
+        assert!(sim.suspicion[0].is_empty(), "departed peer was struck");
+        assert_eq!(sim.stats().failure_declarations, 0);
+    }
+
+    #[test]
+    fn fixed_seed_runs_reproduce_exactly() {
+        let run = |seed: u64, strategy: LookupStrategy| {
+            let mut sim = build(70, GossipConfig::default().with_strategy(strategy), seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+            let objects: Vec<Id> = (0..8).map(|_| Id::random(&mut rng)).collect();
+            for &o in &objects {
+                sim.insert(NodeIdx::new(0), o);
+            }
+            sim.run_to_quiescence();
+            sim.start_maintenance();
+            let mut flap_rng = SmallRng::seed_from_u64(seed ^ 2);
+            let mut flap = Flapping::new(
+                FlappingConfig::idle_offline_secs(30, 30, 0.6).starting_at(sim.now()),
+                70,
+                seed ^ 3,
+                &mut flap_rng,
+            );
+            flap.exempt(NodeIdx::new(0));
+            sim.set_availability(Box::new(flap));
+            let mut outcomes = Vec::new();
+            for &o in &objects {
+                sim.run_until(sim.now() + SimDuration::from_secs(60));
+                let h =
+                    sim.issue_lookup(NodeIdx::new(0), o, sim.now() + SimDuration::from_secs(60));
+                outcomes.push(h);
+            }
+            sim.run_until(sim.now() + SimDuration::from_secs(90));
+            let results: Vec<LookupOutcome> =
+                outcomes.iter().map(|&h| sim.lookup_outcome(h)).collect();
+            (results, sim.stats(), sim.net_stats())
+        };
+        for strategy in [LookupStrategy::KRandomWalk, LookupStrategy::ExpandingRing] {
+            assert_eq!(run(21, strategy), run(21, strategy), "{strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # mpil-gossip
+//!
+//! The epidemic/unstructured-overlay discovery engine: the fifth
+//! substrate behind `mpil_harness::DiscoveryEngine`, testing the
+//! paper's overlay-independence claim in the regime its structured
+//! substrates (Chord, Kademlia, Pastry) cannot reach.
+//!
+//! Three layers, all on the [`mpil_sim`] kernel:
+//!
+//! * **Membership** ([`PartialView`], [`build_converged_views`]):
+//!   bounded partial views maintained by Cyclon-style push-pull
+//!   shuffles — age-based peer selection, swap semantics on overflow —
+//!   with SWIM-style suspicion evicting peers that miss
+//!   [`GossipConfig::suspicion_limit`] consecutive shuffle replies.
+//! * **Replication**: inserts launch TTL-bounded random walks that
+//!   deposit the pointer at every node visited.
+//! * **Lookup** ([`LookupStrategy`]): `k` independent random walks with
+//!   TTL, or expanding-ring flooding with per-round duplicate
+//!   suppression; both reply directly to the origin.
+//!
+//! The engine is ID-agnostic like MPIL — no key-space metric, only
+//! exact pointer matches — and every random choice flows through the
+//! kernel RNG, so fixed seeds reproduce bit-for-bit. Its live views can
+//! also be frozen into neighbor lists ([`GossipSim::neighbor_lists`])
+//! for MPIL to route over, closing the loop on overlay-independence
+//! (`OverlaySource::Gossip` in the harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod view;
+
+pub use config::{GossipConfig, LookupStrategy};
+pub use engine::{GossipSim, GossipStats};
+pub use view::{build_converged_views, PartialView, ViewEntry};
+
+/// Outcome of one lookup (the shared engine-agnostic enum).
+pub use mpil_sim::LookupOutcome;

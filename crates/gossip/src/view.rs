@@ -1,0 +1,367 @@
+//! Bounded partial views with age-based swap maintenance.
+//!
+//! Each node knows a small random sample of the overlay — its
+//! [`PartialView`] — kept fresh by Cyclon-style push-pull shuffles: the
+//! oldest neighbor is contacted, a few entries (initiator included, age
+//! zero) are swapped, and on overflow the entries just handed to the
+//! peer are evicted first, so the exchange is a swap rather than a
+//! broadcast. The two invariants every operation preserves — **no
+//! self-entry, no duplicates, never over capacity** — are what the
+//! property suite in `tests/properties.rs` hammers under churn.
+
+use mpil_overlay::NodeIdx;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One view slot: a peer and the number of shuffle rounds since it was
+/// last known fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewEntry {
+    /// The neighbor.
+    pub peer: NodeIdx,
+    /// Shuffle rounds since this entry was last refreshed.
+    pub age: u32,
+}
+
+/// A bounded, self-free, duplicate-free neighbor sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialView {
+    owner: NodeIdx,
+    capacity: usize,
+    entries: Vec<ViewEntry>,
+}
+
+impl PartialView {
+    /// An empty view owned by `owner`, holding at most `capacity`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(owner: NodeIdx, capacity: usize) -> Self {
+        assert!(capacity >= 1, "a view needs capacity for at least 1 peer");
+        PartialView {
+            owner,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The owning node (never present in the view).
+    pub fn owner(&self) -> NodeIdx {
+        self.owner
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of neighbors currently known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no neighbors are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is `peer` in the view?
+    pub fn contains(&self, peer: NodeIdx) -> bool {
+        self.entries.iter().any(|e| e.peer == peer)
+    }
+
+    /// The neighbors, in slot order.
+    pub fn peers(&self) -> Vec<NodeIdx> {
+        self.entries.iter().map(|e| e.peer).collect()
+    }
+
+    /// Iterates the entries (tests, diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &ViewEntry> {
+        self.entries.iter()
+    }
+
+    /// Ages every entry by one shuffle round.
+    pub fn age_all(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// The oldest neighbor (ties broken by the later slot), if any.
+    pub fn oldest(&self) -> Option<NodeIdx> {
+        self.entries.iter().max_by_key(|e| e.age).map(|e| e.peer)
+    }
+
+    /// Removes `peer`; returns whether it was present.
+    pub fn remove(&mut self, peer: NodeIdx) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.peer != peer);
+        self.entries.len() != before
+    }
+
+    /// Drops every entry (re-join support).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Inserts `peer` fresh (age 0) if it is not the owner and not
+    /// already present; on overflow the oldest entry is evicted.
+    /// Returns whether the view changed.
+    pub fn insert_fresh(&mut self, peer: NodeIdx) -> bool {
+        if peer == self.owner {
+            return false;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.peer == peer) {
+            e.age = 0;
+            return false;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.age)
+                .map(|(i, _)| i)
+                .expect("full view is non-empty");
+            self.entries.remove(victim);
+        }
+        self.entries.push(ViewEntry { peer, age: 0 });
+        true
+    }
+
+    /// Merges the entries received in a shuffle. `sent` is what this
+    /// node handed to the peer in the same exchange: on overflow those
+    /// slots are sacrificed first (the swap), then the oldest.
+    pub fn merge(&mut self, received: &[NodeIdx], sent: &[NodeIdx]) {
+        for &peer in received {
+            if peer == self.owner {
+                continue;
+            }
+            if let Some(e) = self.entries.iter_mut().find(|e| e.peer == peer) {
+                e.age = 0;
+                continue;
+            }
+            if self.entries.len() == self.capacity {
+                let victim = self
+                    .entries
+                    .iter()
+                    .position(|e| sent.contains(&e.peer))
+                    .unwrap_or_else(|| {
+                        self.entries
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, e)| e.age)
+                            .map(|(i, _)| i)
+                            .expect("full view is non-empty")
+                    });
+                self.entries.remove(victim);
+            }
+            self.entries.push(ViewEntry { peer, age: 0 });
+        }
+    }
+
+    /// Draws up to `k` distinct neighbors, excluding `exclude` when an
+    /// alternative exists (partial Fisher–Yates over a scratch list, so
+    /// the draw order is a pure function of the RNG stream).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        k: usize,
+        exclude: Option<NodeIdx>,
+        rng: &mut R,
+    ) -> Vec<NodeIdx> {
+        let mut pool: Vec<NodeIdx> = match exclude {
+            Some(x) if self.entries.len() > 1 => self
+                .entries
+                .iter()
+                .map(|e| e.peer)
+                .filter(|&p| p != x)
+                .collect(),
+            _ => self.entries.iter().map(|e| e.peer).collect(),
+        };
+        let take = k.min(pool.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(take);
+        pool
+    }
+
+    /// Draws one neighbor, excluding `exclude` when an alternative
+    /// exists.
+    pub fn sample_one<R: Rng + ?Sized>(
+        &self,
+        exclude: Option<NodeIdx>,
+        rng: &mut R,
+    ) -> Option<NodeIdx> {
+        self.sample(1, exclude, rng).into_iter().next()
+    }
+
+    /// Checks the structural invariants (property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view contains its owner, a duplicate, or more than
+    /// `capacity` entries.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "{} holds {} entries, capacity {}",
+            self.owner,
+            self.entries.len(),
+            self.capacity
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            assert!(e.peer != self.owner, "{} contains itself", self.owner);
+            assert!(
+                !self.entries[i + 1..].iter().any(|o| o.peer == e.peer),
+                "{} contains {} twice",
+                self.owner,
+                e.peer
+            );
+        }
+    }
+}
+
+/// Builds the converged membership state a long-running gossip overlay
+/// settles into: every node holds `view_size` distinct uniformly random
+/// peers (Cyclon converges to exactly this regime — in-degree
+/// concentrates around the out-degree and views are near-uniform
+/// samples). Deterministic in `rng`.
+pub fn build_converged_views<R: Rng + ?Sized>(
+    n: usize,
+    view_size: usize,
+    rng: &mut R,
+) -> Vec<PartialView> {
+    assert!(view_size >= 1, "view_size must be at least 1");
+    let mut views = Vec::with_capacity(n);
+    for i in 0..n {
+        let owner = NodeIdx::new(i as u32);
+        let mut view = PartialView::new(owner, view_size);
+        let want = view_size.min(n.saturating_sub(1));
+        while view.len() < want {
+            let peer = NodeIdx::new(rng.gen_range(0..n as u32));
+            if peer != owner && !view.contains(peer) {
+                view.insert_fresh(peer);
+            }
+        }
+        views.push(view);
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn node(i: u32) -> NodeIdx {
+        NodeIdx::new(i)
+    }
+
+    #[test]
+    fn insert_rejects_self_and_duplicates() {
+        let mut v = PartialView::new(node(0), 4);
+        assert!(!v.insert_fresh(node(0)));
+        assert!(v.insert_fresh(node(1)));
+        assert!(!v.insert_fresh(node(1)));
+        assert_eq!(v.len(), 1);
+        v.assert_invariants();
+    }
+
+    #[test]
+    fn overflow_evicts_the_oldest() {
+        let mut v = PartialView::new(node(0), 2);
+        v.insert_fresh(node(1));
+        v.age_all();
+        v.insert_fresh(node(2));
+        v.insert_fresh(node(3));
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(node(1)), "oldest should be gone");
+        assert!(v.contains(node(2)) && v.contains(node(3)));
+        v.assert_invariants();
+    }
+
+    #[test]
+    fn merge_prefers_evicting_sent_slots() {
+        let mut v = PartialView::new(node(0), 3);
+        for p in [1, 2, 3] {
+            v.insert_fresh(node(p));
+        }
+        v.merge(&[node(4), node(5)], &[node(1), node(2)]);
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(node(3)), "unsent slot survives the swap");
+        assert!(v.contains(node(4)) && v.contains(node(5)));
+        v.assert_invariants();
+    }
+
+    #[test]
+    fn merge_refreshes_known_peers_without_duplicating() {
+        let mut v = PartialView::new(node(0), 3);
+        v.insert_fresh(node(1));
+        v.age_all();
+        v.merge(&[node(1), node(0)], &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.iter().next().expect("one entry").age, 0);
+        v.assert_invariants();
+    }
+
+    #[test]
+    fn oldest_tracks_ages() {
+        let mut v = PartialView::new(node(0), 3);
+        v.insert_fresh(node(1));
+        v.age_all();
+        v.insert_fresh(node(2));
+        assert_eq!(v.oldest(), Some(node(1)));
+        assert!(v.remove(node(1)));
+        assert_eq!(v.oldest(), Some(node(2)));
+        assert!(!v.remove(node(9)));
+    }
+
+    #[test]
+    fn sample_is_distinct_and_respects_exclusion() {
+        let mut v = PartialView::new(node(0), 8);
+        for p in 1..=8 {
+            v.insert_fresh(node(p));
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let s = v.sample(5, Some(node(3)), &mut rng);
+            assert_eq!(s.len(), 5);
+            assert!(!s.contains(&node(3)));
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 5, "sample must be distinct");
+        }
+        // With a single entry the exclusion is waived rather than
+        // returning nothing.
+        let mut lone = PartialView::new(node(0), 2);
+        lone.insert_fresh(node(1));
+        assert_eq!(lone.sample_one(Some(node(1)), &mut rng), Some(node(1)));
+    }
+
+    #[test]
+    fn converged_views_satisfy_invariants() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let views = build_converged_views(64, 6, &mut rng);
+        assert_eq!(views.len(), 64);
+        for v in &views {
+            assert_eq!(v.len(), 6);
+            v.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn converged_views_cap_at_population() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let views = build_converged_views(3, 8, &mut rng);
+        for v in &views {
+            assert_eq!(v.len(), 2, "only n-1 candidates exist");
+            v.assert_invariants();
+        }
+        let lone = build_converged_views(1, 8, &mut rng);
+        assert!(lone[0].is_empty());
+    }
+}

@@ -15,9 +15,20 @@ pub struct LookupHandle(pub u64);
 /// Protocol counters in a shape every engine can fill, attributing the
 /// kernel's raw sends to operations.
 ///
-/// `total_messages` is everything the engine put on the wire — for
-/// maintained DHTs the sum of their per-class counters, for MPIL the
-/// kernel's send count (MPIL has no acks, so the two coincide).
+/// Attribution contract (checked by [`Counters::checked_sum`] in the
+/// engine-conformance suite):
+///
+/// * every transmission is attributed to **at most one** class —
+///   lookup, insert, reply, or maintenance — at the moment it is handed
+///   to the kernel;
+/// * `total_messages` is everything the engine put on the wire, so each
+///   class, and the sum of all four, never exceeds it.
+///
+/// The DHT baselines and the gossip engine attribute every send, so
+/// their class sum *equals* `total_messages`; an engine with
+/// unattributed traffic (protocol acks, transport chatter) may leave
+/// the sum strictly below the total, never above it. MPIL has no acks:
+/// its class sum coincides with the kernel's send count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
     /// Transmissions carrying lookups.
@@ -31,6 +42,47 @@ pub struct Counters {
     pub maintenance_messages: u64,
     /// Everything sent, including acks where the protocol has them.
     pub total_messages: u64,
+}
+
+impl Counters {
+    /// Sum of the four per-class counters.
+    pub fn class_sum(&self) -> u64 {
+        self.lookup_messages
+            + self.insert_messages
+            + self.reply_messages
+            + self.maintenance_messages
+    }
+
+    /// Returns [`Counters::class_sum`] after asserting the attribution
+    /// contract: no class, and no sum of classes, exceeds
+    /// `total_messages`. The conformance suite runs this against every
+    /// engine at every lifecycle stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any per-class counter, or the class sum, exceeds
+    /// `total_messages` (a double-counted or unsent attribution).
+    pub fn checked_sum(&self) -> u64 {
+        for (class, count) in [
+            ("lookup_messages", self.lookup_messages),
+            ("insert_messages", self.insert_messages),
+            ("reply_messages", self.reply_messages),
+            ("maintenance_messages", self.maintenance_messages),
+        ] {
+            assert!(
+                count <= self.total_messages,
+                "{class} = {count} exceeds total_messages = {}",
+                self.total_messages
+            );
+        }
+        let sum = self.class_sum();
+        assert!(
+            sum <= self.total_messages,
+            "class sum {sum} exceeds total_messages = {} (a send was attributed twice)",
+            self.total_messages
+        );
+        sum
+    }
 }
 
 /// The lifecycle shared by all four discovery engines.
@@ -144,5 +196,35 @@ mod tests {
     fn lookup_handles_are_plain_values() {
         assert_eq!(LookupHandle(7), LookupHandle(7));
         assert_ne!(LookupHandle(7), LookupHandle(8));
+    }
+
+    #[test]
+    fn checked_sum_accepts_attributed_and_unattributed_traffic() {
+        let exact = Counters {
+            lookup_messages: 3,
+            insert_messages: 2,
+            reply_messages: 1,
+            maintenance_messages: 4,
+            total_messages: 10,
+        };
+        assert_eq!(exact.checked_sum(), 10);
+        let with_acks = Counters {
+            total_messages: 12,
+            ..exact
+        };
+        assert_eq!(with_acks.checked_sum(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total_messages")]
+    fn checked_sum_rejects_overattribution() {
+        let broken = Counters {
+            lookup_messages: 6,
+            insert_messages: 6,
+            reply_messages: 0,
+            maintenance_messages: 0,
+            total_messages: 10,
+        };
+        let _ = broken.checked_sum();
     }
 }

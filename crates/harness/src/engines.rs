@@ -1,4 +1,4 @@
-//! [`DiscoveryEngine`] implementations for all four engines.
+//! [`DiscoveryEngine`] implementations for all five engines.
 //!
 //! Each impl is a direct mapping onto the engine's existing inherent
 //! API — no behavior lives here, so driving an engine through the trait
@@ -6,6 +6,7 @@
 
 use mpil::{DynamicNetwork, MessageId};
 use mpil_chord::ChordSim;
+use mpil_gossip::GossipSim;
 use mpil_id::Id;
 use mpil_kademlia::KademliaSim;
 use mpil_overlay::NodeIdx;
@@ -208,6 +209,76 @@ impl DiscoveryEngine for KademliaSim {
 
     fn net_stats(&self) -> NetStats {
         KademliaSim::net_stats(self)
+    }
+}
+
+impl DiscoveryEngine for GossipSim {
+    fn name(&self) -> &'static str {
+        "Gossip"
+    }
+
+    fn len(&self) -> usize {
+        GossipSim::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        GossipSim::now(self)
+    }
+
+    fn insert(&mut self, origin: NodeIdx, object: Id) {
+        GossipSim::insert(self, origin, object);
+    }
+
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle {
+        LookupHandle(GossipSim::issue_lookup(self, origin, object, deadline))
+    }
+
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome {
+        GossipSim::lookup_outcome(self, lookup.0)
+    }
+
+    fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) -> bool {
+        GossipSim::join(self, joiner, bootstrap);
+        true
+    }
+
+    fn start_maintenance(&mut self) {
+        GossipSim::start_maintenance(self);
+    }
+
+    fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        GossipSim::set_availability(self, availability);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        GossipSim::set_loss_probability(self, p);
+    }
+
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        GossipSim::replica_holders(self, object)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        GossipSim::run_until(self, deadline);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        GossipSim::run_to_quiescence(self);
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.stats();
+        Counters {
+            lookup_messages: s.lookup_messages,
+            insert_messages: s.insert_messages,
+            reply_messages: s.reply_messages,
+            maintenance_messages: s.maintenance_messages,
+            total_messages: s.total_messages(),
+        }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        GossipSim::net_stats(self)
     }
 }
 

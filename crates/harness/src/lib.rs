@@ -4,8 +4,9 @@
 //! unchanged over any substrate. This crate turns that claim into an
 //! API. [`DiscoveryEngine`] is the one lifecycle every engine speaks —
 //! MPIL's [`mpil::DynamicNetwork`], [`mpil_chord::ChordSim`],
-//! [`mpil_kademlia::KademliaSim`], and [`mpil_pastry::PastrySim`] all
-//! implement it — and [`Scenario`] is the one experiment descriptor
+//! [`mpil_kademlia::KademliaSim`], [`mpil_pastry::PastrySim`], and the
+//! epidemic [`mpil_gossip::GossipSim`] all implement it — and
+//! [`Scenario`] is the one experiment descriptor
 //! every figure driver speaks: which engine, how many nodes, which
 //! perturbation schedule, which workload.
 //!
@@ -37,6 +38,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use engine::{Counters, DiscoveryEngine, LookupHandle};
+pub use mpil_gossip::LookupStrategy;
 pub use report::Report;
 pub use runner::{run_scenario, ExperimentRunner, PerturbResult, SeedStats, SeedSweep};
 pub use scenario::{EngineSpec, OverlaySource, PerturbRun, PreparedRun, Scenario};

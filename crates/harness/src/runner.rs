@@ -199,7 +199,7 @@ impl ExperimentRunner {
             })
             .collect();
         let results = self.run_scenarios(&scenarios);
-        SeedSweep::collect(base.label(), seeds, results)
+        SeedSweep::collect(base.label(), base.to_string(), seeds, results)
     }
 }
 
@@ -221,8 +221,11 @@ pub struct SeedStats {
 /// The merged outcome of one scenario run across many seeds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SeedSweep {
-    /// The scenario label ([`Scenario::label`]).
+    /// The engine label ([`Scenario::label`]).
     pub label: String,
+    /// The full scenario description (engine + sweep variables), so a
+    /// sweep document is self-describing on its own.
+    pub scenario: String,
     /// The seeds, in run order.
     pub seeds: Vec<u64>,
     /// Per-seed results, parallel to `seeds`.
@@ -232,7 +235,12 @@ pub struct SeedSweep {
 }
 
 impl SeedSweep {
-    fn collect(label: String, seeds: &[u64], results: Vec<PerturbResult>) -> Self {
+    fn collect(
+        label: String,
+        scenario: String,
+        seeds: &[u64],
+        results: Vec<PerturbResult>,
+    ) -> Self {
         // RunningStats::default() derives all-zero fields (min/max
         // included); empty accumulators must come from new(), whose
         // min/max are ±infinity.
@@ -252,6 +260,7 @@ impl SeedSweep {
         }
         SeedSweep {
             label,
+            scenario,
             seeds: seeds.to_vec(),
             results,
             stats,
@@ -260,10 +269,19 @@ impl SeedSweep {
 
     /// Renders the sweep as a self-describing JSON document (the
     /// offline crate set has no JSON serializer, so this is hand-built
-    /// but stable).
+    /// but stable). The header names the engine ([`Scenario::label`]),
+    /// the full scenario (sweep variables included), and the seed
+    /// range, so a sweep file needs no out-of-band context to read.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"scenario\": \"{}\",\n", self.label));
+        out.push_str(&format!("  \"engine\": \"{}\",\n", self.label));
+        out.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario));
+        out.push_str(&format!(
+            "  \"seed_range\": {{\"first\": {}, \"last\": {}, \"count\": {}}},\n",
+            self.seeds.first().copied().unwrap_or(0),
+            self.seeds.last().copied().unwrap_or(0),
+            self.seeds.len()
+        ));
         out.push_str(&format!("  \"seeds\": {:?},\n", self.seeds));
         out.push_str("  \"per_seed\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -386,6 +404,17 @@ mod tests {
         let json = sweep.to_json();
         assert!(json.contains("\"seeds\": [5, 6, 7]"));
         assert!(json.contains("\"merged\""));
+        // The header is self-describing: engine label, full scenario,
+        // and the seed range, with no out-of-band context needed.
+        assert!(
+            json.contains("\"engine\": \"MPIL over random d=8\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"seed_range\": {\"first\": 5, \"last\": 7, \"count\": 3}"),
+            "{json}"
+        );
+        assert!(sweep.scenario.contains("100 nodes"), "{}", sweep.scenario);
     }
 
     #[test]

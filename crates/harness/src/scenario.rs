@@ -12,6 +12,7 @@ use std::fmt;
 
 use mpil::{DynamicConfig, DynamicNetwork, MpilConfig};
 use mpil_chord::{ChordConfig, ChordSim};
+use mpil_gossip::{GossipConfig, GossipSim, LookupStrategy};
 use mpil_id::Id;
 use mpil_kademlia::{KademliaConfig, KademliaSim};
 use mpil_overlay::transit_stub::{self, TransitStubConfig};
@@ -37,6 +38,12 @@ pub enum OverlaySource {
     RandomRegular(usize),
     /// Inet-style power-law graph.
     PowerLaw,
+    /// Converged gossip partial views (each node's bounded view frozen
+    /// as its neighbor list), with the given view size.
+    Gossip {
+        /// Partial-view bound (the overlay's out-degree).
+        view: usize,
+    },
 }
 
 impl OverlaySource {
@@ -48,6 +55,7 @@ impl OverlaySource {
             OverlaySource::Kademlia => "Kademlia overlay".into(),
             OverlaySource::RandomRegular(d) => format!("random d={d}"),
             OverlaySource::PowerLaw => "power-law".into(),
+            OverlaySource::Gossip { view } => format!("gossip view={view}"),
         }
     }
 
@@ -97,6 +105,12 @@ impl OverlaySource {
                     .map(|n| topo.neighbors(n).to_vec())
                     .collect();
                 (topo.ids().to_vec(), nbrs)
+            }
+            OverlaySource::Gossip { view } => {
+                let ids = mpil_chord::random_ids(nodes, &mut rng);
+                let views = mpil_gossip::build_converged_views(nodes, *view, &mut rng);
+                let nbrs = views.iter().map(|v| v.peers()).collect();
+                (ids, nbrs)
             }
         }
     }
@@ -196,6 +210,19 @@ pub enum EngineSpec {
     /// any overlay family, constant latency (the overlay-independence
     /// extensions).
     MpilOver(OverlaySource),
+    /// The epidemic/unstructured engine: gossip-maintained partial
+    /// views with either k-random-walk or expanding-ring lookups,
+    /// constant latency.
+    Gossip {
+        /// Partial-view bound (membership out-degree).
+        view: usize,
+        /// Random walks per lookup (ignored by the ring strategy).
+        walkers: usize,
+        /// Walk hop budget / ring TTL cap.
+        ttl: u32,
+        /// How lookups spread.
+        strategy: LookupStrategy,
+    },
 }
 
 impl EngineSpec {
@@ -217,6 +244,18 @@ impl EngineSpec {
                 duplicate_suppression: false,
             } => "MPIL without DS".into(),
             EngineSpec::MpilOver(src) => format!("MPIL over {}", src.label()),
+            EngineSpec::Gossip {
+                view,
+                walkers,
+                ttl,
+                strategy: LookupStrategy::KRandomWalk,
+            } => format!("Gossip k-walk view={view} k={walkers} ttl={ttl}"),
+            EngineSpec::Gossip {
+                view,
+                ttl,
+                strategy: LookupStrategy::ExpandingRing,
+                ..
+            } => format!("Gossip ring view={view} ttl={ttl}"),
         }
     }
 }
@@ -400,6 +439,36 @@ impl Scenario {
                     warmup_secs: 0,
                 }
             }
+            EngineSpec::Gossip {
+                view,
+                walkers,
+                ttl,
+                strategy,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(run.seed);
+                let config = GossipConfig::default()
+                    .with_view_size(view)
+                    .with_walkers(walkers)
+                    .with_ttl(ttl)
+                    .with_strategy(strategy);
+                let views = mpil_gossip::build_converged_views(run.nodes, view, &mut rng);
+                let sim = GossipSim::new(
+                    views,
+                    config,
+                    Box::new(AlwaysOn),
+                    Box::new(ConstantLatency(SimDuration::from_millis(20))),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(sim),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: true,
+                    warmup_secs: 0,
+                }
+            }
         }
     }
 }
@@ -485,6 +554,30 @@ mod tests {
             EngineSpec::MpilOver(OverlaySource::Chord).label(),
             "MPIL over Chord overlay"
         );
+        assert_eq!(
+            EngineSpec::Gossip {
+                view: 8,
+                walkers: 8,
+                ttl: 16,
+                strategy: LookupStrategy::KRandomWalk
+            }
+            .label(),
+            "Gossip k-walk view=8 k=8 ttl=16"
+        );
+        assert_eq!(
+            EngineSpec::Gossip {
+                view: 8,
+                walkers: 8,
+                ttl: 8,
+                strategy: LookupStrategy::ExpandingRing
+            }
+            .label(),
+            "Gossip ring view=8 ttl=8"
+        );
+        assert_eq!(
+            EngineSpec::MpilOver(OverlaySource::Gossip { view: 8 }).label(),
+            "MPIL over gossip view=8"
+        );
     }
 
     #[test]
@@ -511,6 +604,19 @@ mod tests {
                 duplicate_suppression: false,
             },
             EngineSpec::MpilOver(OverlaySource::RandomRegular(8)),
+            EngineSpec::MpilOver(OverlaySource::Gossip { view: 8 }),
+            EngineSpec::Gossip {
+                view: 8,
+                walkers: 8,
+                ttl: 16,
+                strategy: LookupStrategy::KRandomWalk,
+            },
+            EngineSpec::Gossip {
+                view: 8,
+                walkers: 8,
+                ttl: 8,
+                strategy: LookupStrategy::ExpandingRing,
+            },
         ] {
             let prepared = Scenario::new(spec, run).build();
             assert_eq!(prepared.engine.len(), 60, "{}", spec.label());

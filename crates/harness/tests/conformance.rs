@@ -2,15 +2,24 @@
 //! against every [`DiscoveryEngine`] implementation.
 //!
 //! Adding a substrate means making these pass: a quiet network answers
-//! lookups, counters only grow, fixed seeds reproduce exactly, and the
+//! lookups, counters only grow and stay honestly attributed
+//! ([`Counters::checked_sum`]), fixed seeds reproduce exactly, and the
 //! lifecycle (join where supported, churn ticks, advance) behaves.
+//!
+//! The whole suite hangs off one fixture: [`all_specs`] names every
+//! engine once, and [`all_prepared`]/[`all_engines`] build them all, so
+//! a new substrate gets every test here by adding a single line.
 
-use mpil_harness::{run_scenario, Counters, EngineSpec, OverlaySource, PerturbRun, Scenario};
+use mpil_harness::{
+    run_scenario, Counters, DiscoveryEngine, EngineSpec, LookupStrategy, OverlaySource, PerturbRun,
+    PreparedRun, Scenario,
+};
 use mpil_id::Id;
 use mpil_overlay::NodeIdx;
-use mpil_sim::SimDuration;
+use mpil_sim::{Flapping, FlappingConfig, SimDuration};
 
-/// Every engine spec the suite exercises, with its label.
+/// Every engine spec the suite exercises — THE list. A substrate added
+/// here runs the entire conformance suite.
 fn all_specs() -> Vec<EngineSpec> {
     vec![
         EngineSpec::Pastry {
@@ -22,6 +31,18 @@ fn all_specs() -> Vec<EngineSpec> {
             duplicate_suppression: false,
         },
         EngineSpec::MpilOver(OverlaySource::RandomRegular(8)),
+        EngineSpec::Gossip {
+            view: 8,
+            walkers: 8,
+            ttl: 16,
+            strategy: LookupStrategy::KRandomWalk,
+        },
+        EngineSpec::Gossip {
+            view: 8,
+            walkers: 8,
+            ttl: 8,
+            strategy: LookupStrategy::ExpandingRing,
+        },
     ]
 }
 
@@ -31,6 +52,23 @@ fn mini(spec: EngineSpec, probability: f64, seed: u64) -> Scenario {
     run.operations = 10;
     run.seed = seed;
     Scenario::new(spec, run)
+}
+
+/// Builds every engine converged with its workload — the one fixture
+/// behind each test that drives engines directly.
+fn all_prepared(probability: f64, seed: u64) -> Vec<(EngineSpec, PreparedRun)> {
+    all_specs()
+        .into_iter()
+        .map(|spec| (spec, mini(spec, probability, seed).build()))
+        .collect()
+}
+
+/// Just the boxed engines, for lifecycle tests that need no workload.
+fn all_engines(seed: u64) -> Vec<(EngineSpec, Box<dyn DiscoveryEngine>)> {
+    all_prepared(0.0, seed)
+        .into_iter()
+        .map(|(spec, prepared)| (spec, prepared.engine))
+        .collect()
 }
 
 fn counters_monotone(before: &Counters, after: &Counters) -> bool {
@@ -62,17 +100,18 @@ fn quiet_network_insert_then_lookup_succeeds_on_every_engine() {
 
 #[test]
 fn counters_are_monotone_through_the_lifecycle_on_every_engine() {
-    for spec in all_specs() {
-        let prepared = mini(spec, 0.0, 12).build();
+    for (spec, prepared) in all_prepared(0.0, 12) {
         let mut engine = prepared.engine;
         let origin = prepared.origin;
         let at_start = engine.counters();
+        at_start.checked_sum();
 
         for &object in &prepared.objects {
             engine.insert(origin, object);
         }
         engine.run_to_quiescence();
         let after_inserts = engine.counters();
+        after_inserts.checked_sum();
         assert!(
             counters_monotone(&at_start, &after_inserts),
             "{}: inserts shrank counters",
@@ -88,6 +127,7 @@ fn counters_are_monotone_through_the_lifecycle_on_every_engine() {
         engine.issue_lookup(origin, prepared.objects[0], deadline);
         engine.run_until(deadline);
         let after_lookup = engine.counters();
+        after_lookup.checked_sum();
         assert!(
             counters_monotone(&after_inserts, &after_lookup),
             "{}: lookup shrank counters",
@@ -110,6 +150,43 @@ fn counters_are_monotone_through_the_lifecycle_on_every_engine() {
 }
 
 #[test]
+fn counter_attribution_stays_honest_under_perturbation_on_every_engine() {
+    // checked_sum() must hold through the full two-stage methodology —
+    // maintenance and flapping included — on all engines. Scenario
+    // builds always start on AlwaysOn, so the flapping model must be
+    // installed here explicitly (mirroring run_scenario's choreography)
+    // or the test would quietly run on a fully available network.
+    for (spec, prepared) in all_prepared(0.7, 20) {
+        let mut engine = prepared.engine;
+        let origin = prepared.origin;
+        let mut rng = prepared.rng;
+        for &object in &prepared.objects {
+            engine.insert(origin, object);
+        }
+        engine.run_to_quiescence();
+        engine.start_maintenance();
+        let flap_cfg = FlappingConfig::idle_offline_secs(30, 30, 0.7).starting_at(engine.now());
+        let mut flap = Flapping::new(flap_cfg, engine.len(), 20 ^ 0xf1a9, &mut rng);
+        flap.exempt(origin);
+        engine.set_availability(Box::new(flap));
+        for &object in &prepared.objects {
+            engine.churn_tick(SimDuration::from_secs(60));
+            let deadline = engine.now() + SimDuration::from_secs(60);
+            engine.issue_lookup(origin, object, deadline);
+        }
+        engine.advance(SimDuration::from_secs(90));
+        assert!(
+            engine.net_stats().dropped_offline > 0,
+            "{}: the perturbation never bit",
+            spec.label()
+        );
+        let c = engine.counters();
+        let sum = c.checked_sum();
+        assert!(sum > 0, "{}: nothing was attributed", spec.label());
+    }
+}
+
+#[test]
 fn fixed_seed_runs_are_deterministic_on_every_engine() {
     for spec in all_specs() {
         let a = run_scenario(&mini(spec, 0.6, 13));
@@ -121,7 +198,7 @@ fn fixed_seed_runs_are_deterministic_on_every_engine() {
 #[test]
 fn different_seeds_usually_differ() {
     // A smoke check that the seed actually reaches the engines: across
-    // all five engines at heavy flapping, at least one metric must move
+    // all engines at heavy flapping, at least one metric must move
     // between two seeds.
     let mut any_difference = false;
     for spec in all_specs() {
@@ -136,8 +213,7 @@ fn different_seeds_usually_differ() {
 
 #[test]
 fn lookup_outcome_is_failed_for_unknown_objects_on_every_engine() {
-    for spec in all_specs() {
-        let prepared = mini(spec, 0.0, 16).build();
+    for (spec, prepared) in all_prepared(0.0, 16) {
         let mut engine = prepared.engine;
         let origin = prepared.origin;
         // No insert at all: a lookup for a random object must fail (the
@@ -156,24 +232,16 @@ fn lookup_outcome_is_failed_for_unknown_objects_on_every_engine() {
 
 #[test]
 fn join_is_supported_exactly_where_the_protocol_has_one() {
-    for (spec, expect_join) in [
-        (
-            EngineSpec::Pastry {
-                replication_on_route: false,
-            },
-            true,
-        ),
-        (EngineSpec::Chord, true),
-        (EngineSpec::Kademlia { k: 4, alpha: 2 }, false),
-        (
-            EngineSpec::MpilOverPastry {
-                duplicate_suppression: false,
-            },
-            false,
-        ),
-    ] {
-        let prepared = mini(spec, 0.0, 17).build();
-        let mut engine = prepared.engine;
+    let expectations = [true, true, false, false, false, true, true];
+    let engines = all_engines(17);
+    // zip() truncates silently: a spec added to all_specs() without a
+    // matching expectation here must fail loudly, not skip the test.
+    assert_eq!(
+        engines.len(),
+        expectations.len(),
+        "all_specs() grew; add the new engine's join expectation"
+    );
+    for ((spec, mut engine), expect_join) in engines.into_iter().zip(expectations) {
         let supported = engine.join(NodeIdx::new(1), NodeIdx::new(0));
         assert_eq!(
             supported,
@@ -188,9 +256,7 @@ fn join_is_supported_exactly_where_the_protocol_has_one() {
 
 #[test]
 fn churn_tick_and_advance_move_the_clock() {
-    for spec in all_specs() {
-        let prepared = mini(spec, 0.0, 18).build();
-        let mut engine = prepared.engine;
+    for (spec, mut engine) in all_engines(18) {
         let t0 = engine.now();
         engine.churn_tick(SimDuration::from_secs(60));
         assert_eq!(
@@ -212,16 +278,17 @@ fn churn_tick_and_advance_move_the_clock() {
 #[test]
 fn engine_names_and_sizes_are_reported() {
     let expected = [
-        ("MSPastry", all_specs()[0]),
-        ("Chord", all_specs()[1]),
-        ("Kademlia", all_specs()[2]),
-        ("MPIL", all_specs()[3]),
-        ("MPIL", all_specs()[4]),
+        "MSPastry", "Chord", "Kademlia", "MPIL", "MPIL", "Gossip", "Gossip",
     ];
-    for (name, spec) in expected {
-        let prepared = mini(spec, 0.0, 19).build();
-        assert_eq!(prepared.engine.name(), name, "{}", spec.label());
-        assert_eq!(prepared.engine.len(), 100);
-        assert!(!prepared.engine.is_empty());
+    let engines = all_engines(19);
+    assert_eq!(
+        engines.len(),
+        expected.len(),
+        "all_specs() grew; add the new engine's expected name"
+    );
+    for ((spec, engine), name) in engines.into_iter().zip(expected) {
+        assert_eq!(engine.name(), name, "{}", spec.label());
+        assert_eq!(engine.len(), 100);
+        assert!(!engine.is_empty());
     }
 }

@@ -19,11 +19,13 @@
 //!   stabilization).
 //! * [`mpil_kademlia`] — the Kademlia baseline DHT (k-buckets, iterative
 //!   α-parallel lookups).
+//! * [`mpil_gossip`] — the epidemic/unstructured engine (gossip partial
+//!   views with suspicion; k-random-walk and expanding-ring lookups).
 //! * [`mpil_net`] — the live thread-per-node runtime (wire codec,
 //!   channel/UDP transports, perturbable clusters).
 //! * [`mpil_analysis`] — closed-form analysis from Section 5 of the paper.
 //! * [`mpil_workload`] — workload generators, experiment harness, statistics.
-//! * [`mpil_harness`] — the `DiscoveryEngine` trait over all four engines,
+//! * [`mpil_harness`] — the `DiscoveryEngine` trait over all five engines,
 //!   `Scenario` descriptors, and the parallel multi-seed `ExperimentRunner`.
 //!
 //! Insert from one node, look up from another, on an arbitrary overlay:
@@ -48,6 +50,7 @@
 pub use mpil;
 pub use mpil_analysis;
 pub use mpil_chord;
+pub use mpil_gossip;
 pub use mpil_harness;
 pub use mpil_id;
 pub use mpil_kademlia;

@@ -45,6 +45,11 @@ fn every_umbrella_reexport_is_reachable() {
             "mpil_pastry",
             mpil_suite::mpil_pastry::PastryConfig::default().leaf_set_size >= 2,
         ),
+        ("mpil_gossip", {
+            let config = mpil_suite::mpil_gossip::GossipConfig::default();
+            config.assert_valid();
+            config.view_size >= 1
+        }),
         ("mpil_net", mpil_suite::mpil_net::WIRE_VERSION >= 1),
         ("mpil_analysis", {
             let model = mpil_suite::mpil_analysis::AnalysisModel::base4();
