@@ -127,6 +127,84 @@ fn bench_ext_gossip_point(c: &mut Criterion) {
     g.finish();
 }
 
+/// Splitmix-style mixer: a deterministic stand-in for an RNG, so the
+/// kernel benches need no seed plumbing and never drift between runs.
+fn mix(i: u64) -> u64 {
+    let mut z = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 27)
+}
+
+fn bench_kernel_scheduler(c: &mut Criterion) {
+    use mpil_overlay::NodeIdx;
+    use mpil_sim::{AlwaysOn, ConstantLatency, Event, Network, SimDuration};
+    // Push/pop/drain through the public Network API — the only way
+    // protocols reach the timer wheel. Delays span microseconds to two
+    // simulated minutes so every wheel level and the overflow heap get
+    // exercised, at pending-set sizes from 10³ to 10⁶.
+    let mut g = c.benchmark_group("kernel_scheduler");
+    g.sample_size(10);
+    for &pending in &[1_000u64, 10_000, 100_000, 1_000_000] {
+        g.bench_function(format!("push_pop_drain_{pending}"), |b| {
+            b.iter(|| {
+                let mut net: Network<(), u64> = Network::new(
+                    1,
+                    Box::new(AlwaysOn),
+                    Box::new(ConstantLatency(SimDuration::from_millis(1))),
+                    7,
+                );
+                let node = NodeIdx::new(0);
+                for i in 0..pending {
+                    let delay = SimDuration::from_micros(mix(i) % 120_000_000);
+                    net.schedule(node, delay, i);
+                }
+                let mut drained = 0u64;
+                while let Some(ev) = net.next() {
+                    drained += u64::from(matches!(ev, Event::Timer { .. }));
+                }
+                black_box(drained)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_arena_map(c: &mut Criterion) {
+    use mpil_id::{Id, IdMap};
+    // The open-addressed Id→value arena map that replaced std HashMaps
+    // in every engine's per-node state: bulk insert and full-table
+    // lookup at the sizes the scale curve runs at.
+    let mut g = c.benchmark_group("arena_id_map");
+    g.sample_size(10);
+    for &n in &[1_000u64, 10_000, 100_000] {
+        let ids: Vec<Id> = (0..n).map(|i| Id::from_low_u64(mix(i) | 1)).collect();
+        g.bench_function(format!("insert_{n}"), |b| {
+            b.iter(|| {
+                let mut map = IdMap::new();
+                for (v, &id) in ids.iter().enumerate() {
+                    map.insert(id, v as u32);
+                }
+                black_box(map.len())
+            })
+        });
+        let mut map = IdMap::new();
+        for (v, &id) in ids.iter().enumerate() {
+            map.insert(id, v as u32);
+        }
+        g.bench_function(format!("lookup_{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &id in &ids {
+                    hits += u64::from(map.contains_key(&id));
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig1_point,
@@ -134,6 +212,8 @@ criterion_group!(
     bench_fig9_point,
     bench_tables_point,
     bench_fig11_point,
-    bench_ext_gossip_point
+    bench_ext_gossip_point,
+    bench_kernel_scheduler,
+    bench_arena_map
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! ([`mpil_bench::figures::ext_churn_traces`]).
 //!
 //! ```text
-//! cargo run --release -p mpil-bench --bin ext_churn_traces [--csv] [--seed N]
+//! cargo run --release -p mpil-bench --bin ext_churn_traces [--csv] [--seed N] [--nodes N] [--ops K]
 //! ```
 
 use mpil_bench::{figures, Args};

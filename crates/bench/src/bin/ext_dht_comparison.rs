@@ -2,7 +2,7 @@
 //! ([`mpil_bench::figures::ext_dht_comparison`]).
 //!
 //! ```text
-//! cargo run --release -p mpil-bench --bin ext_dht_comparison [--full] [--csv] [--seed N]
+//! cargo run --release -p mpil-bench --bin ext_dht_comparison [--full] [--csv] [--seed N] [--nodes N] [--ops K]
 //! ```
 
 use mpil_bench::{figures, Args};

@@ -2,7 +2,7 @@
 //! ([`mpil_bench::figures::ext_overlay_independence`]).
 //!
 //! ```text
-//! cargo run --release -p mpil-bench --bin ext_overlay_independence [--full] [--csv] [--seed N]
+//! cargo run --release -p mpil-bench --bin ext_overlay_independence [--full] [--csv] [--seed N] [--nodes N] [--ops K]
 //! ```
 
 use mpil_bench::{figures, Args};

@@ -1,0 +1,41 @@
+//! Kernel-scaling point: one engine at one overlay size, with wall-clock
+//! and peak-RSS measurement ([`mpil_bench::scale_curve`]).
+//!
+//! ```text
+//! cargo run --release -p mpil-bench --bin scale_run -- \
+//!     --engine mpil|kademlia|gossip --nodes N [--ops K] [--p X] [--seed S]
+//! ```
+//!
+//! Prints one JSON object line per invocation. Run one point per process
+//! so the `VmHWM` peak-RSS reading belongs to that point;
+//! `BENCH_scale.json` is composed from the per-point lines.
+
+use mpil_bench::scale_curve::{run_point, scale_spec};
+use mpil_bench::Args;
+
+fn main() {
+    let args = Args::parse_env();
+    let name = args.value_or("engine", "mpil".to_string());
+    let Some(spec) = scale_spec(&name) else {
+        eprintln!("unknown --engine '{name}' (expected mpil, kademlia, or gossip)");
+        std::process::exit(2);
+    };
+    let nodes = args.value_or("nodes", 1000usize);
+    let ops = args.value_or("ops", 20usize);
+    let p = args.value_or("p", 0.5f64);
+    let seed = args.value_or("seed", 1u64);
+    let point = run_point(spec, nodes, ops, p, seed);
+    eprintln!(
+        "{}: {} nodes in {:.2}s (build {:.2}s, inserts {:.2}s, lookups {:.2}s), peak {:.0} MiB, \
+         success {:.0}%",
+        point.engine,
+        point.nodes,
+        point.total_s,
+        point.build_s,
+        point.insert_s,
+        point.lookup_s,
+        point.peak_rss_mib,
+        point.success_rate,
+    );
+    println!("{}", point.to_json());
+}

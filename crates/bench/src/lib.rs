@@ -44,6 +44,7 @@ pub mod dhts;
 pub mod figures;
 pub mod perturb;
 pub mod scale;
+pub mod scale_curve;
 pub mod static_exp;
 
 pub use cli::Args;

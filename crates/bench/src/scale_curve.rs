@@ -1,0 +1,204 @@
+//! Kernel-scaling measurement: nodes vs wall-clock vs peak RSS.
+//!
+//! One [`ScalePoint`] is one engine at one overlay size, driven through
+//! the exact two-stage perturbation methodology of
+//! [`mpil_harness::run_scenario`] but with per-stage wall-clock timing
+//! and a peak-RSS reading. The `scale_run` binary runs a single point
+//! per process so the `VmHWM` reading is attributable to that point;
+//! `BENCH_scale.json` is composed from many such invocations.
+
+use std::time::Instant;
+
+use mpil_harness::{EngineSpec, LookupStrategy, OverlaySource, PerturbRun, PreparedRun, Scenario};
+use mpil_sim::{Flapping, FlappingConfig, LookupOutcome, SimDuration};
+
+/// One measured point on a scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Engine label (from [`EngineSpec::label`]).
+    pub engine: String,
+    /// Overlay size.
+    pub nodes: usize,
+    /// Number of insert+lookup operations driven.
+    pub operations: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Flapping probability during stage 2.
+    pub probability: f64,
+    /// Wall-clock seconds to build the converged engine.
+    pub build_s: f64,
+    /// Wall-clock seconds for stage 1 (inserts to quiescence).
+    pub insert_s: f64,
+    /// Wall-clock seconds for stage 2 (perturbed lookups).
+    pub lookup_s: f64,
+    /// Total wall-clock seconds (build + stages).
+    pub total_s: f64,
+    /// Peak resident set size of this process, in MiB (`VmHWM`), read
+    /// after the run; 0.0 where `/proc` is unavailable.
+    pub peak_rss_mib: f64,
+    /// Lookup success rate (%), a sanity check that the scenario ran.
+    pub success_rate: f64,
+    /// Raw kernel sends over the whole run.
+    pub sent: u64,
+}
+
+impl ScalePoint {
+    /// Renders the point as one self-describing JSON object line.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\": \"{}\", \"nodes\": {}, \"ops\": {}, \"seed\": {}, \"p\": {}, \
+             \"build_s\": {:.3}, \"insert_s\": {:.3}, \"lookup_s\": {:.3}, \"total_s\": {:.3}, \
+             \"peak_rss_mib\": {:.1}, \"success_rate\": {:.1}, \"sent\": {}}}",
+            self.engine,
+            self.nodes,
+            self.operations,
+            self.seed,
+            self.probability,
+            self.build_s,
+            self.insert_s,
+            self.lookup_s,
+            self.total_s,
+            self.peak_rss_mib,
+            self.success_rate,
+            self.sent,
+        )
+    }
+}
+
+/// Maps a `scale_run --engine` name onto its [`EngineSpec`].
+///
+/// The curve engines are the three the kernel work targets: MPIL over a
+/// frozen random graph (no maintenance timers), Kademlia (per-node
+/// refresh timers), and gossip (per-node shuffle timers — the heaviest
+/// scheduler load).
+pub fn scale_spec(name: &str) -> Option<EngineSpec> {
+    match name {
+        "mpil" => Some(EngineSpec::MpilOver(OverlaySource::RandomRegular(8))),
+        "kademlia" => Some(EngineSpec::Kademlia { k: 8, alpha: 3 }),
+        "gossip" => Some(EngineSpec::Gossip {
+            view: 8,
+            walkers: 8,
+            ttl: 16,
+            strategy: LookupStrategy::KRandomWalk,
+        }),
+        _ => None,
+    }
+}
+
+/// Runs one scaling point: the same choreography as
+/// [`mpil_harness::run_scenario`], instrumented with per-stage timing.
+pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) -> ScalePoint {
+    let mut run = PerturbRun::new(30, 30, p);
+    run.nodes = nodes;
+    run.operations = ops;
+    run.seed = seed;
+    let scenario = Scenario::new(spec, run);
+
+    let t0 = Instant::now();
+    let PreparedRun {
+        mut engine,
+        origin,
+        objects,
+        mut rng,
+        maintenance,
+        warmup_secs,
+    } = scenario.build();
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    for &object in &objects {
+        engine.insert(origin, object);
+    }
+    engine.run_to_quiescence();
+    let insert_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    if maintenance {
+        engine.start_maintenance();
+    }
+    if warmup_secs > 0 {
+        engine.advance(SimDuration::from_secs(warmup_secs));
+    }
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: engine.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    engine.set_availability(Box::new(flap));
+    let flap_start = engine.now();
+    let period = run.period();
+    let window = run.deadline_window();
+    let mut handles = Vec::with_capacity(objects.len());
+    for (i, &object) in objects.iter().enumerate() {
+        let issue_at = flap_start + period * (i as u64 + 1);
+        engine.run_until(issue_at);
+        handles.push(engine.issue_lookup(origin, object, issue_at + window));
+    }
+    let tail = engine.now() + window + SimDuration::from_secs(30);
+    engine.run_until(tail);
+    let lookup_s = t2.elapsed().as_secs_f64();
+
+    let ok = handles
+        .iter()
+        .filter(|&&h| matches!(engine.lookup_outcome(h), LookupOutcome::Succeeded { .. }))
+        .count();
+    ScalePoint {
+        engine: scenario.label(),
+        nodes,
+        operations: ops,
+        seed,
+        probability: p,
+        build_s,
+        insert_s,
+        lookup_s,
+        total_s: t0.elapsed().as_secs_f64(),
+        peak_rss_mib: peak_rss_mib().unwrap_or(0.0),
+        success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
+        sent: engine.net_stats().sent,
+    }
+}
+
+/// Peak resident set size of this process in MiB, from `/proc/self/status`
+/// (`VmHWM`). `None` off Linux or if the field is missing.
+pub fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_spec_knows_the_three_curve_engines() {
+        assert!(scale_spec("mpil").is_some());
+        assert!(scale_spec("kademlia").is_some());
+        assert!(scale_spec("gossip").is_some());
+        assert!(scale_spec("banana").is_none());
+    }
+
+    #[test]
+    fn a_tiny_point_runs_and_reports() {
+        let p = run_point(scale_spec("mpil").expect("spec"), 200, 5, 0.5, 3);
+        assert_eq!(p.nodes, 200);
+        assert_eq!(p.operations, 5);
+        assert!(p.total_s >= p.build_s);
+        assert!(p.sent > 0);
+        assert!(p.success_rate >= 0.0);
+        let json = p.to_json();
+        assert!(json.contains("\"nodes\": 200"), "{json}");
+        assert!(json.contains("\"peak_rss_mib\""), "{json}");
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_mib().expect("VmHWM") > 0.0);
+        }
+    }
+}

@@ -11,9 +11,8 @@
 //! shape and counters so the two can be compared message-for-message
 //! under the paper's perturbation model.
 
-use std::collections::{HashMap, HashSet};
-
-use mpil_id::Id;
+use fxhash::{FxHashMap, FxHashSet};
+use mpil_id::{Id, IdSet};
 use mpil_overlay::NodeIdx;
 use mpil_sim::{Availability, Event, LatencyModel, Network, SimDuration, SimTime};
 use rand::Rng;
@@ -166,14 +165,16 @@ pub struct ChordSim {
     config: ChordConfig,
     ids: Vec<Id>,
     states: Vec<ChordState>,
-    stores: Vec<HashSet<Id>>,
+    stores: Vec<IdSet>,
     net: Network<Msg, Timer>,
-    pending_routes: HashMap<u64, PendingRoute>,
-    pending_probes: HashMap<u64, PendingProbe>,
-    pending_stabs: HashMap<u64, PendingProbe>,
-    probing_pairs: HashSet<(NodeIdx, NodeIdx)>,
-    seen_uids: Vec<HashSet<u64>>,
-    lookups: HashMap<u64, LookupState>,
+    /// Reusable same-tick delivery batch (see [`Network::next_batch_before`]).
+    event_batch: Vec<mpil_sim::Event<Msg, Timer>>,
+    pending_routes: FxHashMap<u64, PendingRoute>,
+    pending_probes: FxHashMap<u64, PendingProbe>,
+    pending_stabs: FxHashMap<u64, PendingProbe>,
+    probing_pairs: FxHashSet<(NodeIdx, NodeIdx)>,
+    seen_uids: Vec<FxHashSet<u64>>,
+    lookups: FxHashMap<u64, LookupState>,
     next_uid: u64,
     next_token: u64,
     next_lookup: u64,
@@ -203,14 +204,15 @@ impl ChordSim {
         ChordSim {
             config,
             states,
-            stores: vec![HashSet::new(); n],
+            stores: vec![IdSet::new(); n],
             net: Network::new(n, availability, latency, seed),
-            pending_routes: HashMap::new(),
-            pending_probes: HashMap::new(),
-            pending_stabs: HashMap::new(),
-            probing_pairs: HashSet::new(),
-            seen_uids: vec![HashSet::new(); n],
-            lookups: HashMap::new(),
+            pending_routes: FxHashMap::default(),
+            pending_probes: FxHashMap::default(),
+            pending_stabs: FxHashMap::default(),
+            probing_pairs: FxHashSet::default(),
+            seen_uids: vec![FxHashSet::default(); n],
+            lookups: FxHashMap::default(),
+            event_batch: Vec::new(),
             next_uid: 0,
             next_token: 0,
             next_lookup: 0,
@@ -266,6 +268,12 @@ impl ChordSim {
             .map(NodeIdx::new)
             .filter(|n| self.stores[n.index()].contains(&object))
             .collect()
+    }
+
+    /// Number of nodes storing the pointer for `object`, without
+    /// materialising the holder list.
+    pub fn replica_count(&self, object: Id) -> usize {
+        self.stores.iter().filter(|s| s.contains(&object)).count()
     }
 
     /// Each node's frozen neighbor list (successors ∪ fingers ∪
@@ -368,9 +376,13 @@ impl ChordSim {
 
     /// Runs the event loop until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(ev) = self.net.next_before(deadline) {
-            self.dispatch(ev);
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while self.net.next_batch_before(deadline, &mut batch) {
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
         }
+        self.event_batch = batch;
     }
 
     /// Runs until no events remain (only terminates before maintenance
@@ -380,9 +392,7 @@ impl ChordSim {
             !self.maintenance_started,
             "periodic maintenance never quiesces; use run_until"
         );
-        while let Some(ev) = self.net.next() {
-            self.dispatch(ev);
-        }
+        self.run_until(SimTime::from_micros(u64::MAX));
     }
 
     // --- routing ----------------------------------------------------------

@@ -6,9 +6,8 @@
 //! sent to offline nodes are lost — MPIL never retransmits; its
 //! robustness comes entirely from redundant flows and replicas.
 
-use std::collections::{HashMap, HashSet};
-
-use mpil_id::Id;
+use fxhash::{FxHashMap, FxHashSet};
+use mpil_id::{Id, IdMap};
 use mpil_overlay::{NodeIdx, Topology};
 use mpil_sim::{Availability, LatencyModel, Network, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -88,13 +87,15 @@ pub struct DynamicNetwork {
     ids: Vec<Id>,
     neighbors: Vec<Vec<NodeIdx>>,
     config: DynamicConfig,
-    stores: Vec<HashMap<Id, NodeIdx>>,
-    forwarded: Vec<HashSet<MessageId>>,
+    stores: Vec<IdMap<NodeIdx>>,
+    forwarded: Vec<FxHashSet<MessageId>>,
     net: Network<Wire, Timer>,
     next_msg_id: u64,
-    lookups: HashMap<MessageId, LookupState>,
+    lookups: FxHashMap<MessageId, LookupState>,
     registries: Vec<ReplicaRegistry>,
     stats: DynamicStats,
+    /// Reusable same-tick delivery batch (see [`Network::next_batch_before`]).
+    event_batch: Vec<mpil_sim::Event<Wire, Timer>>,
 }
 
 impl DynamicNetwork {
@@ -143,16 +144,17 @@ impl DynamicNetwork {
             }
         }
         DynamicNetwork {
-            stores: vec![HashMap::new(); n],
-            forwarded: vec![HashSet::new(); n],
+            stores: vec![IdMap::new(); n],
+            forwarded: vec![FxHashSet::default(); n],
             registries: vec![ReplicaRegistry::new(); n],
             net: Network::new(n, availability, latency, seed),
             ids,
             neighbors,
             config,
             next_msg_id: 0,
-            lookups: HashMap::new(),
+            lookups: FxHashMap::default(),
             stats: DynamicStats::default(),
+            event_batch: Vec::new(),
         }
     }
 
@@ -202,6 +204,15 @@ impl DynamicNetwork {
             .map(NodeIdx::new)
             .filter(|n| self.stores[n.index()].contains_key(&object))
             .collect()
+    }
+
+    /// Number of nodes storing a pointer for `object`, without
+    /// materialising the holder list.
+    pub fn replica_count(&self, object: Id) -> usize {
+        self.stores
+            .iter()
+            .filter(|s| s.contains_key(&object))
+            .count()
     }
 
     /// Starts an insertion of `object` (owned by `origin`). Propagation
@@ -274,17 +285,19 @@ impl DynamicNetwork {
     /// Runs the event loop until `deadline` (inclusive); the clock ends at
     /// `deadline` even if the queue drains early.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(event) = self.net.next_before(deadline) {
-            self.dispatch(event);
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while self.net.next_batch_before(deadline, &mut batch) {
+            for event in batch.drain(..) {
+                self.dispatch(event);
+            }
         }
+        self.event_batch = batch;
     }
 
     /// Runs until no events remain (only sensible without periodic
     /// timers, i.e. with heartbeats disabled).
     pub fn run_to_quiescence(&mut self) {
-        while let Some(event) = self.net.next() {
-            self.dispatch(event);
-        }
+        self.run_until(SimTime::from_micros(u64::MAX));
     }
 
     fn dispatch(&mut self, event: mpil_sim::Event<Wire, Timer>) {

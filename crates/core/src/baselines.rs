@@ -9,9 +9,9 @@
 //! `ablation_baselines` bench can put success rate against traffic for
 //! each.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
-use mpil_id::Id;
+use mpil_id::{Id, IdMap};
 use mpil_overlay::{NodeIdx, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -26,7 +26,7 @@ use crate::report::LookupReport;
 /// place pointers); queries must find the owner.
 pub struct UnstructuredEngine<'a> {
     topo: &'a Topology,
-    stores: Vec<HashMap<Id, NodeIdx>>,
+    stores: Vec<IdMap<NodeIdx>>,
     rng: SmallRng,
 }
 
@@ -35,7 +35,7 @@ impl<'a> UnstructuredEngine<'a> {
     pub fn new(topo: &'a Topology, seed: u64) -> Self {
         UnstructuredEngine {
             topo,
-            stores: vec![HashMap::new(); topo.len()],
+            stores: vec![IdMap::new(); topo.len()],
             rng: SmallRng::seed_from_u64(seed),
         }
     }

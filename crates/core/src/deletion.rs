@@ -10,9 +10,8 @@
 //! The wire protocol itself lives in [`crate::agent`]; this module keeps
 //! the registry logic separately testable.
 
-use std::collections::{HashMap, HashSet};
-
-use mpil_id::Id;
+use fxhash::FxHashMap;
+use mpil_id::{Id, IdMap};
 use mpil_overlay::NodeIdx;
 use mpil_sim::SimTime;
 
@@ -23,7 +22,7 @@ use mpil_sim::SimTime;
 /// was deleted while perturbed, for instance).
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaRegistry {
-    holders: HashMap<Id, HashMap<NodeIdx, SimTime>>,
+    holders: IdMap<FxHashMap<NodeIdx, SimTime>>,
 }
 
 impl ReplicaRegistry {
@@ -34,20 +33,31 @@ impl ReplicaRegistry {
 
     /// Records a heartbeat for `object` from `holder` at `now`.
     pub fn heartbeat(&mut self, object: Id, holder: NodeIdx, now: SimTime) {
-        self.holders.entry(object).or_default().insert(holder, now);
+        if let Some(m) = self.holders.get_mut(&object) {
+            m.insert(holder, now);
+        } else {
+            let mut m = FxHashMap::default();
+            m.insert(holder, now);
+            self.holders.insert(object, m);
+        }
     }
 
-    /// Known holders of `object` (in arbitrary order).
+    /// Known holders of `object`, in ascending node order (sorted so
+    /// downstream message sequences are deterministic).
     pub fn holders(&self, object: Id) -> Vec<NodeIdx> {
-        self.holders
+        let mut v: Vec<NodeIdx> = self
+            .holders
             .get(&object)
             .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
-    /// Holders heard from since `cutoff`.
+    /// Holders heard from since `cutoff`, in ascending node order.
     pub fn fresh_holders(&self, object: Id, cutoff: SimTime) -> Vec<NodeIdx> {
-        self.holders
+        let mut v: Vec<NodeIdx> = self
+            .holders
             .get(&object)
             .map(|m| {
                 m.iter()
@@ -55,16 +65,22 @@ impl ReplicaRegistry {
                     .map(|(&n, _)| n)
                     .collect()
             })
-            .unwrap_or_default()
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// Forgets `object` entirely (after a delete round). Returns the
-    /// holders that were known.
-    pub fn forget(&mut self, object: Id) -> HashSet<NodeIdx> {
-        self.holders
+    /// holders that were known, in ascending node order (so the delete
+    /// fan-out is a deterministic message sequence).
+    pub fn forget(&mut self, object: Id) -> Vec<NodeIdx> {
+        let mut v: Vec<NodeIdx> = self
+            .holders
             .remove(&object)
             .map(|m| m.into_keys().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// Number of objects tracked.

@@ -5,9 +5,9 @@
 //! hop order (breadth-first), which makes "first successful reply" well
 //! defined and every run a deterministic function of the seed.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
-use mpil_id::Id;
+use mpil_id::{Id, IdMap};
 use mpil_overlay::{NodeIdx, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -26,7 +26,7 @@ use crate::routing::routing_decision_policy;
 pub struct StaticEngine<'a> {
     topo: &'a Topology,
     config: MpilConfig,
-    stores: Vec<HashMap<Id, NodeIdx>>,
+    stores: Vec<IdMap<NodeIdx>>,
     rng: SmallRng,
     next_msg_id: u64,
 }
@@ -43,7 +43,7 @@ impl<'a> StaticEngine<'a> {
         StaticEngine {
             topo,
             config,
-            stores: vec![HashMap::new(); topo.len()],
+            stores: vec![IdMap::new(); topo.len()],
             rng: SmallRng::seed_from_u64(seed),
             next_msg_id: 0,
         }
@@ -71,6 +71,15 @@ impl<'a> StaticEngine<'a> {
             .iter_nodes()
             .filter(|n| self.stores[n.index()].contains_key(&object))
             .collect()
+    }
+
+    /// Number of nodes storing a pointer for `object`, without
+    /// materialising the holder list.
+    pub fn replica_count(&self, object: Id) -> usize {
+        self.stores
+            .iter()
+            .filter(|s| s.contains_key(&object))
+            .count()
     }
 
     /// Does `node` store a pointer for `object`?

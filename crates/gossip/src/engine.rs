@@ -18,9 +18,8 @@
 //! space — only exact pointer matches at visited nodes. All randomness
 //! flows through the kernel RNG, so fixed seeds reproduce exactly.
 
-use std::collections::{HashMap, HashSet};
-
-use mpil_id::Id;
+use fxhash::{FxHashMap, FxHashSet};
+use mpil_id::{Id, IdSet};
 use mpil_overlay::NodeIdx;
 use mpil_sim::{Availability, Event, LatencyModel, LookupOutcome, Network, SimDuration, SimTime};
 use rand::Rng;
@@ -91,7 +90,7 @@ struct RingState {
     ttl: u32,
     /// Nodes that already forwarded the current round (per-round
     /// duplicate suppression).
-    forwarded: HashSet<NodeIdx>,
+    forwarded: FxHashSet<NodeIdx>,
 }
 
 /// Counters split by traffic class (comparable to the DHT baselines and
@@ -130,13 +129,18 @@ impl GossipStats {
 pub struct GossipSim {
     config: GossipConfig,
     views: Vec<PartialView>,
-    stores: Vec<HashSet<Id>>,
+    stores: Vec<IdSet>,
     net: Network<Msg, Timer>,
+    /// Reusable same-tick delivery batch (see [`Network::next_batch_before`]).
+    event_batch: Vec<mpil_sim::Event<Msg, Timer>>,
+    /// Reusable draw buffer for [`PartialView::sample_into`]: walks and
+    /// shuffles fire millions of times per run and must not allocate.
+    sample_scratch: Vec<NodeIdx>,
     /// Consecutive failed shuffles per (node, peer).
-    suspicion: Vec<HashMap<NodeIdx, u32>>,
-    pending_shuffles: HashMap<u64, PendingShuffle>,
-    lookups: HashMap<u64, LookupState>,
-    rings: HashMap<u64, RingState>,
+    suspicion: Vec<FxHashMap<NodeIdx, u32>>,
+    pending_shuffles: FxHashMap<u64, PendingShuffle>,
+    lookups: FxHashMap<u64, LookupState>,
+    rings: FxHashMap<u64, RingState>,
     next_token: u64,
     next_lookup: u64,
     maintenance_started: bool,
@@ -169,12 +173,14 @@ impl GossipSim {
         }
         GossipSim {
             config,
-            stores: vec![HashSet::new(); n],
+            stores: vec![IdSet::new(); n],
             net: Network::new(n, availability, latency, seed),
-            suspicion: vec![HashMap::new(); n],
-            pending_shuffles: HashMap::new(),
-            lookups: HashMap::new(),
-            rings: HashMap::new(),
+            suspicion: vec![FxHashMap::default(); n],
+            pending_shuffles: FxHashMap::default(),
+            lookups: FxHashMap::default(),
+            event_batch: Vec::new(),
+            sample_scratch: Vec::new(),
+            rings: FxHashMap::default(),
             next_token: 0,
             next_lookup: 0,
             maintenance_started: false,
@@ -247,6 +253,12 @@ impl GossipSim {
             .collect()
     }
 
+    /// Number of nodes storing the pointer for `object`, without
+    /// materialising the holder list.
+    pub fn replica_count(&self, object: Id) -> usize {
+        self.stores.iter().filter(|s| s.contains(&object)).count()
+    }
+
     /// Starts the periodic shuffle timers, staggered uniformly over one
     /// gossip period.
     ///
@@ -283,11 +295,13 @@ impl GossipSim {
     pub fn insert(&mut self, origin: NodeIdx, object: Id) {
         let walkers = self.config.replication_walkers;
         let ttl = self.config.replication_ttl;
-        let first_hops = self.views[origin.index()].sample(walkers, None, self.net.rng());
-        for next in first_hops {
+        let mut first_hops = std::mem::take(&mut self.sample_scratch);
+        self.views[origin.index()].sample_into(walkers, None, self.net.rng(), &mut first_hops);
+        for &next in &first_hops {
             self.stats.insert_messages += 1;
             self.net.send(origin, next, Msg::StoreWalk { object, ttl });
         }
+        self.sample_scratch = first_hops;
     }
 
     /// Issues a lookup of `object` from `origin` with the given
@@ -309,9 +323,14 @@ impl GossipSim {
         }
         match self.config.strategy {
             LookupStrategy::KRandomWalk => {
-                let first_hops =
-                    self.views[origin.index()].sample(self.config.walkers, None, self.net.rng());
-                for next in first_hops {
+                let mut first_hops = std::mem::take(&mut self.sample_scratch);
+                self.views[origin.index()].sample_into(
+                    self.config.walkers,
+                    None,
+                    self.net.rng(),
+                    &mut first_hops,
+                );
+                for &next in &first_hops {
                     self.stats.lookup_messages += 1;
                     self.net.send(
                         origin,
@@ -325,6 +344,7 @@ impl GossipSim {
                         },
                     );
                 }
+                self.sample_scratch = first_hops;
             }
             LookupStrategy::ExpandingRing => {
                 self.rings.insert(
@@ -334,7 +354,7 @@ impl GossipSim {
                         object,
                         round: 0,
                         ttl: 1,
-                        forwarded: HashSet::new(),
+                        forwarded: FxHashSet::default(),
                     },
                 );
                 self.flood_round(lookup);
@@ -362,9 +382,13 @@ impl GossipSim {
 
     /// Runs the event loop until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(ev) = self.net.next_before(deadline) {
-            self.dispatch(ev);
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while self.net.next_batch_before(deadline, &mut batch) {
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
         }
+        self.event_batch = batch;
     }
 
     /// Runs until no events remain (only terminates before maintenance
@@ -379,20 +403,21 @@ impl GossipSim {
             !self.maintenance_started,
             "periodic gossip never quiesces; use run_until"
         );
-        while let Some(ev) = self.net.next() {
-            self.dispatch(ev);
-        }
+        self.run_until(SimTime::from_micros(u64::MAX));
     }
 
     // --- membership -----------------------------------------------------------
 
     fn initiate_shuffle(&mut self, node: NodeIdx, target: NodeIdx) {
-        let mut entries = vec![node];
-        entries.extend(self.views[node.index()].sample(
+        self.views[node.index()].sample_into(
             self.config.shuffle_len.saturating_sub(1),
             Some(target),
             self.net.rng(),
-        ));
+            &mut self.sample_scratch,
+        );
+        let mut entries = Vec::with_capacity(self.sample_scratch.len() + 1);
+        entries.push(node);
+        entries.extend_from_slice(&self.sample_scratch);
         let token = self.next_token;
         self.next_token += 1;
         self.pending_shuffles.insert(
@@ -427,18 +452,22 @@ impl GossipSim {
     }
 
     fn on_shuffle_push(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Vec<NodeIdx>) {
-        let reply =
-            self.views[to.index()].sample(self.config.shuffle_len, Some(from), self.net.rng());
+        self.views[to.index()].sample_into(
+            self.config.shuffle_len,
+            Some(from),
+            self.net.rng(),
+            &mut self.sample_scratch,
+        );
         self.stats.maintenance_messages += 1;
         self.net.send(
             to,
             from,
             Msg::ShufflePull {
                 token,
-                entries: reply.clone(),
+                entries: self.sample_scratch.clone(),
             },
         );
-        self.views[to.index()].merge(&entries, &reply);
+        self.views[to.index()].merge(&entries, &self.sample_scratch);
         // Hearing a push is direct evidence the initiator is alive.
         self.suspicion[to.index()].remove(&from);
         self.prune_suspicion(to);
@@ -493,7 +522,8 @@ impl GossipSim {
         if ttl <= 1 {
             return;
         }
-        if let Some(next) = self.views[to.index()].sample_one(Some(from), self.net.rng()) {
+        self.views[to.index()].sample_into(1, Some(from), self.net.rng(), &mut self.sample_scratch);
+        if let Some(&next) = self.sample_scratch.first() {
             self.stats.insert_messages += 1;
             self.net.send(
                 to,
@@ -525,7 +555,8 @@ impl GossipSim {
         if ttl <= 1 {
             return;
         }
-        if let Some(next) = self.views[to.index()].sample_one(Some(from), self.net.rng()) {
+        self.views[to.index()].sample_into(1, Some(from), self.net.rng(), &mut self.sample_scratch);
+        if let Some(&next) = self.sample_scratch.first() {
             self.stats.lookup_messages += 1;
             self.net.send(
                 to,
@@ -551,12 +582,11 @@ impl GossipSim {
         let object = ring.object;
         let round = ring.round;
         let ttl = ring.ttl;
-        let peers = self.views[origin.index()].peers();
-        for next in peers {
+        for e in self.views[origin.index()].iter() {
             self.stats.lookup_messages += 1;
             self.net.send(
                 origin,
-                next,
+                e.peer,
                 Msg::FloodQuery {
                     lookup,
                     round,
@@ -595,8 +625,8 @@ impl GossipSim {
         if ring.round != round || !ring.forwarded.insert(to) {
             return; // stale round, or this node already forwarded it
         }
-        let peers = self.views[to.index()].peers();
-        for next in peers {
+        for e in self.views[to.index()].iter() {
+            let next = e.peer;
             if next == from {
                 continue;
             }

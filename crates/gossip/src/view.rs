@@ -171,22 +171,36 @@ impl PartialView {
         exclude: Option<NodeIdx>,
         rng: &mut R,
     ) -> Vec<NodeIdx> {
-        let mut pool: Vec<NodeIdx> = match exclude {
-            Some(x) if self.entries.len() > 1 => self
-                .entries
-                .iter()
-                .map(|e| e.peer)
-                .filter(|&p| p != x)
-                .collect(),
-            _ => self.entries.iter().map(|e| e.peer).collect(),
-        };
-        let take = k.min(pool.len());
-        for i in 0..take {
-            let j = rng.gen_range(i..pool.len());
-            pool.swap(i, j);
+        let mut out = Vec::new();
+        self.sample_into(k, exclude, rng, &mut out);
+        out
+    }
+
+    /// [`Self::sample`] into a caller-owned buffer: `out` is cleared,
+    /// then filled with the draw. Engines pass a per-node scratch vector
+    /// so steady-state shuffles and walk fan-outs allocate nothing. The
+    /// pool order and RNG consumption are identical to `sample`, so
+    /// seeded runs cannot tell the two apart.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        k: usize,
+        exclude: Option<NodeIdx>,
+        rng: &mut R,
+        out: &mut Vec<NodeIdx>,
+    ) {
+        out.clear();
+        match exclude {
+            Some(x) if self.entries.len() > 1 => {
+                out.extend(self.entries.iter().map(|e| e.peer).filter(|&p| p != x))
+            }
+            _ => out.extend(self.entries.iter().map(|e| e.peer)),
         }
-        pool.truncate(take);
-        pool
+        let take = k.min(out.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..out.len());
+            out.swap(i, j);
+        }
+        out.truncate(take);
     }
 
     /// Draws one neighbor, excluding `exclude` when an alternative

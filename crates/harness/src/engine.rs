@@ -154,6 +154,13 @@ pub trait DiscoveryEngine {
     /// Nodes currently storing a replica/pointer for `object`.
     fn replica_holders(&self, object: Id) -> Vec<NodeIdx>;
 
+    /// Number of replica holders for `object`. Engines override this
+    /// with a count that never materialises the holder list; the
+    /// default allocates via [`Self::replica_holders`].
+    fn replica_count(&self, object: Id) -> usize {
+        self.replica_holders(object).len()
+    }
+
     /// Runs the event loop until `deadline` (inclusive); the clock ends
     /// at `deadline` even if the queue drains early.
     fn run_until(&mut self, deadline: SimTime);

@@ -52,6 +52,10 @@ impl DiscoveryEngine for DynamicNetwork {
         DynamicNetwork::replica_holders(self, object)
     }
 
+    fn replica_count(&self, object: Id) -> usize {
+        DynamicNetwork::replica_count(self, object)
+    }
+
     fn run_until(&mut self, deadline: SimTime) {
         DynamicNetwork::run_until(self, deadline);
     }
@@ -123,6 +127,10 @@ impl DiscoveryEngine for ChordSim {
         ChordSim::replica_holders(self, object)
     }
 
+    fn replica_count(&self, object: Id) -> usize {
+        ChordSim::replica_count(self, object)
+    }
+
     fn run_until(&mut self, deadline: SimTime) {
         ChordSim::run_until(self, deadline);
     }
@@ -186,6 +194,10 @@ impl DiscoveryEngine for KademliaSim {
 
     fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
         KademliaSim::replica_holders(self, object)
+    }
+
+    fn replica_count(&self, object: Id) -> usize {
+        KademliaSim::replica_count(self, object)
     }
 
     fn run_until(&mut self, deadline: SimTime) {
@@ -258,6 +270,10 @@ impl DiscoveryEngine for GossipSim {
         GossipSim::replica_holders(self, object)
     }
 
+    fn replica_count(&self, object: Id) -> usize {
+        GossipSim::replica_count(self, object)
+    }
+
     fn run_until(&mut self, deadline: SimTime) {
         GossipSim::run_until(self, deadline);
     }
@@ -326,6 +342,10 @@ impl DiscoveryEngine for PastrySim {
 
     fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
         PastrySim::replica_holders(self, object)
+    }
+
+    fn replica_count(&self, object: Id) -> usize {
+        PastrySim::replica_count(self, object)
     }
 
     fn run_until(&mut self, deadline: SimTime) {

@@ -59,7 +59,7 @@ pub fn run_scenario(scenario: &Scenario) -> PerturbResult {
     let mean_replicas = {
         let mut s = RunningStats::new();
         for &object in &objects {
-            s.push(engine.replica_holders(object).len() as f64);
+            s.push(engine.replica_count(object) as f64);
         }
         s.mean()
     };

@@ -275,6 +275,72 @@ fn churn_tick_and_advance_move_the_clock() {
     }
 }
 
+/// Scale smoke: every engine must build converged, insert, settle, and
+/// resolve lookups at `nodes` nodes inside `budget` wall-clock. Lookup
+/// *success* is deliberately not asserted — a k-random-walk over 10k
+/// nodes legitimately misses — but the lifecycle and the
+/// counter-attribution contract ([`Counters::checked_sum`]) must hold
+/// at any size, and nothing may wedge.
+fn scale_smoke(nodes: usize, budget: std::time::Duration) {
+    for spec in all_specs() {
+        let clock = std::time::Instant::now();
+        let mut run = PerturbRun::new(30, 30, 0.0);
+        run.nodes = nodes;
+        run.operations = 3;
+        run.seed = 21;
+        let prepared = Scenario::new(spec, run).build();
+        let mut engine = prepared.engine;
+        assert_eq!(engine.len(), nodes, "{}: wrong size", spec.label());
+        let origin = prepared.origin;
+        for &object in &prepared.objects {
+            engine.insert(origin, object);
+        }
+        engine.run_to_quiescence();
+        let after_inserts = engine.counters();
+        after_inserts.checked_sum();
+        assert!(
+            after_inserts.insert_messages > 0,
+            "{}: inserts sent nothing",
+            spec.label()
+        );
+        let deadline = engine.now() + SimDuration::from_secs(60);
+        let handles: Vec<_> = prepared
+            .objects
+            .iter()
+            .map(|&object| engine.issue_lookup(origin, object, deadline))
+            .collect();
+        engine.run_until(deadline);
+        let after_lookups = engine.counters();
+        after_lookups.checked_sum();
+        assert!(
+            counters_monotone(&after_inserts, &after_lookups),
+            "{}: lookups shrank counters",
+            spec.label()
+        );
+        for &handle in &handles {
+            // Every handle must resolve to a definite outcome.
+            let _ = engine.lookup_outcome(handle);
+        }
+        assert!(
+            clock.elapsed() < budget,
+            "{}: {nodes}-node smoke took {:?} (budget {budget:?})",
+            spec.label(),
+            clock.elapsed()
+        );
+    }
+}
+
+#[test]
+fn ten_thousand_node_smoke_stays_inside_budget_on_every_engine() {
+    scale_smoke(10_000, std::time::Duration::from_secs(150));
+}
+
+#[test]
+#[ignore = "large: run explicitly with -- --ignored, release profile recommended"]
+fn hundred_thousand_node_smoke_on_every_engine() {
+    scale_smoke(100_000, std::time::Duration::from_secs(1800));
+}
+
 #[test]
 fn engine_names_and_sizes_are_reported() {
     let expected = [

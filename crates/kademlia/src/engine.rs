@@ -10,9 +10,8 @@
 //! interesting middle point between single-path DHTs and MPIL's
 //! multi-flow routing.
 
-use std::collections::HashMap;
-
-use mpil_id::{xor_distance, Id};
+use fxhash::FxHashMap;
+use mpil_id::{xor_distance, Id, IdSet};
 use mpil_overlay::NodeIdx;
 use mpil_sim::{Availability, Event, LatencyModel, Network, SimDuration, SimTime};
 use rand::Rng;
@@ -150,11 +149,13 @@ pub struct KademliaSim {
     config: KademliaConfig,
     ids: Vec<Id>,
     tables: Vec<RoutingTable>,
-    stores: Vec<std::collections::HashSet<Id>>,
+    stores: Vec<IdSet>,
     net: Network<Msg, Timer>,
-    ops: HashMap<u64, Operation>,
-    evictions: HashMap<u64, PendingEviction>,
-    lookups: HashMap<u64, LookupState>,
+    /// Reusable same-tick delivery batch (see [`Network::next_batch_before`]).
+    event_batch: Vec<mpil_sim::Event<Msg, Timer>>,
+    ops: FxHashMap<u64, Operation>,
+    evictions: FxHashMap<u64, PendingEviction>,
+    lookups: FxHashMap<u64, LookupState>,
     next_op: u64,
     next_token: u64,
     next_lookup: u64,
@@ -184,11 +185,12 @@ impl KademliaSim {
         KademliaSim {
             config,
             tables,
-            stores: vec![std::collections::HashSet::new(); n],
+            stores: vec![IdSet::new(); n],
             net: Network::new(n, availability, latency, seed),
-            ops: HashMap::new(),
-            evictions: HashMap::new(),
-            lookups: HashMap::new(),
+            ops: FxHashMap::default(),
+            evictions: FxHashMap::default(),
+            lookups: FxHashMap::default(),
+            event_batch: Vec::new(),
             next_op: 0,
             next_token: 0,
             next_lookup: 0,
@@ -244,6 +246,12 @@ impl KademliaSim {
             .map(NodeIdx::new)
             .filter(|n| self.stores[n.index()].contains(&object))
             .collect()
+    }
+
+    /// Number of nodes storing the pointer for `object`, without
+    /// materialising the holder list.
+    pub fn replica_count(&self, object: Id) -> usize {
+        self.stores.iter().filter(|s| s.contains(&object)).count()
     }
 
     /// Each node's frozen neighbor list (every bucket entry) — the
@@ -318,9 +326,13 @@ impl KademliaSim {
 
     /// Runs the event loop until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(ev) = self.net.next_before(deadline) {
-            self.dispatch(ev);
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while self.net.next_batch_before(deadline, &mut batch) {
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
         }
+        self.event_batch = batch;
     }
 
     /// Runs until no events remain (only terminates before maintenance
@@ -330,9 +342,7 @@ impl KademliaSim {
             !self.maintenance_started,
             "periodic maintenance never quiesces; use run_until"
         );
-        while let Some(ev) = self.net.next() {
-            self.dispatch(ev);
-        }
+        self.run_until(SimTime::from_micros(u64::MAX));
     }
 
     // --- iterative operation driver ------------------------------------------

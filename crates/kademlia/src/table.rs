@@ -196,30 +196,101 @@ impl RoutingTable {
 /// Builds the converged routing table of every node: each bucket holds
 /// up to `k` peers from its distance range (the XOR-closest ones, the
 /// fixed point of a network that has seen plenty of traffic).
+///
+/// Sorts the ids once, after which every bucket of every node is a
+/// contiguous run of the sorted array (ids sharing a prefix are
+/// adjacent) and the k XOR-closest members of a run come out of a
+/// preferred-branch-first binary descent — `O(n (k + log n) log n)`
+/// overall instead of the `O(n^2)` all-pairs grouping, with bucket
+/// contents and entry order identical pair for pair (pinned by the
+/// `fast_build_matches_quadratic_reference` test).
 pub fn build_converged_tables(ids: &[Id], config: &crate::KademliaConfig) -> Vec<RoutingTable> {
     assert!(!ids.is_empty(), "cannot build an empty network");
     config.assert_valid();
     let n = ids.len();
+    // Stable sort by id: equal ids keep index order, which is also how
+    // the all-pairs reference breaks its (distance-tied) duplicates.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| ids[a as usize].cmp(&ids[b as usize]));
+    let mut scratch: Vec<NodeIdx> = Vec::with_capacity(config.k);
     (0..n)
         .map(|i| {
-            let mut rt = RoutingTable::new(NodeIdx::new(i as u32), ids[i], config.k);
-            // Group peers by bucket, then admit the k closest per bucket.
-            let mut per_bucket: Vec<Vec<NodeIdx>> = vec![Vec::new(); ID_BITS];
-            for (j, &jid) in ids.iter().enumerate() {
-                if let Some(b) = bucket_index(ids[i], jid) {
-                    per_bucket[b].push(NodeIdx::new(j as u32));
-                }
-            }
-            for (b, mut peers) in per_bucket.into_iter().enumerate() {
-                peers.sort_by_key(|&p| xor_distance(ids[p.index()], ids[i]));
-                for p in peers.into_iter().take(config.k) {
+            let target = ids[i];
+            let mut rt = RoutingTable::new(NodeIdx::new(i as u32), target, config.k);
+            let query = RunQuery {
+                order: &order,
+                ids,
+                target,
+                k: config.k,
+            };
+            // Walk from the top bit down, keeping [lo, hi) = the run of
+            // ids agreeing with `target` on every bit above `bucket`.
+            // The half that disagrees at `bucket` is exactly bucket
+            // `bucket`'s candidate set.
+            let (mut lo, mut hi) = (0usize, n);
+            let mut bucket = ID_BITS;
+            while bucket > 0 && hi - lo > 1 {
+                bucket -= 1;
+                let msb = ID_BITS - 1 - bucket;
+                let mid = lo + order[lo..hi].partition_point(|&j| ids[j as usize].bit(msb) == 0);
+                let (same, diff) = if target.bit(msb) == 0 {
+                    ((lo, mid), (mid, hi))
+                } else {
+                    ((mid, hi), (lo, mid))
+                };
+                scratch.clear();
+                query.nearest(diff.0, diff.1, bucket, &mut scratch);
+                for &p in &scratch {
                     let admission = rt.offer(p, ids[p.index()]);
-                    debug_assert_eq!(admission, Admission::Admitted, "bucket {b} overflow");
+                    debug_assert_eq!(admission, Admission::Admitted, "bucket {bucket} overflow");
                 }
+                (lo, hi) = same;
             }
+            // Our own id is always inside [lo, hi), so once the run is a
+            // single entry (or only exact duplicates remain after bit 0)
+            // every unprocessed bucket is empty: nothing left to offer.
             rt
         })
         .collect()
+}
+
+/// A k-nearest query against one node's view of the sorted id array
+/// (see [`build_converged_tables`]).
+struct RunQuery<'a> {
+    order: &'a [u32],
+    ids: &'a [Id],
+    target: Id,
+    k: usize,
+}
+
+impl RunQuery<'_> {
+    /// Appends to `out` the up-to-`k` ids XOR-closest to `target` from
+    /// the sorted run `order[lo..hi]`, closest first. `bits` is how many
+    /// low bits still vary inside the run. The half matching `target`'s
+    /// next bit holds the strictly smaller XOR distances, so visiting it
+    /// first yields ascending order without computing a single distance;
+    /// distance ties (duplicate ids) sit adjacent and fall out in index
+    /// order, matching the reference's stable sort.
+    fn nearest(&self, lo: usize, hi: usize, bits: usize, out: &mut Vec<NodeIdx>) {
+        if lo >= hi || out.len() == self.k {
+            return;
+        }
+        if bits == 0 || hi - lo == 1 {
+            let take = hi.min(lo + (self.k - out.len()));
+            out.extend(self.order[lo..take].iter().map(|&j| NodeIdx::new(j)));
+            return;
+        }
+        let bit = bits - 1;
+        let msb = ID_BITS - 1 - bit;
+        let mid = lo + self.order[lo..hi].partition_point(|&j| self.ids[j as usize].bit(msb) == 0);
+        let (near, far) = if self.target.bit(msb) == 0 {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        self.nearest(near.0, near.1, bit, out);
+        self.nearest(far.0, far.1, bit, out);
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +381,55 @@ mod tests {
             for b in 0..ID_BITS {
                 assert!(rt.bucket(b).len() <= config.k);
                 assert!(!rt.bucket(b).contains(n(i as u32)));
+            }
+        }
+    }
+
+    /// The original all-pairs builder, kept as the oracle for the fast
+    /// sorted-array implementation.
+    fn quadratic_reference(ids: &[Id], config: &KademliaConfig) -> Vec<RoutingTable> {
+        (0..ids.len())
+            .map(|i| {
+                let mut rt = RoutingTable::new(n(i as u32), ids[i], config.k);
+                let mut per_bucket: Vec<Vec<NodeIdx>> = vec![Vec::new(); ID_BITS];
+                for (j, &jid) in ids.iter().enumerate() {
+                    if let Some(b) = bucket_index(ids[i], jid) {
+                        per_bucket[b].push(n(j as u32));
+                    }
+                }
+                for mut peers in per_bucket.into_iter() {
+                    peers.sort_by_key(|&p| xor_distance(ids[p.index()], ids[i]));
+                    for p in peers.into_iter().take(config.k) {
+                        rt.offer(p, ids[p.index()]);
+                    }
+                }
+                rt
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_build_matches_quadratic_reference() {
+        let config = KademliaConfig::default();
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut ids: Vec<Id> = (0..200).map(|_| Id::random(&mut rng)).collect();
+            // Stress the descent with shared prefixes and exact
+            // duplicates (distance ties must break by node index).
+            ids.push(ids[0]);
+            ids.push(ids[0]);
+            let mut near = ids[1].to_bytes();
+            near[mpil_id::ID_BYTES - 1] ^= 1;
+            ids.push(Id::from_bytes(near));
+            let fast = build_converged_tables(&ids, &config);
+            let slow = quadratic_reference(&ids, &config);
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                for b in 0..ID_BITS {
+                    let fb: Vec<NodeIdx> = f.bucket(b).iter().collect();
+                    let sb: Vec<NodeIdx> = s.bucket(b).iter().collect();
+                    assert_eq!(fb, sb, "node {:?} bucket {b}", f.node());
+                }
             }
         }
     }

@@ -94,20 +94,106 @@ pub fn build_converged_states_partial<R: Rng + ?Sized>(
         }
     }
 
-    // Routing tables: offer every member to every member. Naive O(M²)
-    // digit scans — fine for the 1000 nodes of the paper's runs; the
-    // shuffle keeps slot choice unbiased (`consider` is first-wins).
+    // Routing tables. The converged table is what "offer every member
+    // to every member in shuffled order" produces: `consider` is
+    // first-wins, so each slot ends up with the candidate of lowest
+    // shuffled rank, and the shuffle keeps that choice unbiased. The
+    // candidates for node i's slot (row r, col c) are the members
+    // sharing exactly r leading digits with ids[i] and carrying digit
+    // c at position r — a contiguous run of the id-sorted member
+    // array, because Id order is digit-lexicographic. Descending
+    // digit-by-digit and answering each slot with a range-minimum
+    // query over shuffled ranks costs O(M·radix·digits) instead of
+    // the all-pairs O(M²) scan, with an identical result (the shuffle
+    // call, and hence the RNG stream, is unchanged).
     let mut shuffled: Vec<usize> = order.clone();
     shuffled.shuffle(rng);
+    let mut rank = vec![0u32; n];
+    for (r, &j) in shuffled.iter().enumerate() {
+        rank[j] = r as u32;
+    }
+    let ranks_by_pos: Vec<u32> = order.iter().map(|&j| rank[j]).collect();
+    let rmq = RangeArgmin::new(&ranks_by_pos);
+    let radix = usize::from(space.digit_bits().radix());
+    let num_digits = space.num_digits() as usize;
     for &i in &order {
-        for &j in &shuffled {
-            if j == i {
-                continue;
+        let (mut lo, mut hi) = (0usize, m);
+        for row in 0..num_digits {
+            if hi - lo <= 1 {
+                break;
             }
-            states[i].rt.consider(ids[j], NodeIdx::new(j as u32));
+            let own = usize::from(space.digit(ids[i], row));
+            let (mut next_lo, mut next_hi) = (lo, lo);
+            let mut start = lo;
+            for c in 0..radix {
+                let end = start
+                    + order[start..hi]
+                        .partition_point(|&j| usize::from(space.digit(ids[j], row)) == c);
+                if end > start {
+                    if c == own {
+                        (next_lo, next_hi) = (start, end);
+                    } else {
+                        let w = order[rmq.argmin(start, end, &ranks_by_pos)];
+                        let admitted = states[i].rt.consider(ids[w], NodeIdx::new(w as u32));
+                        debug_assert!(admitted, "slot offered twice");
+                    }
+                }
+                start = end;
+                if start == hi {
+                    break;
+                }
+            }
+            (lo, hi) = (next_lo, next_hi);
         }
     }
     states
+}
+
+/// Sparse-table range-minimum over a fixed array: after O(n log n)
+/// setup, `argmin` answers "position of the minimum of `vals[lo..hi]`"
+/// in O(1). The values here are shuffled ranks — a permutation, so
+/// minima are unique and the argmin unambiguous.
+struct RangeArgmin {
+    /// `levels[k][p]` = argmin position over `vals[p..p + 2^k]`.
+    levels: Vec<Vec<u32>>,
+}
+
+impl RangeArgmin {
+    fn new(vals: &[u32]) -> Self {
+        let len = vals.len();
+        let mut levels = vec![(0..len as u32).collect::<Vec<u32>>()];
+        let mut span = 1usize;
+        while span * 2 <= len {
+            let prev = levels.last().expect("level 0 always present");
+            let next: Vec<u32> = (0..=len - span * 2)
+                .map(|p| {
+                    let (a, b) = (prev[p], prev[p + span]);
+                    if vals[a as usize] <= vals[b as usize] {
+                        a
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            levels.push(next);
+            span *= 2;
+        }
+        RangeArgmin { levels }
+    }
+
+    /// Position of the minimum of `vals[lo..hi]`; `vals` must be the
+    /// slice passed to [`RangeArgmin::new`].
+    fn argmin(&self, lo: usize, hi: usize, vals: &[u32]) -> usize {
+        debug_assert!(lo < hi && hi <= vals.len());
+        let k = (usize::BITS - 1 - (hi - lo).leading_zeros()) as usize;
+        let span = 1usize << k;
+        let (a, b) = (self.levels[k][lo], self.levels[k][hi - span]);
+        if vals[a as usize] <= vals[b as usize] {
+            a as usize
+        } else {
+            b as usize
+        }
+    }
 }
 
 /// Convenience: generate `n` distinct random IDs for a membership.
@@ -274,5 +360,71 @@ mod tests {
     fn empty_membership_panics() {
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = build_converged_states(&[], &PastryConfig::default(), &mut rng);
+    }
+
+    /// The old all-pairs routing-table build: offer every member to
+    /// every member in shuffled order. Kept as the oracle for the
+    /// range-minimum fast path in `build_converged_states_partial`.
+    fn quadratic_reference_tables(
+        ids: &[Id],
+        members: Option<&[bool]>,
+        config: &PastryConfig,
+        rng: &mut SmallRng,
+    ) -> Vec<crate::routing_table::RoutingTable> {
+        let is_member = |i: usize| members.is_none_or(|m| m[i]);
+        let mut order: Vec<usize> = (0..ids.len()).filter(|&i| is_member(i)).collect();
+        order.sort_by_key(|&i| ids[i]);
+        let mut tables: Vec<_> = ids
+            .iter()
+            .map(|&id| crate::routing_table::RoutingTable::new(id, config.space))
+            .collect();
+        let mut shuffled = order.clone();
+        shuffled.shuffle(rng);
+        for &i in &order {
+            for &j in &shuffled {
+                if j == i {
+                    continue;
+                }
+                tables[i].consider(ids[j], NodeIdx::new(j as u32));
+            }
+        }
+        tables
+    }
+
+    #[test]
+    fn fast_build_matches_quadratic_reference() {
+        for (seed, n, masked) in [
+            (1u64, 230, false),
+            (2, 97, true),
+            (3, 2, false),
+            (7, 64, true),
+        ] {
+            let config = PastryConfig::default();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ids = random_ids(n, &mut rng);
+            let mask: Option<Vec<bool>> = masked.then(|| {
+                let mut m: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+                m[0] = true; // at least one member
+                m
+            });
+            // Both builds must consume the identical RNG stream (one
+            // shuffle), so a clone of the pre-build RNG drives the
+            // reference and must land in the same state.
+            let mut ref_rng = rng.clone();
+            let states = build_converged_states_partial(&ids, mask.as_deref(), &config, &mut rng);
+            let reference =
+                quadratic_reference_tables(&ids, mask.as_deref(), &config, &mut ref_rng);
+            for (i, state) in states.iter().enumerate() {
+                assert_eq!(
+                    state.rt, reference[i],
+                    "node {i} table diverges (seed {seed})"
+                );
+            }
+            assert_eq!(
+                rng.gen::<u64>(),
+                ref_rng.gen::<u64>(),
+                "fast build consumed a different amount of randomness"
+            );
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod net;
 pub mod outcome;
 pub mod rng;
 pub mod time;
+mod wheel;
 
 pub use availability::{AlwaysOn, Availability, Flapping, FlappingConfig, TraceChurn};
 pub use latency::{ConstantLatency, LatencyModel, TransitStubLatency, UniformLatency};

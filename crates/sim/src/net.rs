@@ -1,8 +1,5 @@
 //! The [`Network`] discrete-event kernel.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use mpil_overlay::NodeIdx;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -11,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::availability::Availability;
 use crate::latency::LatencyModel;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Popped, TimerWheel};
 
 /// An event handed to the protocol driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,29 +55,6 @@ enum Item<M, T> {
     Timer { node: NodeIdx, timer: T },
 }
 
-struct Queued<M, T> {
-    at: SimTime,
-    seq: u64,
-    item: Item<M, T>,
-}
-
-impl<M, T> PartialEq for Queued<M, T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M, T> Eq for Queued<M, T> {}
-impl<M, T> PartialOrd for Queued<M, T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, T> Ord for Queued<M, T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// A deterministic discrete-event network of `n` nodes.
 ///
 /// The kernel owns virtual time, the event queue, a seeded RNG, an
@@ -108,8 +83,7 @@ impl<M, T> Ord for Queued<M, T> {
 pub struct Network<M, T = ()> {
     n: usize,
     now: SimTime,
-    queue: BinaryHeap<Reverse<Queued<M, T>>>,
-    seq: u64,
+    queue: TimerWheel<Item<M, T>>,
     availability: Box<dyn Availability>,
     latency: Box<dyn LatencyModel>,
     loss_probability: f64,
@@ -128,8 +102,7 @@ impl<M, T> Network<M, T> {
         Network {
             n,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: TimerWheel::new(),
             availability,
             latency,
             loss_probability: 0.0,
@@ -231,9 +204,7 @@ impl<M, T> Network<M, T> {
     }
 
     fn push(&mut self, at: SimTime, item: Item<M, T>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, item }));
+        self.queue.push(at.as_micros(), item);
     }
 
     /// Pops the next deliverable event, advancing the clock. Messages to
@@ -252,39 +223,79 @@ impl<M, T> Network<M, T> {
     /// `deadline` and `None` is returned (the event stays queued).
     pub fn next_before(&mut self, deadline: SimTime) -> Option<Event<M, T>> {
         loop {
-            match self.queue.peek() {
-                None => {
+            let item = match self.queue.pop_before(deadline.as_micros()) {
+                Popped::Empty => {
                     if deadline > self.now && deadline.as_micros() != u64::MAX {
                         self.now = deadline;
+                        self.queue.set_now(deadline.as_micros());
                     }
                     return None;
                 }
-                Some(Reverse(q)) if q.at > deadline => {
+                Popped::Later => {
                     if deadline > self.now {
                         self.now = deadline;
+                        self.queue.set_now(deadline.as_micros());
                     }
                     return None;
                 }
-                Some(_) => {}
+                Popped::Event { at, item } => {
+                    debug_assert!(at >= self.now.as_micros(), "time went backwards");
+                    self.now = SimTime::from_micros(at);
+                    item
+                }
+            };
+            if let Some(event) = self.deliver(item) {
+                return Some(event);
             }
-            let Reverse(q) = self.queue.pop().expect("peeked above");
-            debug_assert!(q.at >= self.now, "time went backwards");
-            self.now = q.at;
-            match q.item {
-                Item::Msg { from, to, msg } => {
-                    if self.availability.is_online(to, self.now) {
-                        self.stats.delivered += 1;
-                        return Some(Event::Message { from, to, msg });
-                    }
+            // Offline drop: keep draining.
+        }
+    }
+
+    /// Delivers one popped item at the current clock, or counts the drop
+    /// and returns `None` when the receiver is offline.
+    fn deliver(&mut self, item: Item<M, T>) -> Option<Event<M, T>> {
+        match item {
+            Item::Msg { from, to, msg } => {
+                if self.availability.is_online(to, self.now) {
+                    self.stats.delivered += 1;
+                    Some(Event::Message { from, to, msg })
+                } else {
                     self.stats.dropped_offline += 1;
-                    // keep draining
+                    None
                 }
-                Item::Timer { node, timer } => {
-                    self.stats.timers_fired += 1;
-                    return Some(Event::Timer { node, timer });
-                }
+            }
+            Item::Timer { node, timer } => {
+                self.stats.timers_fired += 1;
+                Some(Event::Timer { node, timer })
             }
         }
+    }
+
+    /// Drains one tick's worth of deliverable events (at or before
+    /// `deadline`) into `out`, clearing it first. Returns `false` — with
+    /// the clock advanced exactly as [`Network::next_before`] — when no
+    /// event is due by the deadline.
+    ///
+    /// One call never spans two distinct event times, so a caller
+    /// dispatching the batch in order observes the identical global
+    /// `(time, seq)` sequence as repeated [`Network::next_before`] calls;
+    /// same-tick sends issued while dispatching are picked up by the next
+    /// call, again in seq order. The point is amortization: the batch
+    /// comes out of the wheel's current-tick buffer with no per-event
+    /// scheduler traffic, and `out`'s allocation is the caller's to
+    /// reuse across ticks.
+    pub fn next_batch_before(&mut self, deadline: SimTime, out: &mut Vec<Event<M, T>>) -> bool {
+        out.clear();
+        let Some(first) = self.next_before(deadline) else {
+            return false;
+        };
+        out.push(first);
+        while let Some(item) = self.queue.pop_current() {
+            if let Some(event) = self.deliver(item) {
+                out.push(event);
+            }
+        }
+        true
     }
 
     /// Number of events still queued.
@@ -503,6 +514,71 @@ mod tests {
     fn invalid_loss_probability_rejected() {
         let mut net = basic(1);
         net.set_loss_probability(1.5);
+    }
+
+    #[test]
+    fn batch_drain_matches_single_event_order() {
+        let run_single = || {
+            let mut net = basic(3);
+            for i in 0..12 {
+                net.send(node(i % 3), node((i + 1) % 3), i);
+            }
+            net.schedule(node(0), SimDuration::from_millis(5), 99);
+            let mut trace = Vec::new();
+            while let Some(e) = net.next_before(SimTime::from_secs(1)) {
+                trace.push((net.now().as_micros(), e));
+            }
+            (trace, net.now(), net.stats())
+        };
+        let run_batched = || {
+            let mut net = basic(3);
+            for i in 0..12 {
+                net.send(node(i % 3), node((i + 1) % 3), i);
+            }
+            net.schedule(node(0), SimDuration::from_millis(5), 99);
+            let mut trace = Vec::new();
+            let mut batch = Vec::new();
+            while net.next_batch_before(SimTime::from_secs(1), &mut batch) {
+                for e in batch.drain(..) {
+                    trace.push((net.now().as_micros(), e));
+                }
+            }
+            (trace, net.now(), net.stats())
+        };
+        assert_eq!(run_single(), run_batched());
+    }
+
+    #[test]
+    fn batch_drain_skips_offline_receivers() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cfg = FlappingConfig {
+            idle: SimDuration::from_micros(1),
+            offline: SimDuration::from_secs(1_000_000),
+            probability: 1.0,
+            start: SimTime::ZERO,
+        };
+        let f = Flapping::new(cfg, 2, 3, &mut rng);
+        let mut net: Network<u32, u32> = Network::new(
+            2,
+            Box::new(f),
+            Box::new(ConstantLatency(SimDuration::from_secs(10))),
+            2,
+        );
+        net.send(node(0), node(1), 1);
+        net.send(node(0), node(1), 2);
+        net.schedule(node(0), SimDuration::from_secs(10), 7);
+        let mut batch = Vec::new();
+        assert!(net.next_batch_before(SimTime::from_micros(u64::MAX), &mut batch));
+        // The two messages are dropped (receiver offline); the timer fires.
+        assert_eq!(
+            batch,
+            vec![Event::Timer {
+                node: node(0),
+                timer: 7
+            }]
+        );
+        assert_eq!(net.stats().dropped_offline, 2);
+        assert!(!net.next_batch_before(SimTime::from_micros(u64::MAX), &mut batch));
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! A hierarchical timer wheel: the kernel's event scheduler.
+//!
+//! The [`Network`](crate::Network) event loop used to run on one global
+//! `BinaryHeap`, paying `O(log n)` cache-hostile sift operations per
+//! event with hundreds of thousands of pending maintenance timers at
+//! large overlay sizes. This wheel makes push and pop `O(1)` amortized
+//! by exploiting what a discrete-event simulation knows about its own
+//! time: microsecond ticks, monotone `now`, and bounded horizons.
+//!
+//! # Layout
+//!
+//! Seven levels of 64 slots each. A pending event's level is the highest
+//! bit at which its due time differs from `now` (6 bits per level), so
+//! level `L` slots are `64^L` µs wide and the wheel spans `2^42` µs
+//! (≈ 52 simulated days). Events beyond the horizon go to a small
+//! overflow `BinaryHeap` — the heap fallback for far-future events —
+//! and migrate into the wheel as `now` approaches them. Per-level
+//! occupancy bitmaps (one `u64` each) make "find the next occupied
+//! slot" a couple of bit instructions; empty stretches of virtual time
+//! cost nothing to skip.
+//!
+//! # Determinism contract
+//!
+//! Pops reproduce the old heap's global `(due, seq)` order **exactly**:
+//!
+//! * Every push gets a monotone sequence number, and any two entries
+//!   with the same due time traverse identical wheel paths (their slot
+//!   assignments depend only on `(now, due)`), so per-slot buffers stay
+//!   seq-ascending and cascades preserve relative order.
+//! * Entries sharing the current tick are drained through the `current`
+//!   buffer in seq order (FIFO within a tick).
+//! * Overflow entries are strictly later than every wheel entry once
+//!   eligible migrations run, so the two stores never interleave within
+//!   a tick.
+//!
+//! `fig10_lookup_cost` and the perturbation figures are byte-identical
+//! under either scheduler; the wheel changes speed, not results.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Bits per wheel level: 64 slots.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels; the wheel spans `2^(6*LEVELS)` µs from `now`.
+const LEVELS: usize = 7;
+
+struct Entry<V> {
+    at: u64,
+    seq: u64,
+    item: V,
+}
+
+/// Overflow entries ordered by `(at, seq)` like the old heap.
+struct OverflowEntry<V>(Entry<V>);
+
+impl<V> PartialEq for OverflowEntry<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<V> Eq for OverflowEntry<V> {}
+impl<V> PartialOrd for OverflowEntry<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for OverflowEntry<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.at, self.0.seq).cmp(&(other.0.at, other.0.seq))
+    }
+}
+
+/// Result of [`TimerWheel::pop_before`].
+pub(crate) enum Popped<V> {
+    /// The earliest pending entry was at or before the limit; the
+    /// wheel's clock advanced to its due time.
+    Event {
+        /// Due time (µs) — the new wheel clock.
+        at: u64,
+        /// The scheduled payload.
+        item: V,
+    },
+    /// Entries are pending, but all after the limit. The wheel clock
+    /// was not advanced past the limit.
+    Later,
+    /// Nothing is scheduled at all.
+    Empty,
+}
+
+/// The hierarchical timer wheel (see the module docs).
+pub(crate) struct TimerWheel<V> {
+    /// The wheel clock (µs). Never exceeds the due time of any pending
+    /// entry; entries due exactly `now` live in `current`.
+    now: u64,
+    /// Monotone sequence counter shared by all pushes (FIFO tiebreak).
+    seq: u64,
+    /// Total pending entries across slots, `current`, and overflow.
+    len: usize,
+    /// `LEVELS * SLOTS` slot buffers, level-major.
+    slots: Vec<Vec<Entry<V>>>,
+    /// Per-level occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// Entries due exactly at `now`, seq-ascending, popped from the front.
+    current: VecDeque<Entry<V>>,
+    /// Entries beyond the wheel horizon.
+    overflow: BinaryHeap<Reverse<OverflowEntry<V>>>,
+}
+
+/// The wheel level for an entry due at `at` when the clock reads `now`,
+/// or `LEVELS` and beyond for overflow. Depends only on `(now, at)`, so
+/// same-due entries always share slot paths (the determinism contract).
+fn level_for(now: u64, at: u64) -> usize {
+    debug_assert!(at > now, "level_for needs a strictly future due time");
+    let highest_bit = 63 - (at ^ now).leading_zeros();
+    (highest_bit / LEVEL_BITS) as usize
+}
+
+impl<V> TimerWheel<V> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            now: 0,
+            seq: 0,
+            len: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            current: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The wheel clock, in µs.
+    #[cfg(test)]
+    pub(crate) fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `item` at absolute time `at` (µs).
+    pub(crate) fn push(&mut self, at: u64, item: V) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            item,
+        };
+        self.seq += 1;
+        self.len += 1;
+        if at == self.now {
+            // Later seq than everything already buffered: FIFO holds.
+            self.current.push_back(entry);
+        } else {
+            self.insert_future(entry);
+        }
+    }
+
+    /// Places a strictly-future entry into its slot or the overflow heap.
+    fn insert_future(&mut self, entry: Entry<V>) {
+        let level = level_for(self.now, entry.at);
+        if level >= LEVELS {
+            self.overflow.push(Reverse(OverflowEntry(entry)));
+            return;
+        }
+        let slot = ((entry.at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(entry);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Advances the wheel clock without popping (the caller verified no
+    /// entry is due at or before `to`). Slot positions left stale by the
+    /// jump are re-cascaded lazily by the next pop.
+    pub(crate) fn set_now(&mut self, to: u64) {
+        debug_assert!(to >= self.now, "clock must be monotone");
+        debug_assert!(self.current.is_empty(), "current tick undrained");
+        self.now = to;
+    }
+
+    /// Pops the next entry due at or before `limit`, advancing the wheel
+    /// clock to its due time. See [`Popped`] for the no-entry cases.
+    pub(crate) fn pop_before(&mut self, limit: u64) -> Popped<V> {
+        loop {
+            // Entries due exactly at the wheel clock: front-of-queue
+            // drain, no heap traffic. Same-tick batches come from here.
+            if let Some(front) = self.current.front() {
+                if front.at > limit {
+                    return Popped::Later;
+                }
+                let entry = self.current.pop_front().expect("front checked");
+                self.len -= 1;
+                debug_assert_eq!(entry.at, self.now);
+                return Popped::Event {
+                    at: entry.at,
+                    item: entry.item,
+                };
+            }
+
+            // Migrate overflow entries that came within the horizon, so
+            // the "overflow is strictly later than the wheel" invariant
+            // holds before any slot scan.
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if head.0.at > self.now && level_for(self.now, head.0.at) >= LEVELS {
+                    break;
+                }
+                let Some(Reverse(OverflowEntry(entry))) = self.overflow.pop() else {
+                    unreachable!("peeked above");
+                };
+                debug_assert!(entry.at > self.now);
+                self.insert_future(entry);
+            }
+
+            // Find the lowest occupied level.
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                // Wheel empty: the overflow heap (all beyond the
+                // horizon) holds the earliest entries, if any.
+                let Some(Reverse(head)) = self.overflow.peek() else {
+                    return Popped::Empty;
+                };
+                let at = head.0.at;
+                if at > limit {
+                    return Popped::Later;
+                }
+                self.now = at;
+                // Heap pops are (at, seq)-ascending: `current` stays
+                // seq-sorted.
+                while let Some(Reverse(head)) = self.overflow.peek() {
+                    if head.0.at != at {
+                        break;
+                    }
+                    let Some(Reverse(OverflowEntry(entry))) = self.overflow.pop() else {
+                        unreachable!("peeked above");
+                    };
+                    self.current.push_back(entry);
+                }
+                continue;
+            };
+
+            let shift = LEVEL_BITS * level as u32;
+            let pos = ((self.now >> shift) & (SLOTS as u64 - 1)) as usize;
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            debug_assert!(slot >= pos, "an occupied slot fell behind the clock");
+
+            if level > 0 && slot == pos {
+                // A clock jump (deadline advance) left this slot at the
+                // current position holding entries that now belong at a
+                // lower level: cascade them without moving the clock.
+                self.cascade(level, slot);
+                continue;
+            }
+
+            // Base time of the slot: the clock's bits above the level,
+            // the slot index at the level, zeros below.
+            let above = if shift + LEVEL_BITS >= 64 {
+                0
+            } else {
+                (self.now >> (shift + LEVEL_BITS)) << (shift + LEVEL_BITS)
+            };
+            let base = above | ((slot as u64) << shift);
+            if base > limit {
+                return Popped::Later;
+            }
+            debug_assert!(base > self.now);
+            self.now = base;
+            if level == 0 {
+                // Level-0 slots are one µs wide: every entry is due
+                // exactly `base`. Move them to `current` (push order is
+                // seq order) and loop to drain.
+                let idx = slot; // level 0: idx = 0 * SLOTS + slot
+                let mut pending = std::mem::take(&mut self.slots[idx]);
+                self.occupied[0] &= !(1 << slot);
+                debug_assert!(pending.iter().all(|e| e.at == base));
+                debug_assert!(pending.windows(2).all(|w| w[0].seq < w[1].seq));
+                self.current.extend(pending.drain(..));
+                self.slots[idx] = pending; // keep the allocation
+            } else {
+                self.cascade(level, slot);
+            }
+        }
+    }
+
+    /// Pops the next entry only if it shares the current tick (the wheel
+    /// clock) — the same-tick batch drain. Never advances the clock.
+    pub(crate) fn pop_current(&mut self) -> Option<V> {
+        let entry = self.current.pop_front()?;
+        self.len -= 1;
+        Some(entry.item)
+    }
+
+    /// Re-inserts every entry of `(level, slot)` relative to the current
+    /// clock; each lands at a strictly lower level (or `current`).
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let idx = level * SLOTS + slot;
+        let mut pending = std::mem::take(&mut self.slots[idx]);
+        self.occupied[level] &= !(1 << slot);
+        for entry in pending.drain(..) {
+            debug_assert!(entry.at >= self.now);
+            if entry.at == self.now {
+                self.current.push_back(entry);
+            } else {
+                debug_assert!(level_for(self.now, entry.at) < level);
+                self.insert_future(entry);
+            }
+        }
+        self.slots[idx] = pending; // keep the allocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference model: the old BinaryHeap scheduler.
+    struct HeapModel {
+        heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+        seq: u64,
+    }
+
+    impl HeapModel {
+        fn new() -> Self {
+            HeapModel {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, at: u64, item: u32) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Reverse((at, seq, item)));
+        }
+        fn pop_before(&mut self, limit: u64) -> Option<(u64, u32)> {
+            match self.heap.peek() {
+                None => None,
+                Some(&Reverse((at, _, _))) if at > limit => None,
+                Some(_) => {
+                    let Reverse((at, _, item)) = self.heap.pop().expect("peeked");
+                    Some((at, item))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(50, 1);
+        w.push(10, 2);
+        w.push(50, 3);
+        w.push(10, 4);
+        let mut got = Vec::new();
+        while let Popped::Event { at, item } = w.pop_before(u64::MAX) {
+            got.push((at, item));
+        }
+        assert_eq!(got, vec![(10, 2), (10, 4), (50, 1), (50, 3)]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn same_tick_pushes_during_drain_stay_fifo() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(10, 1);
+        w.push(10, 2);
+        let Popped::Event { at, item } = w.pop_before(u64::MAX) else {
+            panic!("expected event");
+        };
+        assert_eq!((at, item), (10, 1));
+        // A zero-delay push lands on the tick being drained, after the
+        // entries already buffered.
+        w.push(10, 3);
+        let mut rest = Vec::new();
+        while let Popped::Event { item, .. } = w.pop_before(u64::MAX) {
+            rest.push(item);
+        }
+        assert_eq!(rest, vec![2, 3]);
+    }
+
+    #[test]
+    fn later_when_everything_is_past_the_limit() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(1_000_000, 1);
+        assert!(matches!(w.pop_before(10), Popped::Later));
+        // The clock never passed the limit.
+        assert!(w.now() <= 10);
+        w.set_now(10);
+        assert!(matches!(w.pop_before(999_999), Popped::Later));
+        assert!(matches!(
+            w.pop_before(1_000_000),
+            Popped::Event {
+                at: 1_000_000,
+                item: 1
+            }
+        ));
+        assert!(matches!(w.pop_before(u64::MAX), Popped::Empty));
+    }
+
+    #[test]
+    fn overflow_events_round_trip() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let far = 1u64 << 50; // beyond the 2^42 horizon
+        w.push(far, 7);
+        w.push(far, 8);
+        w.push(3, 9);
+        assert!(matches!(
+            w.pop_before(u64::MAX),
+            Popped::Event { item: 9, .. }
+        ));
+        let Popped::Event { at, item } = w.pop_before(u64::MAX) else {
+            panic!("expected overflow event");
+        };
+        assert_eq!((at, item), (far, 7));
+        assert!(matches!(
+            w.pop_before(u64::MAX),
+            Popped::Event { item: 8, .. }
+        ));
+        assert!(matches!(w.pop_before(u64::MAX), Popped::Empty));
+    }
+
+    #[test]
+    fn deadline_jumps_do_not_lose_or_reorder_entries() {
+        // Regression shape for the stale-slot case: an entry at level 1,
+        // then a clock jump that makes its slot the current position.
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(130, 1); // level 1, slot 2 relative to now = 0
+        w.set_now(128); // pos_1(128) = 2: the slot is now "current"
+        assert!(matches!(w.pop_before(129), Popped::Later));
+        assert!(matches!(
+            w.pop_before(200),
+            Popped::Event { at: 130, item: 1 }
+        ));
+    }
+
+    #[test]
+    fn pop_current_drains_only_the_tick() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.push(10, 1);
+        w.push(10, 2);
+        w.push(20, 3);
+        assert!(matches!(
+            w.pop_before(u64::MAX),
+            Popped::Event { item: 1, .. }
+        ));
+        assert_eq!(w.pop_current(), Some(2));
+        assert_eq!(w.pop_current(), None); // 20 is a later tick
+        assert!(matches!(
+            w.pop_before(u64::MAX),
+            Popped::Event { item: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn differential_against_the_heap_model() {
+        let mut rng = SmallRng::seed_from_u64(0xa11ce);
+        for round in 0..50u64 {
+            let mut wheel: TimerWheel<u32> = TimerWheel::new();
+            let mut model = HeapModel::new();
+            let mut now = 0u64;
+            let mut next_item = 0u32;
+            for _ in 0..400 {
+                if rng.gen_range(0u8..10) < 6 {
+                    // Push with a mix of near, far, and same-tick delays.
+                    let delay = match rng.gen_range(0u8..4) {
+                        0 => 0,
+                        1 => rng.gen_range(0..100),
+                        2 => rng.gen_range(0..1_000_000),
+                        _ => rng.gen_range(0..(1u64 << 45)),
+                    };
+                    wheel.push(now + delay, next_item);
+                    model.push(now + delay, next_item);
+                    next_item += 1;
+                } else {
+                    // Pop with a random deadline (sometimes a pure jump).
+                    let limit = now + rng.gen_range(0u64..2_000_000);
+                    let got = match wheel.pop_before(limit) {
+                        Popped::Event { at, item } => Some((at, item)),
+                        _ => None,
+                    };
+                    let want = model.pop_before(limit);
+                    assert_eq!(got, want, "round {round} diverged");
+                    match got {
+                        Some((at, _)) => now = at,
+                        None => {
+                            if limit > now {
+                                now = limit;
+                                wheel.set_now(limit);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(wheel.len(), model.heap.len(), "round {round} length");
+            }
+            // Full drain must agree to the end.
+            loop {
+                let got = match wheel.pop_before(u64::MAX) {
+                    Popped::Event { at, item } => Some((at, item)),
+                    _ => None,
+                };
+                let want = model.pop_before(u64::MAX);
+                assert_eq!(got, want, "round {round} drain diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI gate, fully offline: the tier-1 verify plus formatting, lints, and
-# bench-target compile checks.
+# CI gate, fully offline: the tier-1 verify plus formatting, lints,
+# bench-target compile checks, and a large-N kernel tripwire.
 #
 #   tier-1:  cargo build --release && cargo test -q
 #   benches: cargo check --benches   (always; they are test = false)
 #   format:  cargo fmt --check       (stable rustfmt; options in rustfmt.toml)
 #   lints:   cargo clippy --workspace --all-targets -- -D warnings
+#   scale:   scale_run at 20k nodes under `timeout` — catches an
+#            accidental O(n²) (or worse) regression in the simulation
+#            kernel long before the full BENCH_scale curve would
 #
 # Everything resolves from vendor/ path entries (see vendor/README.md),
 # so this must pass from a clean checkout with no network access.
@@ -19,5 +22,14 @@ export CARGO_NET_OFFLINE=true
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 scripts/verify.sh --benches
+
+# Kernel scale tripwire: a 20k-node gossip run (the engine with the
+# heaviest event traffic, ~6.5M messages) must finish well inside the
+# budget. The timer-wheel kernel does this in under 15s; the old
+# binary-heap kernel grew superlinearly towards ~100s at 100k nodes,
+# so a 120s ceiling trips on any such regression while leaving slack
+# for slow CI machines.
+timeout 120 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 \
+    || { echo "ci: 20k-node scale smoke exceeded its budget or failed" >&2; exit 1; }
 
 echo "ci: OK"

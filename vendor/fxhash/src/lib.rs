@@ -1,0 +1,143 @@
+//! Offline stub of the `fxhash` crate: the rustc/Firefox "Fx" hash.
+//!
+//! The workspace's simulation state is keyed by small integers and
+//! 160-bit random ids; `std`'s default SipHash spends more time hashing
+//! than the probe sequences it protects would ever cost. Fx is a
+//! non-cryptographic multiply-rotate hash — a handful of cycles per
+//! word — and, unlike `RandomState`, it is **deterministic across
+//! processes**, which this workspace treats as a feature: any iteration
+//! over an `FxHashMap`/`FxHashSet` is reproducible for a given insertion
+//! history, so seeded experiments stay seeded.
+//!
+//! Stub policy per `vendor/README.md`: upstream's names and signatures
+//! (`FxHasher`, `FxHashMap`, `FxHashSet`, `FxBuildHasher`, `hash64`) so
+//! swapping in the real crate is a manifest-only change.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// 64-bit Fx multiplier (the golden-ratio constant rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx streaming hasher: rotate, xor, multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            // Length tag in the top byte so "ab" and "ab\0" differ.
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using Fx hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using Fx hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value to 64 bits with Fx.
+pub fn hash64<T: Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_round_trip() {
+        let mut m: FxHashMap<u64, &'static str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.remove(&2), Some("two"));
+        assert_eq!(m.len(), 1);
+
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((3, 4)));
+        assert!(!s.insert((3, 4)));
+        assert!(s.contains(&(3, 4)));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_ne!(hash64(&42u64), hash64(&43u64));
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        "hello world".hash(&mut a);
+        "hello world".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for i in 0..100 {
+                m.insert(i * 7919, i);
+            }
+            m.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}
