@@ -3,15 +3,23 @@
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin scale_run -- \
-//!     --engine mpil|kademlia|gossip --nodes N [--ops K] [--p X] [--seed S]
+//!     --engine mpil|kademlia|gossip --nodes N [--ops K] [--p X] [--seed S] \
+//!     [--budget-s B]
 //! ```
 //!
 //! Prints one JSON object line per invocation. Run one point per process
 //! so the `VmHWM` peak-RSS reading belongs to that point;
 //! `BENCH_scale.json` is composed from the per-point lines.
+//!
+//! `--budget-s B` turns the run into a CI tripwire: if the point takes
+//! longer than `B` wall-clock seconds the process exits 1 (the point is
+//! still printed, so a slow run remains diagnosable).
+
+use std::time::Duration;
 
 use mpil_bench::scale_curve::{run_point, scale_spec};
 use mpil_bench::Args;
+use mpil_harness::WallClockBudget;
 
 fn main() {
     let args = Args::parse_env();
@@ -24,6 +32,8 @@ fn main() {
     let ops = args.value_or("ops", 20usize);
     let p = args.value_or("p", 0.5f64);
     let seed = args.value_or("seed", 1u64);
+    let budget_s = args.value_or("budget-s", 0u64);
+    let budget = (budget_s > 0).then(|| WallClockBudget::start(Duration::from_secs(budget_s)));
     let point = run_point(spec, nodes, ops, p, seed);
     eprintln!(
         "{}: {} nodes in {:.2}s (build {:.2}s, inserts {:.2}s, lookups {:.2}s), peak {:.0} MiB, \
@@ -38,4 +48,10 @@ fn main() {
         point.success_rate,
     );
     println!("{}", point.to_json());
+    if let Some(budget) = budget {
+        if let Err(msg) = budget.check(&format!("{} {}-node point", point.engine, point.nodes)) {
+            eprintln!("scale_run: {msg}");
+            std::process::exit(1);
+        }
+    }
 }

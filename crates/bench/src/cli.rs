@@ -1,7 +1,7 @@
 //! A minimal flag parser for the experiment binaries (kept dependency-
 //! free; the offline crate set has no argument-parsing crate).
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Parsed command-line arguments.
 ///
@@ -9,7 +9,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     flags: Vec<String>,
-    values: HashMap<String, String>,
+    values: FxHashMap<String, String>,
 }
 
 impl Args {

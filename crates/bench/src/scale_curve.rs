@@ -7,9 +7,9 @@
 //! per process so the `VmHWM` reading is attributable to that point;
 //! `BENCH_scale.json` is composed from many such invocations.
 
-use std::time::Instant;
-
-use mpil_harness::{EngineSpec, LookupStrategy, OverlaySource, PerturbRun, PreparedRun, Scenario};
+use mpil_harness::{
+    EngineSpec, LookupStrategy, OverlaySource, PerturbRun, PreparedRun, Scenario, WallClock,
+};
 use mpil_sim::{Flapping, FlappingConfig, LookupOutcome, SimDuration};
 
 /// One measured point on a scaling curve.
@@ -94,7 +94,7 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
     run.seed = seed;
     let scenario = Scenario::new(spec, run);
 
-    let t0 = Instant::now();
+    let t0 = WallClock::start();
     let PreparedRun {
         mut engine,
         origin,
@@ -103,16 +103,16 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
         maintenance,
         warmup_secs,
     } = scenario.build();
-    let build_s = t0.elapsed().as_secs_f64();
+    let build_s = t0.elapsed_s();
 
-    let t1 = Instant::now();
+    let t1 = WallClock::start();
     for &object in &objects {
         engine.insert(origin, object);
     }
     engine.run_to_quiescence();
-    let insert_s = t1.elapsed().as_secs_f64();
+    let insert_s = t1.elapsed_s();
 
-    let t2 = Instant::now();
+    let t2 = WallClock::start();
     if maintenance {
         engine.start_maintenance();
     }
@@ -139,7 +139,7 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
     }
     let tail = engine.now() + window + SimDuration::from_secs(30);
     engine.run_until(tail);
-    let lookup_s = t2.elapsed().as_secs_f64();
+    let lookup_s = t2.elapsed_s();
 
     let ok = handles
         .iter()
@@ -154,7 +154,7 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
         build_s,
         insert_s,
         lookup_s,
-        total_s: t0.elapsed().as_secs_f64(),
+        total_s: t0.elapsed_s(),
         peak_rss_mib: peak_rss_mib().unwrap_or(0.0),
         success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
         sent: engine.net_stats().sent,

@@ -69,7 +69,7 @@ pub fn build_converged_states(ids: &[Id], config: &ChordConfig) -> Vec<ChordStat
 /// Draws `n` distinct random identifiers (convenience for tests and
 /// benchmarks).
 pub fn random_ids<R: rand::Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Id> {
-    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut seen = fxhash::FxHashSet::with_capacity_and_hasher(n, Default::default());
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let id = Id::random(rng);
@@ -167,7 +167,7 @@ mod tests {
     fn random_ids_are_distinct() {
         let mut rng = SmallRng::seed_from_u64(3);
         let table = random_ids(500, &mut rng);
-        let set: std::collections::HashSet<_> = table.iter().collect();
+        let set: fxhash::FxHashSet<_> = table.iter().collect();
         assert_eq!(set.len(), 500);
     }
 

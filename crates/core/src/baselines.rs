@@ -9,8 +9,9 @@
 //! `ablation_baselines` bench can put success rate against traffic for
 //! each.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
+use fxhash::FxHashSet;
 use mpil_id::{Id, IdMap};
 use mpil_overlay::{NodeIdx, Topology};
 use rand::rngs::SmallRng;
@@ -60,7 +61,7 @@ impl<'a> UnstructuredEngine<'a> {
     /// lookup report (traffic counts every edge transmission).
     pub fn flood(&mut self, origin: NodeIdx, object: Id, ttl: u32) -> LookupReport {
         let mut report = LookupReport::default();
-        let mut seen: HashSet<NodeIdx> = HashSet::new();
+        let mut seen: FxHashSet<NodeIdx> = FxHashSet::default();
         let mut queue: VecDeque<(NodeIdx, u32, u32)> = VecDeque::new();
         seen.insert(origin);
         queue.push_back((origin, ttl, 0));

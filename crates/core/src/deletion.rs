@@ -48,7 +48,7 @@ impl ReplicaRegistry {
         let mut v: Vec<NodeIdx> = self
             .holders
             .get(&object)
-            .map(|m| m.keys().copied().collect())
+            .map(|m| m.keys().copied().collect()) // mpil-lint: allow(D003, sorted below)
             .unwrap_or_default();
         v.sort_unstable();
         v
@@ -60,7 +60,7 @@ impl ReplicaRegistry {
             .holders
             .get(&object)
             .map(|m| {
-                m.iter()
+                m.iter() // mpil-lint: allow(D003, sorted below)
                     .filter(|&(_, &t)| t >= cutoff)
                     .map(|(&n, _)| n)
                     .collect()

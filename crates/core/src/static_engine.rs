@@ -5,8 +5,9 @@
 //! hop order (breadth-first), which makes "first successful reply" well
 //! defined and every run a deterministic function of the seed.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
+use fxhash::FxHashSet;
 use mpil_id::{Id, IdMap};
 use mpil_overlay::{NodeIdx, Topology};
 use rand::rngs::SmallRng;
@@ -125,8 +126,8 @@ impl<'a> StaticEngine<'a> {
 
         let mut ins = InsertReport::default();
         let mut look = LookupReport::default();
-        let mut seen: HashSet<NodeIdx> = HashSet::new();
-        let mut stored_at: HashSet<NodeIdx> = HashSet::new();
+        let mut seen: FxHashSet<NodeIdx> = FxHashSet::default();
+        let mut stored_at: FxHashSet<NodeIdx> = FxHashSet::default();
 
         let initial = Message::initial(
             msg_id,

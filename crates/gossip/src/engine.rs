@@ -491,6 +491,7 @@ impl GossipSim {
     /// strikes for departed peers must not accumulate as garbage.
     fn prune_suspicion(&mut self, node: NodeIdx) {
         let view = &self.views[node.index()];
+        // mpil-lint: allow(D003, per-entry membership predicate; visit order cannot change the surviving set)
         self.suspicion[node.index()].retain(|&peer, _| view.contains(peer));
     }
 

@@ -346,7 +346,7 @@ mod tests {
             let s = v.sample(5, Some(node(3)), &mut rng);
             assert_eq!(s.len(), 5);
             assert!(!s.contains(&node(3)));
-            let set: std::collections::HashSet<_> = s.iter().collect();
+            let set: fxhash::FxHashSet<_> = s.iter().collect();
             assert_eq!(set.len(), 5, "sample must be distinct");
         }
         // With a single entry the exclusion is waived rather than

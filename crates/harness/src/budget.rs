@@ -1,0 +1,137 @@
+//! Wall-clock stopwatches and budgets for scale smokes and benchmark
+//! drivers.
+//!
+//! The harness is a deterministic crate: simulated runs must be a pure
+//! function of the seed, so `mpil-lint` rule D002 bans wall-clock reads
+//! here. Tripwires ("did the 10k smoke finish inside 150 s?") are the
+//! one legitimate exception, and this module is their single home — the
+//! two `Instant` touchpoints below carry the workspace's canonical
+//! `allow(D002)` annotations, and every deterministic-zone caller (the
+//! conformance scale smoke, the `scale_run` CI tripwire, the bench
+//! stage timings) routes through [`WallClock`] / [`WallClockBudget`]
+//! instead of touching `std::time` itself.
+
+use std::time::Duration;
+#[allow(clippy::disallowed_types)] // the sanctioned wall-clock touchpoint
+// mpil-lint: allow(D002, wall-clock test budget)
+use std::time::Instant;
+
+/// A started stopwatch: measures real elapsed time without imposing a
+/// limit. Use for stage timings that end up in benchmark reports.
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::disallowed_types)] // the sanctioned wall-clock touchpoint
+pub struct WallClock {
+    started: Instant,
+}
+
+impl WallClock {
+    /// Starts the stopwatch.
+    #[allow(clippy::disallowed_types)] // the sanctioned wall-clock touchpoint
+    pub fn start() -> Self {
+        WallClock {
+            // mpil-lint: allow(D002, wall-clock test budget)
+            started: Instant::now(),
+        }
+    }
+
+    /// Real time elapsed since [`WallClock::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time as fractional seconds (benchmark-report friendly).
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// A stopwatch with a wall-clock ceiling: the shared tripwire used by
+/// the 10k conformance smoke and the `scale_run --budget-s` CI path.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClockBudget {
+    clock: WallClock,
+    budget: Duration,
+}
+
+impl WallClockBudget {
+    /// Starts the clock against `budget`.
+    pub fn start(budget: Duration) -> Self {
+        WallClockBudget {
+            clock: WallClock::start(),
+            budget,
+        }
+    }
+
+    /// The ceiling this budget enforces.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Real time elapsed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.clock.elapsed()
+    }
+
+    /// `true` while the elapsed time is still under the ceiling.
+    pub fn within(&self) -> bool {
+        self.clock.elapsed() < self.budget
+    }
+
+    /// Returns `Err` with a ready-to-print message if the ceiling has
+    /// been crossed; `context` names what was being timed.
+    pub fn check(&self, context: &str) -> Result<(), String> {
+        let elapsed = self.clock.elapsed();
+        if elapsed < self.budget {
+            Ok(())
+        } else {
+            Err(format!(
+                "{context} took {elapsed:?} (budget {:?})",
+                self.budget
+            ))
+        }
+    }
+
+    /// Panics with the [`WallClockBudget::check`] message if the ceiling
+    /// has been crossed (test-assertion flavor).
+    pub fn assert_within(&self, context: &str) {
+        if let Err(msg) = self.check(context) {
+            panic!("{msg}"); // mpil-lint: allow(P001, panicking is this assertion helper's contract)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_generous_budget_is_within() {
+        let b = WallClockBudget::start(Duration::from_secs(3600));
+        assert!(b.within());
+        b.assert_within("trivial work");
+        assert!(b.check("trivial work").is_ok());
+        assert_eq!(b.budget(), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn a_zero_budget_is_exceeded() {
+        let b = WallClockBudget::start(Duration::ZERO);
+        assert!(!b.within());
+        let err = b.check("instant work").unwrap_err();
+        assert!(err.contains("instant work"), "{err}");
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn assert_within_panics_past_the_ceiling() {
+        WallClockBudget::start(Duration::ZERO).assert_within("work");
+    }
+
+    #[test]
+    fn stopwatch_reports_nonnegative_seconds() {
+        let w = WallClock::start();
+        assert!(w.elapsed_s() >= 0.0);
+        assert!(w.elapsed() >= Duration::ZERO);
+    }
+}

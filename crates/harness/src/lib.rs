@@ -31,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod engine;
 pub mod engines;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use budget::{WallClock, WallClockBudget};
 pub use engine::{Counters, DiscoveryEngine, LookupHandle};
 pub use mpil_gossip::LookupStrategy;
 pub use report::Report;

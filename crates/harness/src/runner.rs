@@ -170,14 +170,14 @@ impl ExperimentRunner {
                         break;
                     }
                     let out = f(&items[i]);
-                    *slots[i].lock().expect("poisoned") = Some(out);
+                    *slots[i].lock().expect("poisoned") = Some(out); // mpil-lint: allow(P001, a poisoned slot means a sibling worker already panicked)
                 });
             }
         })
-        .expect("worker panicked");
+        .expect("worker panicked"); // mpil-lint: allow(P001, scoped-thread join; re-raises the worker panic)
         slots
             .into_iter()
-            .map(|m| m.into_inner().expect("poisoned").expect("all items run"))
+            .map(|m| m.into_inner().expect("poisoned").expect("all items run")) // mpil-lint: allow(P001, the scope above ran every index to completion)
             .collect()
     }
 

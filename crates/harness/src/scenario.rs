@@ -90,7 +90,7 @@ impl OverlaySource {
                 (ids, nbrs)
             }
             OverlaySource::RandomRegular(d) => {
-                let topo = generators::random_regular(nodes, *d, &mut rng).expect("generator");
+                let topo = generators::random_regular(nodes, *d, &mut rng).expect("generator"); // mpil-lint: allow(P001, generator failure on these fixed parameters is a programming error in the spec)
                 let nbrs = topo
                     .iter_nodes()
                     .map(|n| topo.neighbors(n).to_vec())
@@ -99,7 +99,7 @@ impl OverlaySource {
             }
             OverlaySource::PowerLaw => {
                 let topo =
-                    generators::power_law(nodes, Default::default(), &mut rng).expect("generator");
+                    generators::power_law(nodes, Default::default(), &mut rng).expect("generator"); // mpil-lint: allow(P001, generator failure on these fixed parameters is a programming error in the spec)
                 let nbrs = topo
                     .iter_nodes()
                     .map(|n| topo.neighbors(n).to_vec())
@@ -303,7 +303,7 @@ impl Scenario {
                 let ids = mpil_pastry::bootstrap::random_ids(run.nodes, &mut rng);
                 let states = mpil_pastry::build_converged_states(&ids, &config, &mut rng);
                 let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
-                    .expect("transit-stub generation");
+                    .expect("transit-stub generation"); // mpil-lint: allow(P001, default transit-stub parameters always produce a graph)
                 let latency = TransitStubLatency::new(ts, 0.1);
                 let sim = PastrySim::new(
                     ids,
@@ -383,7 +383,7 @@ impl Scenario {
                 let neighbors: Vec<Vec<NodeIdx>> =
                     states.iter().map(|s| s.neighbor_list()).collect();
                 let ts = transit_stub::generate(run.nodes, TransitStubConfig::default(), &mut rng)
-                    .expect("transit-stub generation");
+                    .expect("transit-stub generation"); // mpil-lint: allow(P001, default transit-stub parameters always produce a graph)
                 let latency = TransitStubLatency::new(ts, 0.1);
                 // ...then route on it with MPIL and zero maintenance.
                 let mpil_config = MpilConfig::default()

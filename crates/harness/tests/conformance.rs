@@ -12,7 +12,7 @@
 
 use mpil_harness::{
     run_scenario, Counters, DiscoveryEngine, EngineSpec, LookupStrategy, OverlaySource, PerturbRun,
-    PreparedRun, Scenario,
+    PreparedRun, Scenario, WallClockBudget,
 };
 use mpil_id::Id;
 use mpil_overlay::NodeIdx;
@@ -283,7 +283,7 @@ fn churn_tick_and_advance_move_the_clock() {
 /// at any size, and nothing may wedge.
 fn scale_smoke(nodes: usize, budget: std::time::Duration) {
     for spec in all_specs() {
-        let clock = std::time::Instant::now();
+        let clock = WallClockBudget::start(budget);
         let mut run = PerturbRun::new(30, 30, 0.0);
         run.nodes = nodes;
         run.operations = 3;
@@ -321,12 +321,7 @@ fn scale_smoke(nodes: usize, budget: std::time::Duration) {
             // Every handle must resolve to a definite outcome.
             let _ = engine.lookup_outcome(handle);
         }
-        assert!(
-            clock.elapsed() < budget,
-            "{}: {nodes}-node smoke took {:?} (budget {budget:?})",
-            spec.label(),
-            clock.elapsed()
-        );
+        clock.assert_within(&format!("{}: {nodes}-node smoke", spec.label()));
     }
 }
 

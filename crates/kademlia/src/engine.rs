@@ -711,7 +711,7 @@ mod tests {
 
     fn random_ids(n: usize, seed: u64) -> Vec<Id> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = fxhash::FxHashSet::default();
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let id = Id::random(&mut rng);
@@ -750,9 +750,8 @@ mod tests {
             // the iterative search exact).
             let mut by_dist: Vec<usize> = (0..80).collect();
             by_dist.sort_by_key(|&i| xor_distance(sim.ids()[i], object));
-            let expected: std::collections::HashSet<usize> =
-                by_dist[..config.k].iter().copied().collect();
-            let got: std::collections::HashSet<usize> = holders.iter().map(|h| h.index()).collect();
+            let expected: fxhash::FxHashSet<usize> = by_dist[..config.k].iter().copied().collect();
+            let got: fxhash::FxHashSet<usize> = holders.iter().map(|h| h.index()).collect();
             // The origin never stores remotely to itself; when the origin
             // is one of the k closest, one replica shifts outward.
             let overlap = expected.intersection(&got).count();

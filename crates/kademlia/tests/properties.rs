@@ -52,7 +52,7 @@ proptest! {
                 b.remove(n);
             }
             prop_assert!(b.len() <= cap);
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = fxhash::FxHashSet::default();
             for e in b.iter() {
                 prop_assert!(seen.insert(e), "duplicate entry {e:?}");
             }

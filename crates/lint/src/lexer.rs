@@ -1,0 +1,456 @@
+//! A small hand-rolled Rust lexer: just enough token awareness to blank
+//! out comments, string/char literals, and doc comments so the rule
+//! needles in [`crate::rules`] never fire on prose, while capturing
+//! `// mpil-lint: allow(RULE, reason)` directives from the comments it
+//! strips.
+//!
+//! This is deliberately not a parser. The determinism contract is about
+//! which *names* may appear in which crates, so substring scanning over
+//! comment-and-string-blanked source is sufficient — and it keeps the
+//! linter offline and dependency-free (no `syn`).
+
+/// One `// mpil-lint: allow(RULE, reason)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The rule name as written (validated against the registry later).
+    pub rule: String,
+    /// The free-text justification (may be empty — S001 rejects that).
+    pub reason: String,
+    /// 1-based line the directive was written on.
+    pub line: usize,
+    /// The 1-based line the allow applies to: the directive's own line
+    /// for a trailing comment, the next line for a comment-only line.
+    pub applies_to: usize,
+    /// Whether the directive parsed at all (bad grammar is an S001 error).
+    pub well_formed: bool,
+}
+
+/// One source line after lexing.
+#[derive(Debug, Clone)]
+pub struct LexedLine {
+    /// The line with comments and string/char literal *contents* replaced
+    /// by spaces (delimiters survive). Rule needles match against this.
+    pub code: String,
+}
+
+/// A whole lexed file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Per-line blanked code, index 0 = line 1.
+    pub lines: Vec<LexedLine>,
+    /// Every allow directive found in comments, in file order.
+    pub allows: Vec<AllowDirective>,
+    /// 1-based lines that are inside a `#[cfg(test)] mod { .. }` region.
+    pub test_lines: Vec<bool>,
+}
+
+impl LexedFile {
+    /// Is 1-based `line` inside an inline `#[cfg(test)]` module?
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+const DIRECTIVE: &str = "mpil-lint:";
+
+/// Lexes one file's source text.
+pub fn lex(src: &str) -> LexedFile {
+    let mut lines: Vec<String> = Vec::new();
+    // (1-based line, text, is_doc) — doc comments (`///`, `//!`) are
+    // prose and never carry directives (they may *quote* the grammar).
+    let mut comments: Vec<(usize, String, bool)> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut comment_doc = false;
+    let mut comment_line = 0usize;
+    let mut line_no = 1usize;
+
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut state = State::Normal;
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                comments.push((comment_line, std::mem::take(&mut comment), comment_doc));
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut code));
+            line_no += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    comment_line = line_no;
+                    comment_doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) strings: r"..", r#".."#, br#".."#, ...
+                if c == 'r' || c == 'b' {
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'r') {
+                        j += 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                            state = State::RawStr(hashes);
+                            continue;
+                        }
+                    }
+                    // Plain byte string b"..".
+                    if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        code.push(' ');
+                        code.push('"');
+                        i += 2;
+                        state = State::Str;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Distinguish char literals from lifetimes: 'x' or
+                    // '\..' is a literal; anything else ('a in generics,
+                    // 'static, a loop label) is not.
+                    if chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 2) == Some(&'\'')
+                            && chars.get(i + 1).is_some_and(|&n| n != '\''))
+                    {
+                        code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            code.push(' ');
+                        }
+                        i = j;
+                        state = State::Normal;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push((comment_line, std::mem::take(&mut comment), comment_doc));
+    }
+    if !code.is_empty() || src.ends_with('\n') {
+        lines.push(code);
+    }
+
+    let allows = parse_allows(&comments, &lines);
+    let test_lines = mark_test_regions(&lines);
+    LexedFile {
+        lines: lines.into_iter().map(|code| LexedLine { code }).collect(),
+        allows,
+        test_lines,
+    }
+}
+
+/// Parses `mpil-lint: allow(RULE, reason)` out of the stripped comments
+/// and resolves each directive's target line (own line if it trails
+/// code, otherwise the next line that has any code on it). Doc comments
+/// are prose, not directives.
+fn parse_allows(comments: &[(usize, String, bool)], lines: &[String]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for &(line, ref text, is_doc) in comments {
+        if is_doc {
+            continue;
+        }
+        let Some(pos) = text.find(DIRECTIVE) else {
+            continue;
+        };
+        let rest = text[pos + DIRECTIVE.len()..].trim();
+        let own_line_has_code = lines.get(line - 1).is_some_and(|l| !l.trim().is_empty());
+        let applies_to = if own_line_has_code {
+            line
+        } else {
+            // Comment-only line: the allow covers the next line carrying
+            // code (skipping further comment-only lines).
+            let mut t = line + 1;
+            while t <= lines.len() && lines[t - 1].trim().is_empty() {
+                t += 1;
+            }
+            t
+        };
+        let mut directive = AllowDirective {
+            rule: String::new(),
+            reason: String::new(),
+            line,
+            applies_to,
+            well_formed: false,
+        };
+        if let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+        {
+            if let Some((rule, reason)) = args.split_once(',') {
+                directive.rule = rule.trim().to_string();
+                directive.reason = reason.trim().to_string();
+                directive.well_formed = !directive.rule.is_empty();
+            } else {
+                directive.rule = args.trim().to_string();
+            }
+        }
+        out.push(directive);
+    }
+    out
+}
+
+/// Marks the lines inside inline `#[cfg(test)] mod … { … }` regions by
+/// brace counting over the blanked code.
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; lines.len()];
+    let mut pending_attr = false; // saw #[cfg(test)], waiting for the mod's {
+    let mut region_depth: Option<i32> = None; // brace depth the region closes at
+    let mut depth = 0i32;
+    for (idx, line) in lines.iter().enumerate() {
+        let squashed: String = line.split_whitespace().collect();
+        if region_depth.is_none() && squashed.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        if let Some(at) = region_depth {
+            test[idx] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth <= at {
+                            region_depth = None;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if pending_attr {
+            test[idx] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if region_depth.is_none() {
+                            // First { after the attribute opens the region.
+                            region_depth = Some(depth - 1);
+                            pending_attr = false;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(at) = region_depth {
+                            if depth <= at {
+                                region_depth = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = lex("let x = \"Instant::now()\"; // thread_rng here\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].code.contains("let x ="));
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let f = lex("/// Instant at which flapping begins.\npub start: u64,\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[1].code.contains("pub start"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let f = lex("/* a /* Instant */ still comment */ let y = 1;\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = lex("let s = r#\"std::time::Instant\"#; let t = 2;\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].code.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(f.lines[0].code.contains("fn f<"));
+        assert!(f.lines[0].code.contains("str { x }"));
+        assert!(!f.lines[1].code.contains('x'));
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let f = lex("foo(); // mpil-lint: allow(D003, order-insensitive)\n");
+        assert_eq!(f.allows.len(), 1);
+        let a = &f.allows[0];
+        assert!(a.well_formed);
+        assert_eq!(a.rule, "D003");
+        assert_eq!(a.reason, "order-insensitive");
+        assert_eq!(a.applies_to, 1);
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let f = lex("// mpil-lint: allow(D001, oracle)\n// more prose\nuse x;\n");
+        assert_eq!(f.allows[0].applies_to, 3);
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_grammar_are_not_directives() {
+        let f = lex("//! Use `// mpil-lint: allow(RULE, reason)` to escape.\n/// mpil-lint: allow(D001)\nuse x;\n");
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_not_well_formed() {
+        let f = lex("// mpil-lint: allow(D001)\nuse x;\n");
+        assert!(!f.allows[0].well_formed);
+        assert_eq!(f.allows[0].rule, "D001");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn more() {}\n";
+        let f = lex(src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(6));
+    }
+}

@@ -1,0 +1,221 @@
+//! # mpil-lint
+//!
+//! The workspace determinism-and-discipline analyzer. The reproduction's
+//! whole verification story rests on a structural contract — pinned
+//! vendored-RNG streams, `(time, seq)` event order, byte-identical
+//! figure CSVs — and this crate machine-checks the structure instead of
+//! waiting for a mysterious CSV diff: which *names* may appear in which
+//! crates (see [`rules`] for the rule table, README "Determinism
+//! contract & lint rules" for the prose).
+//!
+//! Run as `cargo run -p mpil-lint --release -- check`. Exit code 0 means
+//! the tree is clean; 1 means diagnostics were printed (rustc-style,
+//! deterministically ordered, suitable for a CI gate). There is
+//! deliberately no `--fix`: every escape goes through an explicit,
+//! reasoned `// mpil-lint: allow(RULE, reason)` annotation that S001
+//! keeps honest (unknown rules, missing reasons, and allows that no
+//! longer fire are themselves errors).
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fmt;
+use std::path::Path;
+
+pub use rules::RuleId;
+
+/// One finished diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Scan-root-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.file,
+            self.line,
+            self.rule.as_str(),
+            self.message
+        )
+    }
+}
+
+/// Lints one file's source under its zone context: raw rule hits, then
+/// allow-annotation suppression, then S001 auditing of the annotations
+/// themselves.
+pub fn check_source(ctx: &walk::FileCtx, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let hits = rules::scan(ctx, &lexed);
+
+    let mut out = Vec::new();
+    let mut used = vec![false; lexed.allows.len()];
+    'hits: for hit in hits {
+        for (i, allow) in lexed.allows.iter().enumerate() {
+            if allow.well_formed
+                && allow.applies_to == hit.line
+                && RuleId::parse(&allow.rule) == Some(hit.rule)
+                && !allow.reason.is_empty()
+            {
+                used[i] = true;
+                continue 'hits;
+            }
+        }
+        out.push(Diagnostic {
+            file: ctx.rel_path.clone(),
+            line: hit.line,
+            rule: hit.rule,
+            message: hit.message,
+        });
+    }
+
+    for (allow, used) in lexed.allows.iter().zip(used) {
+        let problem = if !allow.well_formed {
+            if allow.rule.is_empty() {
+                "malformed annotation; the grammar is `// mpil-lint: allow(RULE, reason)`"
+                    .to_string()
+            } else {
+                format!(
+                    "allow({}) has no reason; write `// mpil-lint: allow({}, why it is safe)`",
+                    allow.rule, allow.rule
+                )
+            }
+        } else if RuleId::parse(&allow.rule).is_none() {
+            format!(
+                "allow({}) names an unknown rule (known: {})",
+                allow.rule,
+                RuleId::ALL.map(RuleId::as_str).join(", ")
+            )
+        } else if allow.reason.is_empty() {
+            format!("allow({}) has an empty reason", allow.rule)
+        } else if !used {
+            format!(
+                "unused allow({}): the rule does not fire on line {}; remove the annotation",
+                allow.rule, allow.applies_to
+            )
+        } else {
+            continue;
+        };
+        out.push(Diagnostic {
+            file: ctx.rel_path.clone(),
+            line: allow.line,
+            rule: RuleId::S001,
+            message: problem,
+        });
+    }
+    out
+}
+
+/// Lints the whole workspace at `root`. Diagnostics come back sorted by
+/// (file, line, rule) — byte-identical across runs by construction.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in walk::discover(root)? {
+        let src = std::fs::read_to_string(&file.abs_path)?;
+        out.extend(check_source(&file.ctx, &src));
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+/// Renders diagnostics plus the summary line exactly as the CLI prints
+/// them (the self-check test asserts this is byte-identical across runs).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&d.to_string());
+        s.push('\n');
+    }
+    if diags.is_empty() {
+        s.push_str("mpil-lint: clean\n");
+    } else {
+        s.push_str(&format!("mpil-lint: {} error(s)\n", diags.len()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walk::{FileCtx, TargetKind};
+
+    fn lib_ctx(crate_name: &str) -> FileCtx {
+        FileCtx {
+            rel_path: format!("crates/{crate_name}/src/x.rs"),
+            crate_name: Some(crate_name.to_string()),
+            kind: TargetKind::Lib,
+        }
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_consumed() {
+        let src = "use std::collections::HashMap; // mpil-lint: allow(D001, oracle map)\n";
+        assert!(check_source(&lib_ctx("core"), src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_next_line() {
+        let src = "// mpil-lint: allow(D001, oracle map)\nuse std::collections::HashMap;\n";
+        assert!(check_source(&lib_ctx("core"), src).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_an_s001_error() {
+        let src = "// mpil-lint: allow(D001, nothing here)\nlet x = 1;\n";
+        let d = check_source(&lib_ctx("core"), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::S001);
+        assert!(d[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_reason_are_s001_errors() {
+        let d = check_source(
+            &lib_ctx("core"),
+            "use std::collections::HashMap; // mpil-lint: allow(D999, whatever)\n",
+        );
+        // The D001 hit survives (bad allow suppresses nothing) plus S001.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.rule == RuleId::D001));
+        assert!(d.iter().any(|x| x.rule == RuleId::S001));
+
+        let d = check_source(
+            &lib_ctx("core"),
+            "use std::collections::HashMap; // mpil-lint: allow(D001)\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert!(d
+            .iter()
+            .any(|x| x.rule == RuleId::S001 && x.message.contains("no reason")));
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "use std::collections::HashMap; // mpil-lint: allow(D002, wrong rule)\n";
+        let d = check_source(&lib_ctx("core"), src);
+        assert!(d.iter().any(|x| x.rule == RuleId::D001));
+        assert!(d.iter().any(|x| x.rule == RuleId::S001));
+    }
+
+    #[test]
+    fn diagnostics_render_rustc_style() {
+        let d = Diagnostic {
+            file: "crates/core/src/agent.rs".into(),
+            line: 7,
+            rule: RuleId::D001,
+            message: "msg".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/agent.rs:7: error[D001]: msg"
+        );
+    }
+}

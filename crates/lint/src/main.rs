@@ -1,0 +1,62 @@
+//! `mpil-lint` — the workspace determinism-and-discipline gate.
+//!
+//! ```text
+//! cargo run -p mpil-lint --release -- check [--root DIR]
+//! cargo run -p mpil-lint --release -- rules
+//! ```
+//!
+//! `check` scans the workspace (default root: the current directory,
+//! which is where `cargo run` and `scripts/ci.sh` put us) and prints
+//! rustc-style diagnostics in deterministic order; exit code 1 if any.
+//! `rules` prints the rule table. See README "Determinism contract &
+//! lint rules".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mpil_lint::{check_workspace, render, RuleId};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mpil-lint check [--root DIR] | mpil-lint rules");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for rule in RuleId::ALL {
+                println!("{}  {}", rule.as_str(), rule.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut root = PathBuf::from(".");
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--root" => match it.next() {
+                        Some(dir) => root = PathBuf::from(dir),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            match check_workspace(&root) {
+                Ok(diags) => {
+                    print!("{}", render(&diags));
+                    if diags.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("mpil-lint: io error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,585 @@
+//! The rule set: stable IDs, zone scoping, and the needle matching that
+//! turns lexed lines into diagnostics.
+//!
+//! | ID   | Zone                                   | Forbids |
+//! |------|----------------------------------------|---------|
+//! | D001 | deterministic crates, all code         | `std::collections::{HashMap,HashSet}` |
+//! | D002 | everywhere but `net` and bench targets | wall-clock (`Instant`, `SystemTime`) and entropy (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`, `getrandom`) |
+//! | D003 | deterministic crates, non-test code    | iterating an `FxHashMap`/`FxHashSet` without an allow annotation |
+//! | P001 | `net`/`harness` library code           | `unwrap()`, `expect(`, `panic!` |
+//! | S001 | every scanned file                     | malformed, unknown-rule, reasonless, or unused `mpil-lint: allow(…)` |
+//!
+//! Inline `#[cfg(test)]` modules are exempt from D002/D003/P001 but NOT
+//! from D001: test code drives the same seeded engines, and Fx hashing
+//! is a drop-in there. Integration tests (`tests/`) are scanned for
+//! D001/D002/S001 — a wall-clock budget in a determinism test is exactly
+//! the kind of thing that must carry an annotation.
+
+use crate::lexer::LexedFile;
+use crate::walk::{FileCtx, TargetKind};
+
+/// The crates whose behavior must be a pure function of the seed: any
+/// map with unpinned iteration order, wall clock, or entropy here can
+/// silently break the byte-identity contract.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "core", "chord", "kademlia", "pastry", "gossip", "sim", "overlay", "harness", "workload",
+];
+
+/// The crates on the future `mpild` service path: library code there
+/// must not panic on fallible operations.
+pub const NO_PANIC_CRATES: &[&str] = &["net", "harness"];
+
+/// Stable rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// std hash collections in deterministic crates.
+    D001,
+    /// Wall-clock or entropy outside the `net` zone.
+    D002,
+    /// Un-annotated iteration over an Fx hash map in engine code.
+    D003,
+    /// `unwrap()`/`expect(`/`panic!` in service-path library code.
+    P001,
+    /// Malformed, unknown, reasonless, or unused allow annotation.
+    S001,
+}
+
+impl RuleId {
+    /// All rules, in diagnostic-ordering order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::P001,
+        RuleId::S001,
+    ];
+
+    /// The stable ID string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::P001 => "P001",
+            RuleId::S001 => "S001",
+        }
+    }
+
+    /// Parses an ID as written in an allow annotation.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.as_str() == s)
+    }
+
+    /// One-line description, for `mpil-lint rules` and the README table.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D001 => {
+                "no std::collections::{HashMap,HashSet} in deterministic crates; use \
+                 mpil_id::{IdMap,IdSet} or fxhash"
+            }
+            RuleId::D002 => {
+                "no wall-clock (Instant, SystemTime) or entropy (thread_rng, from_entropy, \
+                 rand::random, OsRng, getrandom) outside the net crate and test/bench code"
+            }
+            RuleId::D003 => {
+                "no iteration over an FxHashMap/FxHashSet in engine code without an \
+                 `// mpil-lint: allow(D003, reason)` annotation"
+            }
+            RuleId::P001 => "no unwrap()/expect(/panic! in net/harness library code",
+            RuleId::S001 => "every mpil-lint allow must name a real rule, give a reason, and fire",
+        }
+    }
+}
+
+/// One pre-suppression rule hit.
+#[derive(Debug)]
+pub struct Hit {
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+/// Collapses whitespace runs to single spaces (token boundaries survive,
+/// unlike full squashing).
+fn spaced(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Removes all whitespace (for `::`-path needles, which rustfmt never
+/// splits but imports may wrap).
+fn squashed(line: &str) -> String {
+    line.split_whitespace().collect()
+}
+
+/// Scans one lexed file under its context, returning raw hits (before
+/// allow-annotation suppression, which [`crate::check`] applies).
+pub fn scan(ctx: &FileCtx, lexed: &LexedFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let in_det_crate = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    let in_net = ctx.crate_name.as_deref() == Some("net");
+    let no_panic_zone = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| NO_PANIC_CRATES.contains(&c));
+
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let sq = squashed(&line.code);
+        if sq.is_empty() {
+            continue;
+        }
+        let in_inline_test = lexed.in_test_region(line_no);
+        let in_test = in_inline_test || ctx.kind == TargetKind::IntegrationTest;
+
+        // D001 — all code in deterministic crates, tests included.
+        if in_det_crate && mentions_std_hash(&sq) {
+            hits.push(Hit {
+                rule: RuleId::D001,
+                line: line_no,
+                message: "std hash collection in a deterministic crate; use \
+                          mpil_id::{IdMap,IdSet} or fxhash::{FxHashMap,FxHashSet}"
+                    .to_string(),
+            });
+        }
+
+        // D002 — everywhere except the net crate, bench targets, and
+        // inline #[cfg(test)] modules. Integration tests stay in scope.
+        if !in_net && ctx.kind != TargetKind::Bench && !in_inline_test {
+            if let Some(what) = mentions_wall_clock_or_entropy(&sq) {
+                hits.push(Hit {
+                    rule: RuleId::D002,
+                    line: line_no,
+                    message: format!(
+                        "{what} outside the wall-clock zone (net crate / bench targets); \
+                         deterministic code must use sim time and seeded RNGs"
+                    ),
+                });
+            }
+        }
+
+        // P001 — library code of the service-path crates. The needles
+        // are self-contained, so per-line matching survives rustfmt's
+        // multi-line method chains.
+        if no_panic_zone && ctx.kind == TargetKind::Lib && !in_test {
+            let sp = spaced(&line.code);
+            for needle in [".unwrap()", ".expect(", "panic!"] {
+                if sp.contains(needle) {
+                    hits.push(Hit {
+                        rule: RuleId::P001,
+                        line: line_no,
+                        message: format!(
+                            "`{}` in service-path library code; return a Result or \
+                             annotate the invariant with `// mpil-lint: allow(P001, reason)`",
+                            needle.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    });
+                    break; // one P001 per line is enough
+                }
+            }
+        }
+    }
+
+    // D003 — engine (non-test) code only. Receiver and method may be
+    // split across lines by rustfmt, so this matches on a joined,
+    // space-normalized stream with a per-character line map.
+    if in_det_crate && ctx.kind != TargetKind::IntegrationTest {
+        let fx_names = collect_fx_names(lexed);
+        if !fx_names.is_empty() {
+            let (stream, line_of) = join_code(lexed);
+            for (name, method, line_no) in fx_iterations(&stream, &line_of, &fx_names) {
+                if lexed.in_test_region(line_no) {
+                    continue;
+                }
+                hits.push(Hit {
+                    rule: RuleId::D003,
+                    line: line_no,
+                    message: format!(
+                        "iteration over Fx map `{name}` ({method}): order depends on insertion \
+                         history and capacity; annotate with `// mpil-lint: allow(D003, reason)` \
+                         if provably order-insensitive"
+                    ),
+                });
+            }
+        }
+    }
+
+    hits
+}
+
+fn mentions_std_hash(sq: &str) -> bool {
+    if sq.contains("std::collections::HashMap") || sq.contains("std::collections::HashSet") {
+        return true;
+    }
+    // Grouped import: use std::collections::{HashMap, HashSet, ...};
+    sq.contains("std::collections::{") && (sq.contains("HashMap") || sq.contains("HashSet"))
+}
+
+fn mentions_wall_clock_or_entropy(sq: &str) -> Option<&'static str> {
+    for (needle, what) in [
+        ("std::time::Instant", "std::time::Instant"),
+        ("std::time::SystemTime", "std::time::SystemTime"),
+        ("Instant::now", "Instant::now"),
+        ("SystemTime::now", "SystemTime::now"),
+        ("thread_rng", "entropy (thread_rng)"),
+        ("from_entropy", "entropy (from_entropy)"),
+        ("rand::random", "entropy (rand::random)"),
+        ("OsRng", "entropy (OsRng)"),
+        ("getrandom", "entropy (getrandom)"),
+    ] {
+        if sq.contains(needle) {
+            return Some(what);
+        }
+    }
+    // Grouped import: use std::time::{Duration, Instant};
+    if sq.contains("std::time::{") && (sq.contains("Instant") || sq.contains("SystemTime")) {
+        return Some("std::time::{Instant|SystemTime}");
+    }
+    None
+}
+
+/// Identifiers declared (or initialized) as Fx maps anywhere in the
+/// file: `name: FxHashMap<..>`, `name: Vec<FxHashSet<..>>`,
+/// `let [mut] name = FxHashMap::default()`, struct-literal inits.
+fn collect_fx_names(lexed: &LexedFile) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in &lexed.lines {
+        let sp = spaced(&line.code);
+        let bytes = sp.as_bytes();
+        let mut from = 0usize;
+        while let Some(rel) = sp[from..].find("FxHash") {
+            let pos = from + rel;
+            from = pos + "FxHash".len();
+            // Walk left to the `:` or `=` that binds this type to a
+            // name, crossing path segments (`fxhash::`), wrapper
+            // generics (`Vec<`), references, and lifetimes — but not
+            // commas or braces (those separate unrelated items).
+            let mut i = pos;
+            let delim = loop {
+                if i == 0 {
+                    break None;
+                }
+                let c = bytes[i - 1] as char;
+                match c {
+                    ':' if i >= 2 && bytes[i - 2] == b':' => i -= 2,
+                    ':' | '=' => break Some(i - 1),
+                    c if c.is_alphanumeric() || matches!(c, '_' | '<' | '&' | ' ' | '\'') => i -= 1,
+                    _ => break None,
+                }
+            };
+            let Some(d) = delim else { continue };
+            let name: String = sp[..d]
+                .trim_end()
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if !name.is_empty()
+                && name != "let"
+                && name != "mut"
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                && !names.contains(&name)
+            {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+/// Joins all code lines into one space-normalized stream with a
+/// per-character map back to 1-based line numbers.
+fn join_code(lexed: &LexedFile) -> (String, Vec<usize>) {
+    let mut stream = String::new();
+    let mut line_of = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let sp = spaced(&line.code);
+        if sp.is_empty() {
+            continue;
+        }
+        if !stream.is_empty() {
+            stream.push(' ');
+            line_of.push(idx); // separator belongs to the previous line
+        }
+        for _ in sp.chars() {
+            line_of.push(idx + 1);
+        }
+        stream.push_str(&sp);
+    }
+    (stream, line_of)
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+];
+
+/// Finds iterations over the file's Fx maps in the joined stream:
+/// `name.iter()`, `self.name[i].retain(..)`, `for x in &name`, and
+/// rustfmt-wrapped chains. Returns (name, offending form, line).
+fn fx_iterations<'a>(
+    stream: &str,
+    line_of: &[usize],
+    fx_names: &'a [String],
+) -> Vec<(&'a str, String, usize)> {
+    let bytes = stream.as_bytes();
+    let mut out = Vec::new();
+    for name in fx_names {
+        let mut from = 0usize;
+        while let Some(rel) = stream[from..].find(name.as_str()) {
+            let start = from + rel;
+            let end = start + name.len();
+            from = end;
+            // Whole-word check on the left.
+            if start > 0 {
+                let prev = bytes[start - 1] as char;
+                if prev.is_alphanumeric() || prev == '_' {
+                    continue;
+                }
+            }
+            // Skip one `[...]` index after the name, then require a
+            // non-identifier boundary.
+            let mut rest = &stream[end..];
+            if let Some(r) = rest.strip_prefix('[') {
+                let mut depth = 1i32;
+                let mut cut = None;
+                for (i, c) in r.char_indices() {
+                    match c {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                cut = Some(i + 1);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                rest = cut.map_or("", |c| &r[c..]);
+            }
+            let rest = rest.trim_start();
+            if rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            let line = line_of.get(start).copied().unwrap_or(1);
+            if let Some(m) = ITER_METHODS.iter().find(|m| rest.starts_with(**m)) {
+                out.push((
+                    name.as_str(),
+                    format!("`{}`", m.trim_end_matches('(')),
+                    line,
+                ));
+                continue;
+            }
+            // `for x in [&[mut]] [path.]name` — strip reference sigils
+            // and a trailing `receiver.` chain, then require the `in`
+            // keyword.
+            if rest.is_empty() || rest.starts_with('{') {
+                let mut lead = stream[..start].trim_end_matches([' ', '&', '*']);
+                while let Some(no_dot) = lead.strip_suffix('.') {
+                    let stripped =
+                        no_dot.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_');
+                    if stripped.len() == no_dot.len() {
+                        break; // bare `.` (a chain), not `ident.`
+                    }
+                    lead = stripped.trim_end_matches([' ', '&', '*']);
+                }
+                if let Some(l) = lead.strip_suffix("mut") {
+                    if l.ends_with(|c: char| !c.is_alphanumeric() && c != '_') {
+                        lead = l.trim_end_matches([' ', '&', '*']);
+                    }
+                }
+                let is_in_kw = lead == "in"
+                    || lead
+                        .strip_suffix("in")
+                        .is_some_and(|l| l.ends_with(|c: char| !c.is_alphanumeric() && c != '_'));
+                if is_in_kw {
+                    out.push((name.as_str(), "`for … in`".to_string(), line));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(_, _, line)| line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::walk::{FileCtx, TargetKind};
+
+    fn ctx(crate_name: &str, kind: TargetKind) -> FileCtx {
+        FileCtx {
+            rel_path: format!("crates/{crate_name}/src/x.rs"),
+            crate_name: Some(crate_name.to_string()),
+            kind,
+        }
+    }
+
+    #[test]
+    fn d001_fires_in_deterministic_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        let hits = scan(&ctx("core", TargetKind::Lib), &lex(src));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::D001);
+        assert!(scan(&ctx("net", TargetKind::Lib), &lex(src)).is_empty());
+        assert!(scan(&ctx("id", TargetKind::Lib), &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn d001_catches_grouped_imports_and_fires_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::{HashMap, HashSet};\n}\n";
+        let hits = scan(&ctx("sim", TargetKind::Lib), &lex(src));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn d002_exempts_net_benches_and_inline_tests() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(scan(&ctx("sim", TargetKind::Lib), &lex(src)).len(), 1);
+        assert!(scan(&ctx("net", TargetKind::Lib), &lex(src)).is_empty());
+        assert!(scan(&ctx("bench", TargetKind::Bench), &lex(src)).is_empty());
+        let in_test = "#[cfg(test)]\nmod t {\n    use std::time::Instant;\n}\n";
+        assert!(scan(&ctx("sim", TargetKind::Lib), &lex(in_test)).is_empty());
+    }
+
+    #[test]
+    fn d002_scans_integration_tests() {
+        let mut c = ctx("harness", TargetKind::IntegrationTest);
+        c.rel_path = "crates/harness/tests/conformance.rs".into();
+        let hits = scan(&c, &lex("let t = std::time::Instant::now();\n"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::D002);
+    }
+
+    #[test]
+    fn d002_catches_entropy_names() {
+        for bad in [
+            "rand::thread_rng()",
+            "SmallRng::from_entropy()",
+            "rand::random::<u8>()",
+        ] {
+            let hits = scan(
+                &ctx("core", TargetKind::Lib),
+                &lex(&format!("let x = {bad};\n")),
+            );
+            assert_eq!(hits.len(), 1, "{bad}");
+            assert_eq!(hits[0].rule, RuleId::D002);
+        }
+    }
+
+    #[test]
+    fn d002_catches_grouped_time_imports() {
+        let hits = scan(
+            &ctx("sim", TargetKind::Lib),
+            &lex("use std::time::{Duration, Instant};\n"),
+        );
+        assert_eq!(hits.len(), 1);
+        let ok = scan(
+            &ctx("sim", TargetKind::Lib),
+            &lex("use std::time::Duration;\n"),
+        );
+        assert!(ok.is_empty(), "Duration alone is not wall-clock");
+    }
+
+    #[test]
+    fn d002_ignores_prose_and_strings() {
+        let src = "/// Instant at which flapping begins.\nlet s = \"Instant::now\";\n";
+        assert!(scan(&ctx("sim", TargetKind::Lib), &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn d003_catches_map_iteration_forms() {
+        for (line, want) in [
+            ("for x in &self.lookups {", true),
+            ("for (k, v) in &mut self.lookups {", true),
+            ("self.lookups.retain(|_, v| v.live);", true),
+            ("let ks: Vec<_> = self.lookups.keys().collect();", true),
+            ("self.suspicion[i].retain(|&p, _| view.contains(p));", true),
+            ("self.lookups.insert(k, v);", false),
+            ("self.lookups.get(&k);", false),
+            ("let n = self.lookups.len();", false),
+            ("self.lookups.remove(&k);", false),
+        ] {
+            let src = format!(
+                "struct S {{ lookups: FxHashMap<u64, L>, suspicion: Vec<FxHashMap<u32, u32>> }}\n\
+                 fn f(&mut self) {{\n    {line}\n}}\n"
+            );
+            let hits = scan(&ctx("gossip", TargetKind::Lib), &lex(&src));
+            assert_eq!(!hits.is_empty(), want, "{line}");
+            if want {
+                assert!(hits.iter().all(|h| h.rule == RuleId::D003), "{line}");
+                assert_eq!(hits[0].line, 3, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn d003_sees_through_rustfmt_chain_wrapping() {
+        let src = "struct S { edges: FxHashSet<(u32, u32)> }\n\
+                   fn degree(&self) -> usize {\n    self.edges\n        .iter()\n        \
+                   .count()\n}\n";
+        let hits = scan(&ctx("overlay", TargetKind::Lib), &lex(src));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::D003);
+        assert_eq!(hits[0].line, 3, "reported at the receiver line");
+    }
+
+    #[test]
+    fn d003_is_quiet_in_test_code() {
+        let src = "struct S { m: FxHashMap<u64, u64> }\n#[cfg(test)]\nmod t {\n    \
+                   fn f(s: &S) { for x in &s.m {} }\n}\n";
+        assert!(scan(&ctx("gossip", TargetKind::Lib), &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn p001_fires_in_lib_code_of_net_and_harness_only() {
+        let src = "let x = foo().unwrap();\n";
+        assert_eq!(scan(&ctx("net", TargetKind::Lib), &lex(src)).len(), 1);
+        assert_eq!(scan(&ctx("harness", TargetKind::Lib), &lex(src)).len(), 1);
+        assert!(scan(&ctx("core", TargetKind::Lib), &lex(src)).is_empty());
+        assert!(scan(&ctx("net", TargetKind::Bin), &lex(src)).is_empty());
+        assert!(scan(&ctx("net", TargetKind::IntegrationTest), &lex(src)).is_empty());
+        let in_test = "#[cfg(test)]\nmod t {\n    fn f() { foo().unwrap(); }\n}\n";
+        assert!(scan(&ctx("net", TargetKind::Lib), &lex(in_test)).is_empty());
+    }
+
+    #[test]
+    fn p001_catches_expect_and_panic() {
+        assert_eq!(
+            scan(&ctx("net", TargetKind::Lib), &lex("foo().expect(\"x\");\n")).len(),
+            1
+        );
+        assert_eq!(
+            scan(
+                &ctx("harness", TargetKind::Lib),
+                &lex("panic!(\"boom\");\n")
+            )
+            .len(),
+            1
+        );
+        assert!(scan(&ctx("net", TargetKind::Lib), &lex("foo().unwrap_or(1);\n")).is_empty());
+    }
+}

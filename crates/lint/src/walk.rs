@@ -1,0 +1,148 @@
+//! Workspace file discovery: which `.rs` files to scan and what zone
+//! each lives in. Pure directory-layout driven (no Cargo metadata), so
+//! the same walker runs over the real tree and the fixture corpora.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/` library code.
+    Lib,
+    /// `src/bin/*` or `src/main.rs` binary code.
+    Bin,
+    /// `tests/*` integration-test code.
+    IntegrationTest,
+    /// `benches/*` criterion targets.
+    Bench,
+    /// Root `examples/*`.
+    Example,
+}
+
+/// Zone context for one file.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Path relative to the scan root, with forward slashes.
+    pub rel_path: String,
+    /// Member-crate name (`crates/<name>/…`); `None` for root targets.
+    pub crate_name: Option<String>,
+    /// Target kind, from the path.
+    pub kind: TargetKind,
+}
+
+/// One discovered file.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub ctx: FileCtx,
+    pub abs_path: PathBuf,
+}
+
+/// Walks the workspace at `root`, returning every scannable `.rs` file
+/// in deterministic (sorted) order. `vendor/`, `target/`, and any
+/// `fixtures/` directory (the linter's own test corpora) are skipped.
+pub fn discover(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "benches"] {
+                collect_rs(&entry.path().join(sub), &mut files)?;
+            }
+        }
+    }
+    let mut out: Vec<SourceFile> = files
+        .into_iter()
+        .filter_map(|abs| classify(root, &abs).map(|ctx| SourceFile { ctx, abs_path: abs }))
+        .collect();
+    out.sort_by(|a, b| a.ctx.rel_path.cmp(&b.ctx.rel_path));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "fixtures" || name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn classify(root: &Path, abs: &Path) -> Option<FileCtx> {
+    let rel = abs.strip_prefix(root).ok()?;
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let rel_path = parts.join("/");
+    let (crate_name, rest) = if parts.first().map(String::as_str) == Some("crates") {
+        (Some(parts.get(1)?.clone()), &parts[2..])
+    } else {
+        (None, &parts[..])
+    };
+    let kind = match rest.first().map(String::as_str) {
+        Some("tests") => TargetKind::IntegrationTest,
+        Some("benches") => TargetKind::Bench,
+        Some("examples") => TargetKind::Example,
+        Some("src") => {
+            if rest.get(1).map(String::as_str) == Some("bin")
+                || rest.get(1).map(String::as_str) == Some("main.rs")
+            {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            }
+        }
+        _ => return None,
+    };
+    Some(FileCtx {
+        rel_path,
+        crate_name,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_layout_to_zones() {
+        let root = Path::new("/ws");
+        let c = |p: &str| classify(root, &root.join(p)).unwrap();
+        assert_eq!(
+            c("crates/core/src/agent.rs").crate_name.as_deref(),
+            Some("core")
+        );
+        assert_eq!(c("crates/core/src/agent.rs").kind, TargetKind::Lib);
+        assert_eq!(c("crates/bench/src/bin/scale_run.rs").kind, TargetKind::Bin);
+        assert_eq!(c("crates/cli/src/main.rs").kind, TargetKind::Bin);
+        assert_eq!(
+            c("crates/harness/tests/conformance.rs").kind,
+            TargetKind::IntegrationTest
+        );
+        assert_eq!(c("crates/bench/benches/figures.rs").kind, TargetKind::Bench);
+        assert_eq!(c("tests/vendor_smoke.rs").crate_name, None);
+        assert_eq!(c("examples/quickstart.rs").kind, TargetKind::Example);
+    }
+}

@@ -1,0 +1,130 @@
+//! Corpus and self-check tests for `mpil-lint`.
+//!
+//! The `fixtures/bad` tree holds one known-bad file per rule (the
+//! walker skips any directory named `fixtures`, so these never pollute
+//! the real-workspace scan); `fixtures/good` holds the mirror-image
+//! clean cases (exempt zones, reasoned allows, test-only iteration).
+//! The self-check then runs the linter over the actual workspace: the
+//! tree must be clean, and two scans must render byte-identically.
+
+use std::path::{Path, PathBuf};
+
+use mpil_lint::{check_workspace, render, Diagnostic, RuleId};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn scan(name: &str) -> Vec<Diagnostic> {
+    check_workspace(&fixture(name)).expect("fixture tree readable")
+}
+
+fn hits(diags: &[Diagnostic], rule: RuleId) -> Vec<&Diagnostic> {
+    diags.iter().filter(|d| d.rule == rule).collect()
+}
+
+#[test]
+fn d001_fires_on_the_known_bad_fixture() {
+    let diags = scan("bad");
+    let d = hits(&diags, RuleId::D001);
+    assert_eq!(d.len(), 1, "{diags:?}");
+    assert_eq!(d[0].file, "crates/core/src/lib.rs");
+    assert_eq!(d[0].line, 2);
+}
+
+#[test]
+fn d002_fires_on_wall_clock_and_entropy() {
+    let diags = scan("bad");
+    let d = hits(&diags, RuleId::D002);
+    assert_eq!(d.len(), 3, "{diags:?}");
+    assert!(d.iter().all(|x| x.file == "crates/sim/src/lib.rs"));
+    assert!(d.iter().any(|x| x.message.contains("Instant")));
+    assert!(d.iter().any(|x| x.message.contains("thread_rng")));
+}
+
+#[test]
+fn d003_fires_on_unannotated_fx_iteration() {
+    let diags = scan("bad");
+    let d = hits(&diags, RuleId::D003);
+    assert_eq!(d.len(), 1, "{diags:?}");
+    assert_eq!(d[0].file, "crates/gossip/src/lib.rs");
+    assert!(d[0].message.contains("lookups"), "{}", d[0].message);
+}
+
+#[test]
+fn p001_fires_on_unwrap_and_expect_in_lib_code() {
+    let diags = scan("bad");
+    let d = hits(&diags, RuleId::P001);
+    assert_eq!(d.len(), 2, "{diags:?}");
+    assert!(d.iter().all(|x| x.file == "crates/net/src/lib.rs"));
+}
+
+#[test]
+fn s001_audits_unused_unknown_and_unreasoned_allows() {
+    let diags = scan("bad");
+    let d = hits(&diags, RuleId::S001);
+    assert_eq!(d.len(), 3, "{diags:?}");
+    assert!(d.iter().all(|x| x.file == "crates/harness/src/lib.rs"));
+    assert!(d.iter().any(|x| x.message.contains("unused")));
+    assert!(d.iter().any(|x| x.message.contains("unknown rule")));
+    assert!(d.iter().any(|x| x.message.contains("no reason")));
+}
+
+#[test]
+fn every_rule_has_a_failing_fixture() {
+    let diags = scan("bad");
+    for rule in RuleId::ALL {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{} has no failing fixture",
+            rule.as_str()
+        );
+    }
+}
+
+#[test]
+fn the_good_corpus_is_clean() {
+    let diags = scan("good");
+    assert!(diags.is_empty(), "false positives: {diags:?}");
+}
+
+#[test]
+fn bad_corpus_diagnostics_are_deterministically_ordered() {
+    let a = render(&scan("bad"));
+    let b = render(&scan("bad"));
+    assert_eq!(a, b, "two scans of the same tree must render identically");
+    let lines: Vec<&str> = a.lines().collect();
+    let mut sorted = lines[..lines.len() - 1].to_vec();
+    sorted.sort_unstable();
+    assert_eq!(
+        &lines[..lines.len() - 1],
+        &sorted[..],
+        "diagnostics must come out pre-sorted"
+    );
+}
+
+#[test]
+fn the_real_workspace_is_clean_and_stable() {
+    let root = workspace_root();
+    let first = check_workspace(&root).expect("workspace readable");
+    assert!(
+        first.is_empty(),
+        "unannotated violations in the tree:\n{}",
+        render(&first)
+    );
+    let second = check_workspace(&root).expect("workspace readable");
+    assert_eq!(
+        render(&first),
+        render(&second),
+        "workspace scan must be byte-identical across runs"
+    );
+}

@@ -1,0 +1,6 @@
+// Known-bad: D001 in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

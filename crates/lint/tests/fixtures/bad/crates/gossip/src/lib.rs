@@ -1,0 +1,12 @@
+// Known-bad: D003 unannotated iteration over an Fx map in engine code.
+use fxhash::FxHashMap;
+
+pub struct Engine {
+    lookups: FxHashMap<u64, u64>,
+}
+
+impl Engine {
+    pub fn drain_all(&mut self) -> Vec<u64> {
+        self.lookups.keys().copied().collect()
+    }
+}

@@ -1,0 +1,9 @@
+// Known-bad: S001 annotation-audit failures.
+// An allow whose rule never fires on its target line:
+pub fn quiet() {} // mpil-lint: allow(D001, nothing happens here)
+
+// An allow naming a rule that does not exist:
+pub fn unknown() {} // mpil-lint: allow(D999, mystery rule)
+
+// An allow with no reason at all:
+pub fn unreasoned() {} // mpil-lint: allow(D001)

@@ -1,0 +1,8 @@
+// Known-bad: P001 panic paths in service-path library code.
+pub fn fetch(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn fetch_loud(v: Option<u32>) -> u32 {
+    v.expect("value present")
+}

@@ -1,0 +1,8 @@
+// Known-bad: D002 wall-clock and entropy in a deterministic crate.
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    let _ = rand::thread_rng();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,12 @@
+// Known-good: Fx tables in deterministic code, plus one reasoned escape.
+use fxhash::FxHashMap;
+// mpil-lint: allow(D001, differential oracle against the std table)
+use std::collections::HashMap;
+
+pub fn build() -> FxHashMap<u64, u64> {
+    FxHashMap::default()
+}
+
+pub fn oracle() -> HashMap<u64, u64> {
+    HashMap::new()
+}

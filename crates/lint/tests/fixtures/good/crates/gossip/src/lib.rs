@@ -1,0 +1,26 @@
+// Known-good: annotated Fx iteration, and test-only iteration.
+use fxhash::FxHashMap;
+
+pub struct Engine {
+    lookups: FxHashMap<u64, u64>,
+}
+
+impl Engine {
+    pub fn sorted_keys(&self) -> Vec<u64> {
+        // mpil-lint: allow(D003, keys are sorted before use)
+        let mut v: Vec<u64> = self.lookups.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let e = Engine { lookups: FxHashMap::default() };
+        for (_k, _v) in &e.lookups {}
+    }
+}

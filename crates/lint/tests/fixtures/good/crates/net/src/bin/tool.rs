@@ -1,0 +1,5 @@
+// Known-good: P001 does not police binary targets.
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+}

@@ -1,0 +1,6 @@
+// Known-good: the net crate is the wall-clock zone.
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// Known-good: bench targets are wall-clock territory.
+use std::time::Instant;
+
+fn main() {
+    let t = Instant::now();
+    let _ = t.elapsed();
+}

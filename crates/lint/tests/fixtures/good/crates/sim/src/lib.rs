@@ -1,0 +1,4 @@
+// Known-good: a deterministic crate with nothing to flag.
+pub fn double(x: u64) -> u64 {
+    x * 2
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mpil::{Message, MessageId, MessageKind, MpilConfig};
+use mpil::{ConfigError, Message, MessageId, MessageKind, MpilConfig};
 use mpil_id::Id;
 use mpil_overlay::{NodeIdx, Topology};
 
@@ -32,6 +32,45 @@ pub struct LiveLookup {
     pub hops: u32,
     /// Wall-clock time from issue to first reply.
     pub elapsed: Duration,
+}
+
+/// Why [`LiveClusterBuilder::spawn`] could not bring the cluster up.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// The MPIL parameters failed [`MpilConfig::validate`].
+    Config(ConfigError),
+    /// Binding the UDP mesh or spawning a node thread failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Config(e) => write!(f, "invalid MPIL configuration: {e}"),
+            SpawnError::Io(e) => write!(f, "cluster spawn I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpawnError::Config(e) => Some(e),
+            SpawnError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SpawnError {
+    fn from(e: ConfigError) -> Self {
+        SpawnError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for SpawnError {
+    fn from(e: std::io::Error) -> Self {
+        SpawnError::Io(e)
+    }
 }
 
 /// Builder for a [`LiveCluster`].
@@ -81,14 +120,17 @@ impl LiveClusterBuilder {
     ///
     /// # Errors
     ///
-    /// I/O errors binding the UDP mesh (the channel mesh cannot fail).
+    /// [`SpawnError::Config`] if the MPIL parameters are invalid;
+    /// [`SpawnError::Io`] if binding the UDP mesh or spawning a node
+    /// thread fails (any threads already started are shut down and
+    /// joined before the error is returned).
     ///
     /// # Panics
     ///
-    /// Panics if the topology is empty or the MPIL config is invalid.
-    pub fn spawn(self, topo: &Topology) -> std::io::Result<LiveCluster> {
+    /// Panics if the topology is empty.
+    pub fn spawn(self, topo: &Topology) -> Result<LiveCluster, SpawnError> {
         assert!(!topo.is_empty(), "cannot spawn an empty cluster");
-        self.config.validate().expect("invalid MPIL configuration");
+        self.config.validate()?;
         let n = topo.len();
         let ids = Arc::new(topo.ids().to_vec());
         let neighbors: Arc<Vec<Vec<NodeIdx>>> = Arc::new(
@@ -107,9 +149,10 @@ impl LiveClusterBuilder {
                 .map(|t| Box::new(t) as Box<dyn Transport>)
                 .collect(),
         };
-        let client = endpoints.pop().expect("n + 1 endpoints");
+        // Both mesh builders return exactly the n + 1 endpoints requested.
+        let client = endpoints.pop().expect("n + 1 endpoints"); // mpil-lint: allow(P001, mesh builders return exactly n + 1 endpoints)
 
-        let mut controls = Vec::with_capacity(n);
+        let mut controls: Vec<Arc<NodeControl>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (i, transport) in endpoints.into_iter().enumerate() {
             let control = Arc::new(NodeControl::default());
@@ -122,12 +165,23 @@ impl LiveClusterBuilder {
                 client: n,
                 seed: self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             };
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("mpil-node-{i}"))
-                    .spawn(move || run_node(transport, setup, control))
-                    .expect("spawn node thread"),
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("mpil-node-{i}"))
+                .spawn(move || run_node(transport, setup, control));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the partial cluster: stop the threads that
+                    // did start, then surface the original error.
+                    for c in &controls {
+                        c.request_shutdown();
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(SpawnError::Io(e));
+                }
+            }
         }
         Ok(LiveCluster {
             n,
@@ -195,7 +249,7 @@ impl LiveCluster {
         );
         let frame = WireMessage::Forward(initial)
             .encode()
-            .expect("fresh messages have empty routes");
+            .expect("fresh messages have empty routes"); // mpil-lint: allow(P001, fresh messages carry no route so encoding is infallible)
         let _ = self.client.send(origin.index(), frame);
         let mut holders = Vec::new();
         let deadline = Instant::now() + wait;
@@ -242,7 +296,7 @@ impl LiveCluster {
         let started = Instant::now();
         let frame = WireMessage::Forward(initial)
             .encode()
-            .expect("fresh messages have empty routes");
+            .expect("fresh messages have empty routes"); // mpil-lint: allow(P001, fresh messages carry no route so encoding is infallible)
         let _ = self.client.send(origin.index(), frame);
         let deadline = started + timeout;
         while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
@@ -299,7 +353,7 @@ impl LiveCluster {
         }
         self.handles
             .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
+            .map(|h| h.join().expect("node thread panicked")) // mpil-lint: allow(P001, re-raises a worker panic at shutdown; swallowing it would hide the crash)
             .collect()
     }
 }

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fxhash::{FxHashMap, FxHashSet};
 use mpil::{
     plan_forwarding, routing_decision_policy, select_candidates, Message, MessageId, MessageKind,
     MpilConfig,
@@ -115,8 +116,8 @@ pub fn run_node(
     control: Arc<NodeControl>,
 ) -> NodeStats {
     let mut stats = NodeStats::default();
-    let mut store: std::collections::HashMap<Id, NodeIdx> = std::collections::HashMap::new();
-    let mut seen: std::collections::HashSet<MessageId> = std::collections::HashSet::new();
+    let mut store: FxHashMap<Id, NodeIdx> = FxHashMap::default();
+    let mut seen: FxHashSet<MessageId> = FxHashSet::default();
     let mut rng = SmallRng::seed_from_u64(setup.seed);
 
     while !control.shutdown_requested() {
@@ -165,8 +166,8 @@ fn step(
     transport: &dyn Transport,
     setup: &NodeSetup,
     stats: &mut NodeStats,
-    store: &mut std::collections::HashMap<Id, NodeIdx>,
-    seen: &mut std::collections::HashSet<MessageId>,
+    store: &mut FxHashMap<Id, NodeIdx>,
+    seen: &mut FxHashSet<MessageId>,
     rng: &mut SmallRng,
     mut msg: Message,
 ) {
@@ -189,12 +190,17 @@ fn step(
             holder: at,
             hops: msg.hops,
         };
-        // Replies carry no route, so encoding cannot fail.
-        let frame = reply.encode().expect("reply frames always encode");
-        if transport.send(setup.client, frame).is_ok() {
-            stats.replies += 1;
-        } else {
-            stats.send_errors += 1;
+        // Replies carry no route, so encoding only fails on a wire-format
+        // regression; count it rather than killing the node thread.
+        match reply.encode() {
+            Ok(frame) => {
+                if transport.send(setup.client, frame).is_ok() {
+                    stats.replies += 1;
+                } else {
+                    stats.send_errors += 1;
+                }
+            }
+            Err(_) => stats.encode_errors += 1,
         }
         return;
     }
@@ -221,12 +227,17 @@ fn step(
                 object: msg.object,
                 holder: at,
             };
-            // Store-acks carry no route, so encoding cannot fail.
-            let frame = ack.encode().expect("store-ack frames always encode");
-            if transport.send(setup.client, frame).is_ok() {
-                stats.store_acks += 1;
-            } else {
-                stats.send_errors += 1;
+            // Store-acks carry no route, so encoding only fails on a
+            // wire-format regression; count it rather than panicking.
+            match ack.encode() {
+                Ok(frame) => {
+                    if transport.send(setup.client, frame).is_ok() {
+                        stats.store_acks += 1;
+                    } else {
+                        stats.send_errors += 1;
+                    }
+                }
+                Err(_) => stats.encode_errors += 1,
             }
         }
         msg.replicas_left -= 1;

@@ -1,6 +1,6 @@
 //! Incremental construction of [`Topology`] values.
 
-use std::collections::HashSet;
+use fxhash::FxHashSet;
 
 use mpil_id::Id;
 use rand::Rng;
@@ -26,7 +26,7 @@ use crate::topology::{NodeIdx, Topology};
 #[derive(Debug, Clone)]
 pub struct TopologyBuilder {
     ids: Vec<Id>,
-    edges: HashSet<(NodeIdx, NodeIdx)>,
+    edges: FxHashSet<(NodeIdx, NodeIdx)>,
 }
 
 impl TopologyBuilder {
@@ -36,17 +36,17 @@ impl TopologyBuilder {
     ///
     /// Panics if the IDs are not unique.
     pub fn new(ids: Vec<Id>) -> Self {
-        let unique: HashSet<_> = ids.iter().copied().collect();
+        let unique: FxHashSet<_> = ids.iter().copied().collect();
         assert_eq!(unique.len(), ids.len(), "node IDs must be unique");
         TopologyBuilder {
             ids,
-            edges: HashSet::new(),
+            edges: FxHashSet::default(),
         }
     }
 
     /// Creates a builder for `n` nodes with distinct uniformly random IDs.
     pub fn with_random_ids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        let mut seen = HashSet::with_capacity(n);
+        let mut seen = FxHashSet::with_capacity_and_hasher(n, Default::default());
         let mut ids = Vec::with_capacity(n);
         while ids.len() < n {
             let id = Id::random(rng);
@@ -58,7 +58,7 @@ impl TopologyBuilder {
         }
         TopologyBuilder {
             ids,
-            edges: HashSet::new(),
+            edges: FxHashSet::default(),
         }
     }
 
@@ -102,7 +102,7 @@ impl TopologyBuilder {
     /// Current degree of `node` (linear in the number of edges; intended
     /// for generators that post-process small remainders, not hot loops).
     pub fn degree(&self, node: NodeIdx) -> usize {
-        self.edges
+        self.edges // mpil-lint: allow(D003, count of a predicate; order-free)
             .iter()
             .filter(|&&(a, b)| a == node || b == node)
             .count()
@@ -112,6 +112,7 @@ impl TopologyBuilder {
     pub fn build(self) -> Topology {
         let n = self.ids.len();
         let mut adj: Vec<Vec<NodeIdx>> = vec![Vec::new(); n];
+        // mpil-lint: allow(D003, adjacency lists are sorted below)
         for &(a, b) in &self.edges {
             adj[a.index()].push(b);
             adj[b.index()].push(a);
@@ -169,7 +170,7 @@ mod tests {
         let b = TopologyBuilder::with_random_ids(256, &mut rng);
         assert_eq!(b.len(), 256);
         let t = b.build();
-        let set: std::collections::HashSet<_> = t.ids().iter().collect();
+        let set: FxHashSet<_> = t.ids().iter().collect();
         assert_eq!(set.len(), 256);
     }
 

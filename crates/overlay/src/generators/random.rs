@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn edge_at_covers_the_triangle() {
         let n = 5;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = fxhash::FxHashSet::default();
         for k in 0..(n * (n - 1) / 2) {
             let (i, j) = edge_at(k, n);
             assert!(i < j && j < n);

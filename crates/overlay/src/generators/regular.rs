@@ -72,7 +72,7 @@ pub fn random_regular<R: Rng + ?Sized>(
 /// is recomputed from scratch each pass, so the swap bookkeeping only has
 /// to be conservative, never exact.
 fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(u32, u32)>> {
-    use std::collections::HashSet;
+    use fxhash::FxHashSet;
 
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
     for v in 0..n as u32 {
@@ -84,7 +84,8 @@ fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(
 
     const MAX_PASSES: usize = 100;
     for _ in 0..MAX_PASSES {
-        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+        let mut seen: FxHashSet<(u32, u32)> =
+            FxHashSet::with_capacity_and_hasher(edges.len(), Default::default());
         let mut bad: Vec<usize> = Vec::new();
         for (i, &e) in edges.iter().enumerate() {
             if e.0 == e.1 || !seen.insert(e) {

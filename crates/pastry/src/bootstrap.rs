@@ -198,7 +198,7 @@ impl RangeArgmin {
 
 /// Convenience: generate `n` distinct random IDs for a membership.
 pub fn random_ids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Id> {
-    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut seen = fxhash::FxHashSet::with_capacity_and_hasher(n, Default::default());
     let mut ids = Vec::with_capacity(n);
     while ids.len() < n {
         let id = Id::random(rng);

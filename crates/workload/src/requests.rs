@@ -55,7 +55,8 @@ impl InsertLookupWorkload {
         }
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let mut objects = Vec::with_capacity(config.objects);
-        let mut seen = std::collections::HashSet::with_capacity(config.objects);
+        let mut seen =
+            fxhash::FxHashSet::with_capacity_and_hasher(config.objects, Default::default());
         while objects.len() < config.objects {
             let id = Id::random(&mut rng);
             if seen.insert(id) {
@@ -120,7 +121,7 @@ mod tests {
     fn objects_are_unique_and_counted() {
         let w = InsertLookupWorkload::generate(cfg(500, 100, 1));
         assert_eq!(w.len(), 500);
-        let set: std::collections::HashSet<_> = w.objects.iter().collect();
+        let set: fxhash::FxHashSet<_> = w.objects.iter().collect();
         assert_eq!(set.len(), 500);
     }
 
@@ -153,7 +154,7 @@ mod tests {
     #[test]
     fn origins_vary_when_not_fixed() {
         let w = InsertLookupWorkload::generate(cfg(100, 50, 9));
-        let distinct: std::collections::HashSet<_> = w.insert_origins.iter().collect();
+        let distinct: fxhash::FxHashSet<_> = w.insert_origins.iter().collect();
         assert!(distinct.len() > 10, "origins should be spread out");
     }
 

@@ -5,8 +5,10 @@
 #   tier-1:  cargo build --release && cargo test -q
 #   benches: cargo check --benches   (always; they are test = false)
 #   format:  cargo fmt --check       (stable rustfmt; options in rustfmt.toml)
+#   lint:    mpil-lint check         (determinism contract: rules D001-D003,
+#            P001, S001 — see README "Determinism contract & lint rules")
 #   lints:   cargo clippy --workspace --all-targets -- -D warnings
-#   scale:   scale_run at 20k nodes under `timeout` — catches an
+#   scale:   scale_run at 20k nodes under --budget-s — catches an
 #            accidental O(n²) (or worse) regression in the simulation
 #            kernel long before the full BENCH_scale curve would
 #
@@ -20,6 +22,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 cargo fmt --check
+cargo run -p mpil-lint --release -- check
 cargo clippy --workspace --all-targets -- -D warnings
 scripts/verify.sh --benches
 
@@ -28,8 +31,10 @@ scripts/verify.sh --benches
 # budget. The timer-wheel kernel does this in under 15s; the old
 # binary-heap kernel grew superlinearly towards ~100s at 100k nodes,
 # so a 120s ceiling trips on any such regression while leaving slack
-# for slow CI machines.
-timeout 120 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 \
+# for slow CI machines. The budget is enforced in-process by the same
+# WallClockBudget helper the 10k conformance smoke uses (--budget-s);
+# the outer `timeout` only remains as a hang backstop.
+timeout 150 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 --budget-s 120 \
     || { echo "ci: 20k-node scale smoke exceeded its budget or failed" >&2; exit 1; }
 
 echo "ci: OK"

@@ -10,6 +10,8 @@
 //! regressions offline; use real criterion for publishable numbers.
 
 #![forbid(unsafe_code)]
+// Benchmark harness: wall-clock measurement is its whole purpose.
+#![allow(clippy::disallowed_types)]
 
 use std::fmt;
 use std::time::Instant;

@@ -13,6 +13,9 @@
 //! (`FxHasher`, `FxHashMap`, `FxHashSet`, `FxBuildHasher`, `hash64`) so
 //! swapping in the real crate is a manifest-only change.
 
+// This crate defines the sanctioned deterministic wrappers around the
+// std tables, so it is the one place the clippy D001 mirror is waived.
+#[allow(clippy::disallowed_types)]
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 
@@ -87,9 +90,11 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` using Fx hashing.
+#[allow(clippy::disallowed_types)]
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` using Fx hashing.
+#[allow(clippy::disallowed_types)]
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
 /// Hashes one value to 64 bits with Fx.
