@@ -205,6 +205,74 @@ fn bench_arena_map(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_message_plane(c: &mut Criterion) {
+    use mpil_gossip::{build_converged_views, GossipConfig, GossipSim};
+    use mpil_id::Id;
+    use mpil_overlay::NodeIdx;
+    use mpil_sim::{AlwaysOn, SimDuration, UniformLatency};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fresh_sim(seed: u64) -> (GossipSim, GossipConfig) {
+        let config = GossipConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let views = build_converged_views(5_000, config.view_size, &mut rng);
+        let sim = GossipSim::new(
+            views,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(UniformLatency::new(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(80),
+            )),
+            seed,
+        );
+        (sim, config)
+    }
+
+    // The pooled message plane's two hot paths, isolated: one full
+    // shuffle round across 5k nodes (divide by 5000 for per-round
+    // cost), and one k-random-walk lookup (8 walkers x ttl 16 = ~128
+    // message hops; divide for per-hop cost).
+    let mut g = c.benchmark_group("message_plane");
+    g.sample_size(10);
+    g.bench_function("shuffle_round_5k", |b| {
+        let (mut sim, config) = fresh_sim(9);
+        sim.start_maintenance();
+        // Warm the timer wheel, payload pool, and per-node scratch so
+        // the measured iterations see the steady state.
+        sim.run_until(sim.now() + config.gossip_period * 4);
+        b.iter(|| {
+            sim.run_until(sim.now() + config.gossip_period);
+            black_box(sim.net_stats().delivered)
+        })
+    });
+    g.bench_function("walk_lookup_5k", |b| {
+        // No maintenance: the overlay is quiet, so an iteration's cost
+        // is the lookup's walk hops and nothing else.
+        let (mut sim, _) = fresh_sim(11);
+        let origin = NodeIdx::new(0);
+        let mut i = 0u64;
+        for _ in 0..16 {
+            // Warm the wheel and pools with throwaway lookups.
+            i += 1;
+            let deadline = sim.now() + SimDuration::from_secs(30);
+            sim.issue_lookup(origin, Id::from_low_u64(mix(i) | 1), deadline);
+            sim.run_until(deadline);
+        }
+        b.iter(|| {
+            // A lookup for an absent object exhausts every walker's hop
+            // budget: the iteration cost is ~128 walk hops.
+            i += 1;
+            let deadline = sim.now() + SimDuration::from_secs(30);
+            let handle = sim.issue_lookup(origin, Id::from_low_u64(mix(i) | 1), deadline);
+            sim.run_until(deadline);
+            black_box(sim.lookup_outcome(handle))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig1_point,
@@ -214,6 +282,7 @@ criterion_group!(
     bench_fig11_point,
     bench_ext_gossip_point,
     bench_kernel_scheduler,
-    bench_arena_map
+    bench_arena_map,
+    bench_message_plane
 );
 criterion_main!(benches);

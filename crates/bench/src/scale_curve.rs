@@ -7,6 +7,7 @@
 //! per process so the `VmHWM` reading is attributable to that point;
 //! `BENCH_scale.json` is composed from many such invocations.
 
+pub use mpil_harness::peak_rss_mib;
 use mpil_harness::{
     EngineSpec, LookupStrategy, OverlaySource, PerturbRun, PreparedRun, Scenario, WallClock,
 };
@@ -40,6 +41,14 @@ pub struct ScalePoint {
     pub success_rate: f64,
     /// Raw kernel sends over the whole run.
     pub sent: u64,
+    /// Kernel events (deliveries + timer fires) during stage 2 — the
+    /// steady-state denominator for `allocs`.
+    pub events: u64,
+    /// Heap allocations during stage 2, from [`mpil_alloc::snapshot`].
+    /// Zero unless the running binary installs
+    /// [`mpil_alloc::CountingAlloc`] as its global allocator (the
+    /// `scale_run` binary does).
+    pub allocs: u64,
 }
 
 impl ScalePoint {
@@ -48,7 +57,8 @@ impl ScalePoint {
         format!(
             "{{\"engine\": \"{}\", \"nodes\": {}, \"ops\": {}, \"seed\": {}, \"p\": {}, \
              \"build_s\": {:.3}, \"insert_s\": {:.3}, \"lookup_s\": {:.3}, \"total_s\": {:.3}, \
-             \"peak_rss_mib\": {:.1}, \"success_rate\": {:.1}, \"sent\": {}}}",
+             \"peak_rss_mib\": {:.1}, \"success_rate\": {:.1}, \"sent\": {}, \"events\": {}, \
+             \"allocs\": {}, \"allocs_per_event\": {:.4}}}",
             self.engine,
             self.nodes,
             self.operations,
@@ -61,25 +71,46 @@ impl ScalePoint {
             self.peak_rss_mib,
             self.success_rate,
             self.sent,
+            self.events,
+            self.allocs,
+            self.allocs_per_event(),
         )
+    }
+
+    /// Stage-2 heap allocations per kernel event — ~0 when the message
+    /// plane is allocation-free in steady state (and exactly 0.0 when
+    /// the counting allocator is not installed).
+    pub fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.events.max(1) as f64
     }
 }
 
-/// Maps a `scale_run --engine` name onto its [`EngineSpec`].
+/// Maps a `scale_run --engine` name (plus, for gossip, a `--strategy`)
+/// onto its [`EngineSpec`].
 ///
 /// The curve engines are the three the kernel work targets: MPIL over a
 /// frozen random graph (no maintenance timers), Kademlia (per-node
 /// refresh timers), and gossip (per-node shuffle timers — the heaviest
-/// scheduler load).
-pub fn scale_spec(name: &str) -> Option<EngineSpec> {
-    match name {
-        "mpil" => Some(EngineSpec::MpilOver(OverlaySource::RandomRegular(8))),
-        "kademlia" => Some(EngineSpec::Kademlia { k: 8, alpha: 3 }),
-        "gossip" => Some(EngineSpec::Gossip {
+/// scheduler load). Gossip takes a lookup strategy: `walk` (the default
+/// k-random-walk: 8 walkers, ttl 16) or `ring` (expanding-ring flooding,
+/// ttl 8). The strategies scale very differently — see the note in
+/// `BENCH_scale.json` on why k-walk success collapses to 0% at 10k+
+/// nodes while ring stays near 100%.
+pub fn scale_spec(name: &str, strategy: &str) -> Option<EngineSpec> {
+    match (name, strategy) {
+        ("mpil", _) => Some(EngineSpec::MpilOver(OverlaySource::RandomRegular(8))),
+        ("kademlia", _) => Some(EngineSpec::Kademlia { k: 8, alpha: 3 }),
+        ("gossip", "walk") => Some(EngineSpec::Gossip {
             view: 8,
             walkers: 8,
             ttl: 16,
             strategy: LookupStrategy::KRandomWalk,
+        }),
+        ("gossip", "ring") => Some(EngineSpec::Gossip {
+            view: 8,
+            walkers: 1,
+            ttl: 8,
+            strategy: LookupStrategy::ExpandingRing,
         }),
         _ => None,
     }
@@ -112,6 +143,8 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
     engine.run_to_quiescence();
     let insert_s = t1.elapsed_s();
 
+    let stats_before = engine.net_stats();
+    let allocs_before = mpil_alloc::snapshot();
     let t2 = WallClock::start();
     if maintenance {
         engine.start_maintenance();
@@ -140,6 +173,10 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
     let tail = engine.now() + window + SimDuration::from_secs(30);
     engine.run_until(tail);
     let lookup_s = t2.elapsed_s();
+    let stats_after = engine.net_stats();
+    let allocs_after = mpil_alloc::snapshot();
+    let events = (stats_after.delivered - stats_before.delivered)
+        + (stats_after.timers_fired - stats_before.timers_fired);
 
     let ok = handles
         .iter()
@@ -158,16 +195,9 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
         peak_rss_mib: peak_rss_mib().unwrap_or(0.0),
         success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
         sent: engine.net_stats().sent,
+        events,
+        allocs: allocs_after.since(allocs_before).allocs,
     }
-}
-
-/// Peak resident set size of this process in MiB, from `/proc/self/status`
-/// (`VmHWM`). `None` off Linux or if the field is missing.
-pub fn peak_rss_mib() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb / 1024.0)
 }
 
 #[cfg(test)]
@@ -176,15 +206,17 @@ mod tests {
 
     #[test]
     fn scale_spec_knows_the_three_curve_engines() {
-        assert!(scale_spec("mpil").is_some());
-        assert!(scale_spec("kademlia").is_some());
-        assert!(scale_spec("gossip").is_some());
-        assert!(scale_spec("banana").is_none());
+        assert!(scale_spec("mpil", "walk").is_some());
+        assert!(scale_spec("kademlia", "walk").is_some());
+        assert!(scale_spec("gossip", "walk").is_some());
+        assert!(scale_spec("gossip", "ring").is_some());
+        assert!(scale_spec("gossip", "banana").is_none());
+        assert!(scale_spec("banana", "walk").is_none());
     }
 
     #[test]
     fn a_tiny_point_runs_and_reports() {
-        let p = run_point(scale_spec("mpil").expect("spec"), 200, 5, 0.5, 3);
+        let p = run_point(scale_spec("mpil", "walk").expect("spec"), 200, 5, 0.5, 3);
         assert_eq!(p.nodes, 200);
         assert_eq!(p.operations, 5);
         assert!(p.total_s >= p.build_s);

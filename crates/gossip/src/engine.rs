@@ -21,20 +21,31 @@
 use fxhash::{FxHashMap, FxHashSet};
 use mpil_id::{Id, IdSet};
 use mpil_overlay::NodeIdx;
-use mpil_sim::{Availability, Event, LatencyModel, LookupOutcome, Network, SimDuration, SimTime};
+use mpil_sim::{
+    Availability, Event, LatencyModel, LookupOutcome, Network, PayloadBuf, SimDuration, SimTime,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{GossipConfig, LookupStrategy};
 use crate::view::PartialView;
 
+/// A shuffle's peer list, inline up to [`mpil_sim::PAYLOAD_INLINE`]
+/// entries and spilled to the kernel's [`mpil_sim::PayloadPool`] past
+/// that. Default configurations exchange at most `shuffle_len + 1 = 5`
+/// peers, so the steady-state message plane never allocates — and the
+/// inline capacity keeps `Msg` on the 48-byte footprint of its walk
+/// variants, so queued events grew by nothing. Walk and replication
+/// payloads are fixed-size scalars and need no buffer at all.
+type Peers = PayloadBuf<NodeIdx, { mpil_sim::PAYLOAD_INLINE }>;
+
 #[derive(Debug, Clone)]
 enum Msg {
     /// Push half of a shuffle: the initiator's sample, itself included
     /// fresh.
-    ShufflePush { token: u64, entries: Vec<NodeIdx> },
+    ShufflePush { token: u64, entries: Peers },
     /// Pull half: the responder's sample.
-    ShufflePull { token: u64, entries: Vec<NodeIdx> },
+    ShufflePull { token: u64, entries: Peers },
     /// A replication walk: store, decrement, forward.
     StoreWalk { object: Id, ttl: u32 },
     /// One random-walk lookup step.
@@ -58,21 +69,71 @@ enum Msg {
     Reply { lookup: u64, hops: u32 },
 }
 
+/// Cap on how many offline grid points one [`GossipSim::arm_gossip`]
+/// pass may pre-skip. It bounds the arming scan when a node stays
+/// offline for a very long stretch (e.g. `probability = 1.0`): the
+/// capped fire lands on an offline grid point and is an ordinary no-op
+/// fire that resumes skipping.
+const MAX_GOSSIP_SKIP: u32 = 1024;
+
 #[derive(Debug, Clone, Copy)]
 enum Timer {
-    /// Periodic per-node shuffle.
-    Gossip,
+    /// Periodic per-node shuffle. Fires only on grid points the arming
+    /// scan considered live; `epoch` ties the fire to the availability
+    /// model it was armed under (see [`GossipSim::set_availability`]).
+    Gossip {
+        /// The value of `GossipSim::timer_epoch` at arm time.
+        epoch: u32,
+    },
     /// The pull half of shuffle `token` did not arrive in time.
     ShuffleTimeout { token: u64 },
     /// Time to widen the expanding ring for `lookup`.
     RingRound { lookup: u64 },
 }
 
+/// Restores the baseline intra-tick dispatch order after gossip-timer
+/// pre-skipping ([`GossipSim::arm_gossip`]).
+///
+/// The kernel breaks same-tick ties by push order. Without skipping,
+/// every gossip chain re-pushes once per period — the largest horizon
+/// of any event class — so within a tick the baseline order is always:
+/// gossip timers first, ascending node index (colliding chains share a
+/// stagger start and were first pushed in node order, and per-period
+/// re-pushes preserve that order inductively). Pre-skipped chains push
+/// at their last *real* fire instead, which can permute colliding
+/// fires; this in-place, allocation-free insertion sort (stable, and
+/// O(len) on the already-ordered common case) puts the tick back into
+/// the baseline order.
+fn restore_tick_order(batch: &mut [Event<Msg, Timer>]) {
+    fn key(ev: &Event<Msg, Timer>) -> (bool, usize) {
+        match ev {
+            Event::Timer {
+                node,
+                timer: Timer::Gossip { .. },
+            } => (false, node.index()),
+            _ => (true, 0),
+        }
+    }
+    for i in 1..batch.len() {
+        let mut j = i;
+        while j > 0 && key(&batch[j - 1]) > key(&batch[j]) {
+            batch.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// An initiator's outstanding shuffle. Stored in a per-node slab
+/// (`pending_shuffles[initiator]`): the shuffle timeout is shorter than
+/// the gossip period, so a node has at most one shuffle in flight and
+/// the slab replaces a token-keyed hash map on the hottest delivery
+/// path. The token survives as a staleness check — a late pull or an
+/// already-answered timeout simply fails the token match.
 #[derive(Debug, Clone)]
 struct PendingShuffle {
-    initiator: NodeIdx,
+    token: u64,
     target: NodeIdx,
-    sent: Vec<NodeIdx>,
+    sent: Peers,
 }
 
 #[derive(Debug)]
@@ -138,12 +199,26 @@ pub struct GossipSim {
     sample_scratch: Vec<NodeIdx>,
     /// Consecutive failed shuffles per (node, peer).
     suspicion: Vec<FxHashMap<NodeIdx, u32>>,
-    pending_shuffles: FxHashMap<u64, PendingShuffle>,
+    /// One bit per node: is `suspicion[node]` non-empty? Suspicion maps
+    /// are empty for all but recently-missed peers, yet the alive-again
+    /// wipe runs on every shuffle delivery — the bitmap (a few KiB even
+    /// at 100k nodes, so cache-resident) answers the common "nothing to
+    /// wipe" case without touching the map spine.
+    suspicion_nonempty: Vec<u64>,
+    /// Outstanding shuffle per initiator (see [`PendingShuffle`]).
+    pending_shuffles: Vec<Option<PendingShuffle>>,
     lookups: FxHashMap<u64, LookupState>,
     rings: FxHashMap<u64, RingState>,
     next_token: u64,
     next_lookup: u64,
     maintenance_started: bool,
+    /// Bumped by [`GossipSim::set_availability`]; gossip timers armed
+    /// under an older epoch are superseded chains and fire as no-ops.
+    timer_epoch: u32,
+    /// Per node: the next gossip grid point not yet fired *or*
+    /// pre-skipped under the current availability model — the re-arm
+    /// anchor when the model is swapped mid-skip.
+    next_grid: Vec<SimTime>,
     stats: GossipStats,
 }
 
@@ -176,7 +251,8 @@ impl GossipSim {
             stores: vec![IdSet::new(); n],
             net: Network::new(n, availability, latency, seed),
             suspicion: vec![FxHashMap::default(); n],
-            pending_shuffles: FxHashMap::default(),
+            suspicion_nonempty: vec![0; n.div_ceil(64)],
+            pending_shuffles: vec![None; n],
             lookups: FxHashMap::default(),
             event_batch: Vec::new(),
             sample_scratch: Vec::new(),
@@ -184,6 +260,8 @@ impl GossipSim {
             next_token: 0,
             next_lookup: 0,
             maintenance_started: false,
+            timer_epoch: 0,
+            next_grid: vec![SimTime::ZERO; n],
             stats: GossipStats::default(),
             views,
         }
@@ -231,8 +309,30 @@ impl GossipSim {
     }
 
     /// Swaps the availability model (static stage → flapping stage).
+    ///
+    /// Gossip timer chains pre-skip offline grid points under the model
+    /// live at arm time (see [`GossipSim::arm_gossip`]); grid points in
+    /// the past were therefore evaluated under exactly the model a
+    /// per-period no-op fire would have seen. From `now` on the *new*
+    /// model decides, so every in-flight chain is superseded (epoch
+    /// bump) and each node re-armed from its next unfired grid point.
     pub fn set_availability(&mut self, availability: Box<dyn Availability>) {
         self.net.set_availability(availability);
+        if !self.maintenance_started {
+            return;
+        }
+        self.timer_epoch += 1;
+        let now = self.net.now();
+        let period = self.config.gossip_period;
+        for i in 0..self.next_grid.len() {
+            let mut t = self.next_grid[i];
+            while t <= now {
+                // Already fired (or pre-skipped under the model that
+                // was live then); the chain continues on its grid.
+                t += period;
+            }
+            self.arm_gossip(NodeIdx::new(i as u32), t);
+        }
     }
 
     /// Sets the independent per-message link-loss probability (see
@@ -272,8 +372,34 @@ impl GossipSim {
         for i in 0..self.views.len() as u32 {
             let node = NodeIdx::new(i);
             let delay = SimDuration::from_micros(self.net.rng().gen_range(0..period));
-            self.net.schedule(node, delay, Timer::Gossip);
+            let start = self.net.now() + delay;
+            self.arm_gossip(node, start);
         }
+    }
+
+    /// Arms `node`'s next shuffle timer at the first gossip grid point
+    /// at or after `start` where the node is online, pre-skipping
+    /// offline grid points without a wheel round-trip for each.
+    ///
+    /// Offline fires are protocol no-ops (the view neither ages nor
+    /// shuffles) and availability models are pure functions of
+    /// `(node, time)`, so evaluating them at arm time is exact: the
+    /// kernel's event stream loses only the no-op pops — under heavy
+    /// churn nearly half of all events. A model swap mid-skip is
+    /// handled by [`GossipSim::set_availability`], which supersedes
+    /// every armed chain and re-arms under the new model.
+    fn arm_gossip(&mut self, node: NodeIdx, start: SimTime) {
+        self.next_grid[node.index()] = start;
+        let period = self.config.gossip_period;
+        let mut at = start;
+        let mut skipped = 0;
+        while skipped < MAX_GOSSIP_SKIP && !self.net.is_online_at(node, at) {
+            at += period;
+            skipped += 1;
+        }
+        let delay = SimDuration::from_micros(at.as_micros() - self.net.now().as_micros());
+        let epoch = self.timer_epoch;
+        self.net.schedule(node, delay, Timer::Gossip { epoch });
     }
 
     /// (Re-)joins `joiner` through `bootstrap`: the view collapses to
@@ -286,6 +412,7 @@ impl GossipSim {
         self.views[joiner.index()].clear();
         self.views[joiner.index()].insert_fresh(bootstrap);
         self.suspicion[joiner.index()].clear();
+        self.sync_suspicion_bit(joiner);
         self.initiate_shuffle(joiner, bootstrap);
     }
 
@@ -384,6 +511,7 @@ impl GossipSim {
     pub fn run_until(&mut self, deadline: SimTime) {
         let mut batch = std::mem::take(&mut self.event_batch);
         while self.net.next_batch_before(deadline, &mut batch) {
+            restore_tick_order(&mut batch);
             for ev in batch.drain(..) {
                 self.dispatch(ev);
             }
@@ -415,19 +543,24 @@ impl GossipSim {
             self.net.rng(),
             &mut self.sample_scratch,
         );
-        let mut entries = Vec::with_capacity(self.sample_scratch.len() + 1);
-        entries.push(node);
-        entries.extend_from_slice(&self.sample_scratch);
+        let mut entries = Peers::new();
+        entries.push(node, self.net.payload_pool());
+        entries.extend_from_slice(&self.sample_scratch, self.net.payload_pool());
         let token = self.next_token;
         self.next_token += 1;
-        self.pending_shuffles.insert(
+        // The bookkeeping copy stays inline (or draws its spill from the
+        // pool), so the old `entries.clone()` heap hit is gone.
+        let sent = entries.clone_in(self.net.payload_pool());
+        let fresh = PendingShuffle {
             token,
-            PendingShuffle {
-                initiator: node,
-                target,
-                sent: entries.clone(),
-            },
-        );
+            target,
+            sent,
+        };
+        if let Some(old) = self.pending_shuffles[node.index()].replace(fresh) {
+            // Only a re-join inside the timeout window gets here: the
+            // superseded shuffle's pull (if any) is now stale.
+            old.sent.recycle(self.net.payload_pool());
+        }
         self.stats.maintenance_messages += 1;
         self.net
             .send(node, target, Msg::ShufflePush { token, entries });
@@ -438,20 +571,27 @@ impl GossipSim {
         );
     }
 
-    fn on_gossip_timer(&mut self, node: NodeIdx) {
+    fn on_gossip_timer(&mut self, node: NodeIdx, epoch: u32) {
+        // A fire from a chain armed before an availability swap: the
+        // swap re-armed every node under the new model, so this chain
+        // is superseded and must do nothing (not even re-arm).
+        if epoch != self.timer_epoch {
+            return;
+        }
         // Offline nodes skip the round but keep the timer armed, like
-        // the DHT baselines' maintenance.
+        // the DHT baselines' maintenance. The arming scan pre-skips
+        // offline grid points, so an offline fire only happens when the
+        // scan hit [`MAX_GOSSIP_SKIP`] — and behaves identically.
         if self.net.is_online(node) {
             self.views[node.index()].age_all();
             if let Some(target) = self.views[node.index()].oldest() {
                 self.initiate_shuffle(node, target);
             }
         }
-        self.net
-            .schedule(node, self.config.gossip_period, Timer::Gossip);
+        self.arm_gossip(node, self.net.now() + self.config.gossip_period);
     }
 
-    fn on_shuffle_push(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Vec<NodeIdx>) {
+    fn on_shuffle_push(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Peers) {
         self.views[to.index()].sample_into(
             self.config.shuffle_len,
             Some(from),
@@ -459,29 +599,63 @@ impl GossipSim {
             &mut self.sample_scratch,
         );
         self.stats.maintenance_messages += 1;
+        // The pull reply copies the scratch draw straight into an inline
+        // buffer — this was the `sample_scratch.clone()` heap hit.
+        let mut reply = Peers::new();
+        reply.extend_from_slice(&self.sample_scratch, self.net.payload_pool());
         self.net.send(
             to,
             from,
             Msg::ShufflePull {
                 token,
-                entries: self.sample_scratch.clone(),
+                entries: reply,
             },
         );
-        self.views[to.index()].merge(&entries, &self.sample_scratch);
-        // Hearing a push is direct evidence the initiator is alive.
-        self.suspicion[to.index()].remove(&from);
-        self.prune_suspicion(to);
+        self.views[to.index()].merge(entries.as_slice(), &self.sample_scratch);
+        entries.recycle(self.net.payload_pool());
+        // Hearing a push is direct evidence the initiator is alive. The
+        // empty-map guard matters: suspicion maps are empty for all but
+        // recently-failed peers, and this runs on every delivery.
+        if self.has_suspicion(to) {
+            self.suspicion[to.index()].remove(&from);
+            self.prune_suspicion(to);
+            self.sync_suspicion_bit(to);
+        }
     }
 
-    fn on_shuffle_pull(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Vec<NodeIdx>) {
-        let Some(pending) = self.pending_shuffles.remove(&token) else {
+    fn on_shuffle_pull(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Peers) {
+        let slot = &mut self.pending_shuffles[to.index()];
+        if slot.as_ref().is_none_or(|p| p.token != token) {
+            entries.recycle(self.net.payload_pool());
             return; // late pull after the timeout already fired
-        };
-        debug_assert_eq!(pending.initiator, to);
+        }
+        let pending = slot.take().expect("token matched above");
         debug_assert_eq!(pending.target, from);
-        self.views[to.index()].merge(&entries, &pending.sent);
-        self.suspicion[to.index()].remove(&from);
-        self.prune_suspicion(to);
+        self.views[to.index()].merge(entries.as_slice(), pending.sent.as_slice());
+        entries.recycle(self.net.payload_pool());
+        pending.sent.recycle(self.net.payload_pool());
+        if self.has_suspicion(to) {
+            self.suspicion[to.index()].remove(&from);
+            self.prune_suspicion(to);
+            self.sync_suspicion_bit(to);
+        }
+    }
+
+    /// Reads the cached "does `node` hold any strikes?" bit.
+    fn has_suspicion(&self, node: NodeIdx) -> bool {
+        let u = node.index();
+        self.suspicion_nonempty[u / 64] >> (u % 64) & 1 != 0
+    }
+
+    /// Re-syncs the cached bit after any mutation of `suspicion[node]`.
+    fn sync_suspicion_bit(&mut self, node: NodeIdx) {
+        let u = node.index();
+        let bit = 1u64 << (u % 64);
+        if self.suspicion[u].is_empty() {
+            self.suspicion_nonempty[u / 64] &= !bit;
+        } else {
+            self.suspicion_nonempty[u / 64] |= bit;
+        }
     }
 
     /// Drops strikes against peers no longer in `node`'s view. A merge
@@ -495,25 +669,30 @@ impl GossipSim {
         self.suspicion[node.index()].retain(|&peer, _| view.contains(peer));
     }
 
-    fn on_shuffle_timeout(&mut self, token: u64) {
-        let Some(pending) = self.pending_shuffles.remove(&token) else {
-            return; // the pull arrived in time
-        };
-        let u = pending.initiator.index();
-        if !self.views[u].contains(pending.target) {
+    fn on_shuffle_timeout(&mut self, initiator: NodeIdx, token: u64) {
+        let slot = &mut self.pending_shuffles[initiator.index()];
+        if slot.as_ref().is_none_or(|p| p.token != token) {
+            return; // the pull arrived in time (or the shuffle was superseded)
+        }
+        let PendingShuffle { target, sent, .. } = slot.take().expect("token matched above");
+        sent.recycle(self.net.payload_pool());
+        let u = initiator.index();
+        if !self.views[u].contains(target) {
             // The peer was merged out while the shuffle was in flight;
             // its slate is clean if it ever comes back.
-            self.suspicion[u].remove(&pending.target);
+            self.suspicion[u].remove(&target);
+            self.sync_suspicion_bit(initiator);
             return;
         }
-        let strikes = self.suspicion[u].entry(pending.target).or_insert(0);
+        let strikes = self.suspicion[u].entry(target).or_insert(0);
         *strikes += 1;
         if *strikes >= self.config.suspicion_limit {
-            self.suspicion[u].remove(&pending.target);
-            if self.views[u].remove(pending.target) {
+            self.suspicion[u].remove(&target);
+            if self.views[u].remove(target) {
                 self.stats.failure_declarations += 1;
             }
         }
+        self.sync_suspicion_bit(initiator);
     }
 
     // --- replication and lookup ----------------------------------------------
@@ -719,8 +898,8 @@ impl GossipSim {
                 Msg::Reply { lookup, hops } => self.complete_lookup(lookup, hops),
             },
             Event::Timer { node, timer } => match timer {
-                Timer::Gossip => self.on_gossip_timer(node),
-                Timer::ShuffleTimeout { token } => self.on_shuffle_timeout(token),
+                Timer::Gossip { epoch } => self.on_gossip_timer(node, epoch),
+                Timer::ShuffleTimeout { token } => self.on_shuffle_timeout(node, token),
                 Timer::RingRound { lookup } => self.on_ring_round(lookup),
             },
         }
@@ -972,15 +1151,12 @@ mod tests {
         sim.prune_suspicion(u);
         assert!(sim.suspicion[0].is_empty(), "stale strike survived prune");
         // ...and a shuffle timeout for a departed target strikes nobody.
-        sim.pending_shuffles.insert(
-            999,
-            PendingShuffle {
-                initiator: u,
-                target: absent,
-                sent: vec![],
-            },
-        );
-        sim.on_shuffle_timeout(999);
+        sim.pending_shuffles[0] = Some(PendingShuffle {
+            token: 999,
+            target: absent,
+            sent: Peers::new(),
+        });
+        sim.on_shuffle_timeout(u, 999);
         assert!(sim.suspicion[0].is_empty(), "departed peer was struck");
         assert_eq!(sim.stats().failure_declarations, 0);
     }

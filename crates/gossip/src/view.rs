@@ -23,12 +23,167 @@ pub struct ViewEntry {
     pub age: u32,
 }
 
+/// Views at or below this capacity store their entries inline.
+///
+/// The benchmark configurations all run `view = 8`, and an 8-slot entry
+/// array is exactly one cache line — inlining it into [`PartialView`]
+/// means a shuffle touches one line of the views table instead of
+/// chasing a per-node heap `Vec`. Million-view tables also drop the
+/// per-view allocation entirely.
+const INLINE_VIEW: usize = 8;
+
+/// Entry storage: inline slots for small capacities, a heap `Vec`
+/// beyond [`INLINE_VIEW`]. The variant is fixed at construction from
+/// the view's capacity and never changes. Every mutation preserves slot
+/// order exactly as the `Vec` operations it replaces (order feeds the
+/// deterministic sampling), which the differential property tests in
+/// `tests/properties.rs` check against the invariants.
+#[derive(Debug, Clone)]
+enum Entries {
+    Inline {
+        len: u8,
+        slots: [ViewEntry; INLINE_VIEW],
+    },
+    Heap(Vec<ViewEntry>),
+}
+
+impl Entries {
+    fn new(capacity: usize) -> Self {
+        if capacity <= INLINE_VIEW {
+            Entries::Inline {
+                len: 0,
+                slots: [ViewEntry {
+                    peer: NodeIdx::new(0),
+                    age: 0,
+                }; INLINE_VIEW],
+            }
+        } else {
+            Entries::Heap(Vec::with_capacity(capacity))
+        }
+    }
+
+    fn as_slice(&self) -> &[ViewEntry] {
+        match self {
+            Entries::Inline { len, slots } => &slots[..*len as usize],
+            Entries::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [ViewEntry] {
+        match self {
+            Entries::Inline { len, slots } => &mut slots[..*len as usize],
+            Entries::Heap(v) => v,
+        }
+    }
+
+    /// Appends an entry. Callers guarantee room (the view is bounded by
+    /// its capacity, and inline storage exists only for capacities at
+    /// most [`INLINE_VIEW`]).
+    fn push(&mut self, e: ViewEntry) {
+        match self {
+            Entries::Inline { len, slots } => {
+                slots[*len as usize] = e;
+                *len += 1;
+            }
+            Entries::Heap(v) => v.push(e),
+        }
+    }
+
+    /// Order-preserving removal of slot `i`, like `Vec::remove`.
+    fn remove(&mut self, i: usize) {
+        match self {
+            Entries::Inline { len, slots } => {
+                let l = *len as usize;
+                slots.copy_within(i + 1..l, i);
+                *len -= 1;
+            }
+            Entries::Heap(v) => {
+                v.remove(i);
+            }
+        }
+    }
+
+    /// Order-preserving filter, like `Vec::retain`.
+    fn retain(&mut self, mut keep: impl FnMut(&ViewEntry) -> bool) {
+        match self {
+            Entries::Inline { len, slots } => {
+                let mut kept = 0usize;
+                for i in 0..*len as usize {
+                    if keep(&slots[i]) {
+                        slots[kept] = slots[i];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            Entries::Heap(v) => v.retain(keep),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Entries::Inline { len, .. } => *len = 0,
+            Entries::Heap(v) => v.clear(),
+        }
+    }
+}
+
 /// A bounded, self-free, duplicate-free neighbor sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PartialView {
     owner: NodeIdx,
     capacity: usize,
-    entries: Vec<ViewEntry>,
+    entries: Entries,
+}
+
+// Manual serde impls keeping the wire shape of the formerly derived
+// ones — a map of `owner`, `capacity`, and `entries` as a plain
+// sequence — independent of the inline-vs-heap storage split.
+impl Serialize for PartialView {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("owner".to_string(), self.owner.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            (
+                "entries".to_string(),
+                serde::Value::Seq(
+                    self.entries
+                        .as_slice()
+                        .iter()
+                        .map(|e| e.to_value())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for PartialView {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "PartialView"))?;
+        let owner = NodeIdx::from_value(serde::map_get(map, "owner")?)?;
+        let capacity = usize::from_value(serde::map_get(map, "capacity")?)?;
+        let wire = Vec::<ViewEntry>::from_value(serde::map_get(map, "entries")?)?;
+        let mut entries = Entries::new(capacity);
+        for e in wire {
+            entries.push(e);
+        }
+        Ok(PartialView {
+            owner,
+            capacity,
+            entries,
+        })
+    }
+}
+
+impl PartialEq for PartialView {
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner
+            && self.capacity == other.capacity
+            && self.entries.as_slice() == other.entries.as_slice()
+    }
 }
 
 impl PartialView {
@@ -43,7 +198,7 @@ impl PartialView {
         PartialView {
             owner,
             capacity,
-            entries: Vec::with_capacity(capacity),
+            entries: Entries::new(capacity),
         }
     }
 
@@ -59,46 +214,50 @@ impl PartialView {
 
     /// Number of neighbors currently known.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.as_slice().len()
     }
 
     /// Returns `true` when no neighbors are known.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.as_slice().is_empty()
     }
 
     /// Is `peer` in the view?
     pub fn contains(&self, peer: NodeIdx) -> bool {
-        self.entries.iter().any(|e| e.peer == peer)
+        self.entries.as_slice().iter().any(|e| e.peer == peer)
     }
 
     /// The neighbors, in slot order.
     pub fn peers(&self) -> Vec<NodeIdx> {
-        self.entries.iter().map(|e| e.peer).collect()
+        self.entries.as_slice().iter().map(|e| e.peer).collect()
     }
 
     /// Iterates the entries (tests, diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &ViewEntry> {
-        self.entries.iter()
+        self.entries.as_slice().iter()
     }
 
     /// Ages every entry by one shuffle round.
     pub fn age_all(&mut self) {
-        for e in &mut self.entries {
+        for e in self.entries.as_mut_slice() {
             e.age = e.age.saturating_add(1);
         }
     }
 
     /// The oldest neighbor (ties broken by the later slot), if any.
     pub fn oldest(&self) -> Option<NodeIdx> {
-        self.entries.iter().max_by_key(|e| e.age).map(|e| e.peer)
+        self.entries
+            .as_slice()
+            .iter()
+            .max_by_key(|e| e.age)
+            .map(|e| e.peer)
     }
 
     /// Removes `peer`; returns whether it was present.
     pub fn remove(&mut self, peer: NodeIdx) -> bool {
-        let before = self.entries.len();
+        let before = self.entries.as_slice().len();
         self.entries.retain(|e| e.peer != peer);
-        self.entries.len() != before
+        self.entries.as_slice().len() != before
     }
 
     /// Drops every entry (re-join support).
@@ -113,13 +272,19 @@ impl PartialView {
         if peer == self.owner {
             return false;
         }
-        if let Some(e) = self.entries.iter_mut().find(|e| e.peer == peer) {
+        if let Some(e) = self
+            .entries
+            .as_mut_slice()
+            .iter_mut()
+            .find(|e| e.peer == peer)
+        {
             e.age = 0;
             return false;
         }
-        if self.entries.len() == self.capacity {
+        if self.entries.as_slice().len() == self.capacity {
             let victim = self
                 .entries
+                .as_slice()
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, e)| e.age)
@@ -134,22 +299,33 @@ impl PartialView {
     /// Merges the entries received in a shuffle. `sent` is what this
     /// node handed to the peer in the same exchange: on overflow those
     /// slots are sacrificed first (the swap), then the oldest.
+    ///
+    /// Both arguments are borrowed slices so the engine can pass its
+    /// scratch draw and the message's pooled payload buffer directly —
+    /// a merge never requires materializing (or cloning) a `Vec`.
     pub fn merge(&mut self, received: &[NodeIdx], sent: &[NodeIdx]) {
         for &peer in received {
             if peer == self.owner {
                 continue;
             }
-            if let Some(e) = self.entries.iter_mut().find(|e| e.peer == peer) {
+            if let Some(e) = self
+                .entries
+                .as_mut_slice()
+                .iter_mut()
+                .find(|e| e.peer == peer)
+            {
                 e.age = 0;
                 continue;
             }
-            if self.entries.len() == self.capacity {
+            if self.entries.as_slice().len() == self.capacity {
                 let victim = self
                     .entries
+                    .as_slice()
                     .iter()
                     .position(|e| sent.contains(&e.peer))
                     .unwrap_or_else(|| {
                         self.entries
+                            .as_slice()
                             .iter()
                             .enumerate()
                             .max_by_key(|(_, e)| e.age)
@@ -189,11 +365,12 @@ impl PartialView {
         out: &mut Vec<NodeIdx>,
     ) {
         out.clear();
+        let entries = self.entries.as_slice();
         match exclude {
-            Some(x) if self.entries.len() > 1 => {
-                out.extend(self.entries.iter().map(|e| e.peer).filter(|&p| p != x))
+            Some(x) if entries.len() > 1 => {
+                out.extend(entries.iter().map(|e| e.peer).filter(|&p| p != x))
             }
-            _ => out.extend(self.entries.iter().map(|e| e.peer)),
+            _ => out.extend(entries.iter().map(|e| e.peer)),
         }
         let take = k.min(out.len());
         for i in 0..take {
@@ -220,17 +397,18 @@ impl PartialView {
     /// Panics if the view contains its owner, a duplicate, or more than
     /// `capacity` entries.
     pub fn assert_invariants(&self) {
+        let entries = self.entries.as_slice();
         assert!(
-            self.entries.len() <= self.capacity,
+            entries.len() <= self.capacity,
             "{} holds {} entries, capacity {}",
             self.owner,
-            self.entries.len(),
+            entries.len(),
             self.capacity
         );
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in entries.iter().enumerate() {
             assert!(e.peer != self.owner, "{} contains itself", self.owner);
             assert!(
-                !self.entries[i + 1..].iter().any(|o| o.peer == e.peer),
+                !entries[i + 1..].iter().any(|o| o.peer == e.peer),
                 "{} contains {} twice",
                 self.owner,
                 e.peer

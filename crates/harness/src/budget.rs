@@ -100,6 +100,55 @@ impl WallClockBudget {
     }
 }
 
+/// Peak resident set size of this process in MiB, from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or if the field is
+/// missing.
+pub fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// A peak-RSS ceiling: the memory-side sibling of [`WallClockBudget`],
+/// used by `scale_run --max-rss-mib` as the CI tripwire for kernel
+/// memory regressions (e.g. timer-wheel slots hoarding capacity).
+///
+/// Unlike the wall-clock budget there is nothing to start: `VmHWM` is
+/// the process's high-water mark, so a single reading at check time
+/// covers the whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct RssBudget {
+    ceiling_mib: f64,
+}
+
+impl RssBudget {
+    /// Creates a budget with a peak-RSS ceiling in MiB.
+    pub fn new(ceiling_mib: f64) -> Self {
+        RssBudget { ceiling_mib }
+    }
+
+    /// The ceiling this budget enforces, in MiB.
+    pub fn ceiling_mib(&self) -> f64 {
+        self.ceiling_mib
+    }
+
+    /// Returns `Err` with a ready-to-print message if the process's
+    /// peak RSS exceeds the ceiling; `context` names what ran. Where
+    /// `/proc` is unavailable the reading is skipped and the check
+    /// passes (the gate is a Linux-CI tripwire, not a portability
+    /// contract).
+    pub fn check(&self, context: &str) -> Result<(), String> {
+        match peak_rss_mib() {
+            Some(peak) if peak > self.ceiling_mib => Err(format!(
+                "{context} peaked at {peak:.1} MiB RSS (ceiling {:.1} MiB)",
+                self.ceiling_mib
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +175,16 @@ mod tests {
     #[should_panic(expected = "budget")]
     fn assert_within_panics_past_the_ceiling() {
         WallClockBudget::start(Duration::ZERO).assert_within("work");
+    }
+
+    #[test]
+    fn rss_budget_reads_the_high_water_mark() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_mib().expect("VmHWM") > 0.0);
+            let err = RssBudget::new(0.001).check("this test").unwrap_err();
+            assert!(err.contains("ceiling"), "{err}");
+        }
+        assert!(RssBudget::new(1e12).check("this test").is_ok());
     }
 
     #[test]

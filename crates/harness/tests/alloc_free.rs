@@ -1,0 +1,62 @@
+//! Conformance test for the allocation-free message plane: a warmed-up
+//! 10k-node gossip overlay must run its steady-state shuffle rounds
+//! with (almost) no heap allocations.
+//!
+//! This binary installs [`mpil_alloc::CountingAlloc`] as its global
+//! allocator, so the assertion measures the real thing — every `malloc`
+//! the process performs — not a proxy. The budget is deliberately a
+//! hair above zero: the pooled payload plane is allocation-free by
+//! construction, but rare cold paths (a suspicion map's first insert
+//! for a node, a wheel slot growing past its warmed capacity) are
+//! allowed a trickle. The bound of 0.01 allocations per shuffle round
+//! is ~500x below the two-allocations-per-message plane this replaced.
+
+use mpil_gossip::{build_converged_views, GossipConfig, GossipSim};
+use mpil_sim::{AlwaysOn, SimDuration, UniformLatency};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[global_allocator]
+static ALLOC: mpil_alloc::CountingAlloc = mpil_alloc::CountingAlloc;
+
+#[test]
+fn warmed_up_shuffle_rounds_allocate_nothing() {
+    const NODES: usize = 10_000;
+    let config = GossipConfig::default();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let views = build_converged_views(NODES, config.view_size, &mut rng);
+    let mut sim = GossipSim::new(
+        views,
+        config,
+        Box::new(AlwaysOn),
+        Box::new(UniformLatency::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(80),
+        )),
+        7,
+    );
+    sim.start_maintenance();
+
+    // Warmup: several full shuffle periods populate the timer wheel,
+    // the payload pool, and every per-node scratch structure.
+    let warmup_periods = 4u64;
+    sim.run_until(sim.now() + config.gossip_period * warmup_periods);
+
+    // Steady state: every allocation in here is a regression against
+    // the pooled message plane.
+    let measured_periods = 10u64;
+    let before = mpil_alloc::snapshot();
+    sim.run_until(sim.now() + config.gossip_period * measured_periods);
+    let delta = mpil_alloc::snapshot().since(before);
+
+    let rounds = NODES as u64 * measured_periods;
+    let per_round = delta.allocs as f64 / rounds as f64;
+    assert!(
+        per_round < 0.01,
+        "steady-state shuffles allocate: {} allocations over {} shuffle rounds \
+         ({per_round:.4}/round, {} bytes)",
+        delta.allocs,
+        rounds,
+        delta.bytes,
+    );
+}

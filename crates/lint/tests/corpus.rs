@@ -72,11 +72,26 @@ fn p001_fires_on_unwrap_and_expect_in_lib_code() {
 fn s001_audits_unused_unknown_and_unreasoned_allows() {
     let diags = scan("bad");
     let d = hits(&diags, RuleId::S001);
-    assert_eq!(d.len(), 3, "{diags:?}");
-    assert!(d.iter().all(|x| x.file == "crates/harness/src/lib.rs"));
+    assert_eq!(d.len(), 4, "{diags:?}");
     assert!(d.iter().any(|x| x.message.contains("unused")));
     assert!(d.iter().any(|x| x.message.contains("unknown rule")));
     assert!(d.iter().any(|x| x.message.contains("no reason")));
+    // The pool-type flavor: an allow left stranded on a line its rule
+    // never fires on (the bad half of the pool fixture pair; the good
+    // half, a reasoned D003 allow on a pool spill map, lives in the
+    // clean corpus).
+    let stale = d
+        .iter()
+        .filter(|x| x.file == "crates/sim-pool/src/lib.rs")
+        .collect::<Vec<_>>();
+    assert_eq!(stale.len(), 1, "{diags:?}");
+    assert!(stale[0].message.contains("unused allow(D003)"));
+    assert!(
+        d.iter()
+            .filter(|x| x.file == "crates/harness/src/lib.rs")
+            .count()
+            == 3
+    );
 }
 
 #[test]

@@ -1,0 +1,13 @@
+// Known-bad: S001 on a pool type — an allow annotation parked on a
+// line where the allowed rule never fires (stale after a refactor
+// moved the iteration elsewhere).
+pub struct PayloadPool {
+    free: Vec<Vec<u32>>,
+}
+
+impl PayloadPool {
+    pub fn idle(&self) -> usize {
+        // mpil-lint: allow(D003, free-list scan)
+        self.free.len()
+    }
+}

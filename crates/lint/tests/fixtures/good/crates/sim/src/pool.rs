@@ -1,0 +1,15 @@
+// Known-good: the pooled payload plane's allow-annotation idiom — a
+// spill-tracking Fx map iterated under a reasoned D003 allow (mirrors
+// the suspicion-prune pattern the real pool consumers use).
+use fxhash::FxHashMap;
+
+pub struct PayloadPool {
+    spills: FxHashMap<u64, usize>,
+}
+
+impl PayloadPool {
+    pub fn largest_spill(&self) -> usize {
+        // mpil-lint: allow(D003, max over sizes; visit order cannot change the maximum)
+        self.spills.values().copied().max().unwrap_or(0)
+    }
+}

@@ -77,10 +77,16 @@ impl FlappingConfig {
 #[derive(Debug, Clone)]
 pub struct Flapping {
     config: FlappingConfig,
+    /// Per-node phase in µs, with [`EXEMPT_BIT`] folded into the top
+    /// bit. One array — and so one cache line — per `is_online` call,
+    /// which the kernel makes on every delivery.
     phase_us: Vec<u64>,
-    exempt: Vec<bool>,
     coin_seed: u64,
 }
+
+/// Top bit of a phase word: the node is exempt (always online). Phases
+/// are bounded by the flapping period, far below this bit.
+const EXEMPT_BIT: u64 = 1 << 63;
 
 impl Flapping {
     /// Creates a flapping schedule for `n` nodes.
@@ -104,18 +110,21 @@ impl Flapping {
         );
         let period = config.period().as_micros();
         assert!(period > 0, "flapping period must be positive");
+        assert!(
+            period < EXEMPT_BIT,
+            "flapping period overflows phase encoding"
+        );
         let phase_us = (0..n).map(|_| rng.gen_range(0..period)).collect();
         Flapping {
             config,
             phase_us,
-            exempt: vec![false; n],
             coin_seed,
         }
     }
 
     /// Marks `node` as exempt: it is always online.
     pub fn exempt(&mut self, node: NodeIdx) {
-        self.exempt[node.index()] = true;
+        self.phase_us[node.index()] |= EXEMPT_BIT;
     }
 
     /// The model's configuration.
@@ -135,14 +144,15 @@ impl Flapping {
 
 impl Availability for Flapping {
     fn is_online(&self, node: NodeIdx, at: SimTime) -> bool {
-        if self.exempt[node.index()] {
+        let phase = self.phase_us[node.index()];
+        if phase & EXEMPT_BIT != 0 {
             return true;
         }
         if at < self.config.start {
             return true;
         }
         let since = at.duration_since(self.config.start).as_micros();
-        let local = since + self.phase_us[node.index()];
+        let local = since + phase;
         let period = self.config.period().as_micros();
         let period_idx = local / period;
         let pos = local % period;

@@ -30,6 +30,7 @@ pub mod availability;
 pub mod latency;
 pub mod net;
 pub mod outcome;
+pub mod pool;
 pub mod rng;
 pub mod time;
 mod wheel;
@@ -38,4 +39,5 @@ pub use availability::{AlwaysOn, Availability, Flapping, FlappingConfig, TraceCh
 pub use latency::{ConstantLatency, LatencyModel, TransitStubLatency, UniformLatency};
 pub use net::{Event, NetStats, Network};
 pub use outcome::LookupOutcome;
+pub use pool::{PayloadBuf, PayloadPool, PoolStats, PAYLOAD_INLINE};
 pub use time::{SimDuration, SimTime};

@@ -9,15 +9,19 @@
 //!
 //! # Layout
 //!
-//! Seven levels of 64 slots each. A pending event's level is the highest
-//! bit at which its due time differs from `now` (6 bits per level), so
-//! level `L` slots are `64^L` µs wide and the wheel spans `2^42` µs
-//! (≈ 52 simulated days). Events beyond the horizon go to a small
-//! overflow `BinaryHeap` — the heap fallback for far-future events —
-//! and migrate into the wheel as `now` approaches them. Per-level
-//! occupancy bitmaps (one `u64` each) make "find the next occupied
-//! slot" a couple of bit instructions; empty stretches of virtual time
-//! cost nothing to skip.
+//! Six levels of 256 slots each. A pending event's level is the highest
+//! bit at which its due time differs from `now` (8 bits per level), so
+//! level `L` slots are `256^L` µs wide and the wheel spans `2^48` µs
+//! (≈ 8.9 simulated years). Wide levels keep cascades rare: an entry
+//! pays one memcpy per level it descends through, and at 8 bits the
+//! common delay classes — tens-of-ms message latencies, seconds-scale
+//! maintenance timers — sit one level lower than a 64-slot wheel would
+//! put them. Events beyond the horizon go to a small overflow
+//! `BinaryHeap` — the heap fallback for far-future events — and migrate
+//! into the wheel as `now` approaches them. Per-level occupancy bitmaps
+//! (four `u64` words each) make "find the next occupied slot" a handful
+//! of bit instructions; empty stretches of virtual time cost nothing to
+//! skip.
 //!
 //! # Determinism contract
 //!
@@ -39,12 +43,30 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Bits per wheel level: 64 slots.
-const LEVEL_BITS: u32 = 6;
+/// Bits per wheel level: 256 slots. Wider levels mean fewer cascades
+/// per entry — the dominant wheel cost is the memcpy an entry pays at
+/// each level it descends through, and at 8 bits the common delay
+/// classes (tens-of-ms message latencies, single-digit-second
+/// maintenance timers) land one whole level lower than they would at
+/// 6 bits.
+const LEVEL_BITS: u32 = 8;
 /// Slots per level.
 const SLOTS: usize = 1 << LEVEL_BITS;
-/// Number of levels; the wheel spans `2^(6*LEVELS)` µs from `now`.
-const LEVELS: usize = 7;
+/// `u64` words per per-level occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Number of levels; the wheel spans `2^(8*LEVELS)` µs from `now`
+/// (≈ 8.9 simulated years).
+const LEVELS: usize = 6;
+/// Largest slot-buffer capacity kept alive after a drain. High-level
+/// slots are wide (a level-3 slot spans ≈ 16.8 simulated seconds) and
+/// transiently collect tens of thousands of entries before cascading
+/// them down; retaining every such high-water allocation across the
+/// wheel's rotation is the difference between a working set proportional
+/// to *pending entries* and one proportional to *entries ever enqueued
+/// per rotation* (gigabytes at million-node scale). Small buffers are
+/// kept — reallocating the hot low-level slots every rotation would put
+/// allocator traffic back on the message plane.
+const SLOT_KEEP_CAP: usize = 1024;
 
 struct Entry<V> {
     at: u64,
@@ -100,8 +122,8 @@ pub(crate) struct TimerWheel<V> {
     len: usize,
     /// `LEVELS * SLOTS` slot buffers, level-major.
     slots: Vec<Vec<Entry<V>>>,
-    /// Per-level occupancy bitmaps.
-    occupied: [u64; LEVELS],
+    /// Per-level occupancy bitmaps, `WORDS` words per level.
+    occupied: [[u64; WORDS]; LEVELS],
     /// Entries due exactly at `now`, seq-ascending, popped from the front.
     current: VecDeque<Entry<V>>,
     /// Entries beyond the wheel horizon.
@@ -124,7 +146,7 @@ impl<V> TimerWheel<V> {
             seq: 0,
             len: 0,
             slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
-            occupied: [0; LEVELS],
+            occupied: [[0; WORDS]; LEVELS],
             current: VecDeque::new(),
             overflow: BinaryHeap::new(),
         }
@@ -168,7 +190,18 @@ impl<V> TimerWheel<V> {
         }
         let slot = ((entry.at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
         self.slots[level * SLOTS + slot].push(entry);
-        self.occupied[level] |= 1 << slot;
+        self.occupied[level][slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// The lowest occupied slot at `level`, scanning the level's
+    /// occupancy words (a handful of bit instructions).
+    fn first_occupied(&self, level: usize) -> Option<usize> {
+        for (w, &word) in self.occupied[level].iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Advances the wheel clock without popping (the caller verified no
@@ -214,7 +247,8 @@ impl<V> TimerWheel<V> {
             }
 
             // Find the lowest occupied level.
-            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+            let Some((level, slot)) = (0..LEVELS).find_map(|l| Some((l, self.first_occupied(l)?)))
+            else {
                 // Wheel empty: the overflow heap (all beyond the
                 // horizon) holds the earliest entries, if any.
                 let Some(Reverse(head)) = self.overflow.peek() else {
@@ -241,7 +275,6 @@ impl<V> TimerWheel<V> {
 
             let shift = LEVEL_BITS * level as u32;
             let pos = ((self.now >> shift) & (SLOTS as u64 - 1)) as usize;
-            let slot = self.occupied[level].trailing_zeros() as usize;
             debug_assert!(slot >= pos, "an occupied slot fell behind the clock");
 
             if level > 0 && slot == pos {
@@ -271,11 +304,22 @@ impl<V> TimerWheel<V> {
                 // seq order) and loop to drain.
                 let idx = slot; // level 0: idx = 0 * SLOTS + slot
                 let mut pending = std::mem::take(&mut self.slots[idx]);
-                self.occupied[0] &= !(1 << slot);
+                self.occupied[0][slot / 64] &= !(1 << (slot % 64));
                 debug_assert!(pending.iter().all(|e| e.at == base));
                 debug_assert!(pending.windows(2).all(|w| w[0].seq < w[1].seq));
+                if pending.len() == 1 {
+                    // Most ticks hold exactly one entry; hand it straight
+                    // to the caller instead of bouncing through `current`.
+                    let entry = pending.pop().expect("len checked");
+                    self.slots[idx] = bounded_keep(pending);
+                    self.len -= 1;
+                    return Popped::Event {
+                        at: entry.at,
+                        item: entry.item,
+                    };
+                }
                 self.current.extend(pending.drain(..));
-                self.slots[idx] = pending; // keep the allocation
+                self.slots[idx] = bounded_keep(pending);
             } else {
                 self.cascade(level, slot);
             }
@@ -295,7 +339,7 @@ impl<V> TimerWheel<V> {
     fn cascade(&mut self, level: usize, slot: usize) {
         let idx = level * SLOTS + slot;
         let mut pending = std::mem::take(&mut self.slots[idx]);
-        self.occupied[level] &= !(1 << slot);
+        self.occupied[level][slot / 64] &= !(1 << (slot % 64));
         for entry in pending.drain(..) {
             debug_assert!(entry.at >= self.now);
             if entry.at == self.now {
@@ -305,7 +349,19 @@ impl<V> TimerWheel<V> {
                 self.insert_future(entry);
             }
         }
-        self.slots[idx] = pending; // keep the allocation
+        self.slots[idx] = bounded_keep(pending);
+    }
+}
+
+/// Returns the drained slot buffer for reuse, unless its high-water
+/// capacity exceeds [`SLOT_KEEP_CAP`] (see there for why oversized
+/// buffers must be released).
+fn bounded_keep<V>(buf: Vec<Entry<V>>) -> Vec<Entry<V>> {
+    debug_assert!(buf.is_empty());
+    if buf.capacity() > SLOT_KEEP_CAP {
+        Vec::new()
+    } else {
+        buf
     }
 }
 
@@ -401,7 +457,7 @@ mod tests {
     #[test]
     fn overflow_events_round_trip() {
         let mut w: TimerWheel<u32> = TimerWheel::new();
-        let far = 1u64 << 50; // beyond the 2^42 horizon
+        let far = 1u64 << 50; // beyond the 2^48 horizon
         w.push(far, 7);
         w.push(far, 8);
         w.push(3, 9);

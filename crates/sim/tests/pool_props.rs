@@ -1,0 +1,98 @@
+//! Property-based tests for the pooled payload buffer: a
+//! [`PayloadBuf`] driven through arbitrary push/clone/recycle
+//! sequences must behave exactly like a plain `Vec`, and spill storage
+//! must round-trip through the [`PayloadPool`] free list rather than
+//! the allocator.
+
+use mpil_sim::{PayloadBuf, PayloadPool};
+use proptest::prelude::*;
+
+/// A small inline capacity so the generated payload lengths routinely
+/// cross the inline/spill boundary in both directions.
+type Buf = PayloadBuf<u32, 4>;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pushing arbitrary values matches the `Vec` model, inline or
+    /// spilled, and the spill flag flips exactly at the capacity.
+    #[test]
+    fn buffer_matches_vec_model(values in prop::collection::vec(any::<u32>(), 0..24)) {
+        let mut pool = PayloadPool::new();
+        let mut buf = Buf::new();
+        let mut model = Vec::new();
+        for &v in &values {
+            buf.push(v, &mut pool);
+            model.push(v);
+            prop_assert_eq!(buf.as_slice(), model.as_slice());
+            prop_assert_eq!(buf.len(), model.len());
+            prop_assert_eq!(buf.spilled(), model.len() > 4);
+        }
+        prop_assert_eq!(buf.is_empty(), values.is_empty());
+        buf.recycle(&mut pool);
+    }
+
+    /// `extend_from_slice` and element-wise `push` build identical
+    /// buffers, and `clone_in` reproduces the contents exactly.
+    #[test]
+    fn bulk_and_clone_agree_with_pushes(values in prop::collection::vec(any::<u32>(), 0..24)) {
+        let mut pool = PayloadPool::new();
+        let mut pushed = Buf::new();
+        for &v in &values {
+            pushed.push(v, &mut pool);
+        }
+        let mut bulk = Buf::new();
+        bulk.extend_from_slice(&values, &mut pool);
+        prop_assert_eq!(&pushed, &bulk);
+
+        let cloned = pushed.clone_in(&mut pool);
+        prop_assert_eq!(cloned.as_slice(), values.as_slice());
+        prop_assert_eq!(cloned.spilled(), pushed.spilled());
+
+        pushed.recycle(&mut pool);
+        bulk.recycle(&mut pool);
+        cloned.recycle(&mut pool);
+    }
+
+    /// The recycle/spill round-trip: once a spilled buffer has been
+    /// recycled, later spills reuse the parked storage instead of
+    /// allocating, for any interleaving of buffer lifetimes.
+    #[test]
+    fn spill_storage_round_trips_through_the_pool(
+        rounds in prop::collection::vec(5usize..24, 1..12),
+    ) {
+        let mut pool: PayloadPool<u32> = PayloadPool::new();
+        for (i, &len) in rounds.iter().enumerate() {
+            let mut buf = Buf::new();
+            for v in 0..len as u32 {
+                buf.push(v, &mut pool);
+            }
+            prop_assert!(buf.spilled(), "len {len} must exceed inline capacity");
+            buf.recycle(&mut pool);
+            prop_assert_eq!(pool.idle(), 1, "recycled storage is parked, not freed");
+            let stats = pool.stats();
+            prop_assert_eq!(stats.taken, (i + 1) as u64);
+            prop_assert_eq!(stats.recycled, (i + 1) as u64);
+            // Every round after the first found the first round's
+            // vector on the free list.
+            prop_assert_eq!(stats.reused, i as u64);
+            prop_assert_eq!(stats.discarded, 0);
+        }
+    }
+
+    /// Inline-only traffic never touches the pool at all.
+    #[test]
+    fn inline_traffic_leaves_the_pool_cold(values in prop::collection::vec(any::<u32>(), 0..5)) {
+        let mut pool = PayloadPool::new();
+        let mut buf = Buf::new();
+        for &v in &values {
+            buf.push(v, &mut pool);
+        }
+        prop_assert!(!buf.spilled());
+        let clone = buf.clone_in(&mut pool);
+        clone.recycle(&mut pool);
+        buf.recycle(&mut pool);
+        prop_assert_eq!(pool.stats(), Default::default());
+        prop_assert_eq!(pool.idle(), 0);
+    }
+}

@@ -34,7 +34,14 @@ scripts/verify.sh --benches
 # for slow CI machines. The budget is enforced in-process by the same
 # WallClockBudget helper the 10k conformance smoke uses (--budget-s);
 # the outer `timeout` only remains as a hang backstop.
-timeout 150 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 --budget-s 120 \
-    || { echo "ci: 20k-node scale smoke exceeded its budget or failed" >&2; exit 1; }
+#
+# --max-rss-mib is the memory-side tripwire (RssBudget): the pooled
+# message plane holds this point near 28 MiB peak; before the wheel
+# slots stopped hoarding drained capacity it sat above 130 MiB, so a
+# 100 MiB ceiling trips on a return of that pathology (or any new
+# kernel memory regression) with ~3.5x slack over today's footprint.
+timeout 150 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 \
+    --budget-s 120 --max-rss-mib 100 \
+    || { echo "ci: 20k-node scale smoke exceeded a budget or failed" >&2; exit 1; }
 
 echo "ci: OK"
