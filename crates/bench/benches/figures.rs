@@ -273,6 +273,75 @@ fn bench_message_plane(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_epidemic_plane(c: &mut Criterion) {
+    use mpil_gossip::{build_converged_membership, EpidemicConfig, EpidemicSim};
+    use mpil_id::Id;
+    use mpil_overlay::NodeIdx;
+    use mpil_sim::{AlwaysOn, SimDuration, UniformLatency};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fresh_sim(seed: u64) -> (EpidemicSim, EpidemicConfig) {
+        let config = EpidemicConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let members =
+            build_converged_membership(5_000, config.active_size, config.passive_size, &mut rng);
+        let sim = EpidemicSim::new(
+            members,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(UniformLatency::new(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(80),
+            )),
+            seed,
+        );
+        (sim, config)
+    }
+
+    // The epidemic engine's two hot paths, isolated: one HyParView
+    // maintenance round across 5k nodes (a neighbor probe plus a
+    // shuffle exchange per node — divide by 5000 for per-node cost),
+    // and one Plumtree broadcast (eager Gossip along ~n-1 tree links
+    // plus IHAVE digests on the lazy links — divide by 5000 for
+    // per-delivery cost).
+    let mut g = c.benchmark_group("epidemic_plane");
+    g.sample_size(10);
+    g.bench_function("hyparview_shuffle_round_5k", |b| {
+        let (mut sim, config) = fresh_sim(9);
+        sim.start_maintenance();
+        // Warm the timer wheel, payload pool, and per-node scratch so
+        // the measured iterations see the steady state.
+        sim.run_until(sim.now() + config.gossip_period * 4);
+        b.iter(|| {
+            sim.run_until(sim.now() + config.gossip_period);
+            black_box(sim.net_stats().delivered)
+        })
+    });
+    g.bench_function("plumtree_broadcast_5k", |b| {
+        // No maintenance: the overlay is quiet, so an iteration's cost
+        // is one broadcast wave and its GRAFT/PRUNE repair traffic.
+        let (mut sim, _) = fresh_sim(11);
+        let origin = NodeIdx::new(0);
+        let mut i = 0u64;
+        for _ in 0..16 {
+            // Warm the wheel, pools, and per-node store tables — and
+            // prune the eager graph down to its spanning tree, so the
+            // measured broadcasts ride the converged topology.
+            i += 1;
+            sim.insert(origin, Id::from_low_u64(mix(i) | 1));
+            sim.run_to_quiescence();
+        }
+        b.iter(|| {
+            i += 1;
+            sim.insert(origin, Id::from_low_u64(mix(i) | 1));
+            sim.run_to_quiescence();
+            black_box(sim.net_stats().delivered)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig1_point,
@@ -283,6 +352,7 @@ criterion_group!(
     bench_ext_gossip_point,
     bench_kernel_scheduler,
     bench_arena_map,
-    bench_message_plane
+    bench_message_plane,
+    bench_epidemic_plane
 );
 criterion_main!(benches);

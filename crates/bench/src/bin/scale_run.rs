@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! cargo run --release -p mpil-bench --bin scale_run -- \
-//!     --engine mpil|kademlia|gossip --nodes N [--ops K] [--p X] [--seed S] \
-//!     [--strategy walk|ring] [--budget-s B] [--max-rss-mib M]
+//!     --engine mpil|kademlia|chord|pastry|gossip|plumtree|foaf \
+//!     --nodes N [--ops K] [--p X] [--seed S] \
+//!     [--strategy walk|ring|plumtree|foaf] \
+//!     [--budget-s B] [--max-rss-mib M] [--max-msgs-per-lookup T]
 //! ```
 //!
 //! Prints one JSON object line per invocation. Run one point per process
@@ -12,18 +14,22 @@
 //! `BENCH_scale.json` is composed from the per-point lines.
 //!
 //! `--strategy` selects the gossip lookup strategy (`walk`, the
-//! default, or `ring`); the other engines ignore it.
+//! default, `ring`, `plumtree`, or `foaf` — the last two pick the
+//! HyParView/Plumtree epidemic engine, also reachable directly as
+//! `--engine plumtree|foaf`); the other engines ignore it.
 //!
-//! `--budget-s B` and `--max-rss-mib M` turn the run into a CI
-//! tripwire: if the point takes longer than `B` wall-clock seconds or
-//! the process's peak RSS exceeds `M` MiB, the process exits 1 (the
-//! point is still printed, so a bad run remains diagnosable).
+//! `--budget-s B`, `--max-rss-mib M`, and `--max-msgs-per-lookup T`
+//! turn the run into a CI tripwire: if the point takes longer than `B`
+//! wall-clock seconds, the process's peak RSS exceeds `M` MiB, or
+//! stage-2 lookup traffic averages more than `T` messages per lookup,
+//! the process exits 1 (the point is still printed, so a bad run
+//! remains diagnosable).
 
 use std::time::Duration;
 
 use mpil_bench::scale_curve::{run_point, scale_spec};
 use mpil_bench::Args;
-use mpil_harness::{RssBudget, WallClockBudget};
+use mpil_harness::{RssBudget, TrafficBudget, WallClockBudget};
 
 /// Count every heap allocation so the point can report steady-state
 /// allocations per kernel event — the enforcement side of the
@@ -38,7 +44,8 @@ fn main() {
     let Some(spec) = scale_spec(&name, &strategy) else {
         eprintln!(
             "unknown --engine '{name}' / --strategy '{strategy}' \
-             (expected mpil, kademlia, or gossip; walk or ring)"
+             (expected mpil, kademlia, chord, pastry, gossip, plumtree, or foaf; \
+             walk, ring, plumtree, or foaf)"
         );
         std::process::exit(2);
     };
@@ -50,6 +57,9 @@ fn main() {
     let budget = (budget_s > 0).then(|| WallClockBudget::start(Duration::from_secs(budget_s)));
     let max_rss_mib = args.value_or("max-rss-mib", 0.0f64);
     let rss_budget = (max_rss_mib > 0.0).then(|| RssBudget::new(max_rss_mib));
+    let max_msgs_per_lookup = args.value_or("max-msgs-per-lookup", 0.0f64);
+    let traffic_budget =
+        (max_msgs_per_lookup > 0.0).then(|| TrafficBudget::new(max_msgs_per_lookup));
     let point = run_point(spec, nodes, ops, p, seed);
     eprintln!(
         "{}: {} nodes in {:.2}s (build {:.2}s, inserts {:.2}s, lookups {:.2}s), peak {:.0} MiB, \
@@ -75,6 +85,12 @@ fn main() {
     }
     if let Some(rss_budget) = rss_budget {
         if let Err(msg) = rss_budget.check(&context) {
+            eprintln!("scale_run: {msg}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(traffic_budget) = traffic_budget {
+        if let Err(msg) = traffic_budget.check(&context, point.lookup_msgs, point.operations) {
             eprintln!("scale_run: {msg}");
             std::process::exit(1);
         }

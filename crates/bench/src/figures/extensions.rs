@@ -4,13 +4,16 @@
 
 use mpil::{DynamicConfig, DynamicNetwork, MpilConfig};
 use mpil_harness::{
-    DiscoveryEngine, EngineSpec, ExperimentRunner, LookupStrategy, OverlaySource, Report, Scenario,
+    DiscoveryEngine, EngineSpec, ExperimentRunner, LookupStrategy, OverlaySource, PerturbResult,
+    PreparedRun, Report, Scenario,
 };
 use mpil_id::Id;
 use mpil_overlay::transit_stub::{self, TransitStubConfig};
 use mpil_overlay::NodeIdx;
 use mpil_pastry::{build_converged_states, PastryConfig, PastrySim};
-use mpil_sim::{AlwaysOn, SimDuration, SimTime, TraceChurn, TransitStubLatency};
+use mpil_sim::{
+    AlwaysOn, Flapping, FlappingConfig, SimDuration, SimTime, TraceChurn, TransitStubLatency,
+};
 use mpil_workload::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -260,6 +263,11 @@ pub fn ext_gossip_discovery(args: &Args) -> Report {
     let (nodes, ops) = if full { (1000, 500) } else { (250, 50) };
     let nodes = args.value_or("nodes", nodes);
     let ops = args.value_or("ops", ops);
+    if args.flag("dissemination") {
+        // A separate mode (not extra rows) so the default table's RNG
+        // streams and bytes stay exactly as previous releases printed.
+        return ext_dissemination(nodes, ops, seed);
+    }
     let probabilities = [0.0, 0.5, 0.9];
 
     let specs: Vec<EngineSpec> = vec![
@@ -327,6 +335,176 @@ pub fn ext_gossip_discovery(args: &Args) -> Report {
             .map(EngineSpec::label)
             .collect::<Vec<_>>()
             .join(", ")
+    ));
+    report
+}
+
+/// One dissemination-comparison point: the standard two-stage
+/// methodology, plus a recovery stage — the flapping model is replaced
+/// by full availability, the membership layer gets two calm periods to
+/// heal, and the whole workload is looked up again. The recovery
+/// success rate is the "convergence after flap" column: it separates
+/// engines whose view graph healed (HyParView's reactive replacement)
+/// from engines that merely got lucky during the storm.
+fn dissemination_point(scenario: &Scenario) -> (PerturbResult, f64) {
+    let run = scenario.run;
+    let PreparedRun {
+        mut engine,
+        origin,
+        objects,
+        mut rng,
+        maintenance,
+        warmup_secs,
+    } = scenario.build();
+
+    for &object in &objects {
+        engine.insert(origin, object);
+    }
+    engine.run_to_quiescence();
+    let mean_replicas = objects
+        .iter()
+        .map(|&o| engine.replica_count(o) as f64)
+        .sum::<f64>()
+        / objects.len().max(1) as f64;
+
+    if maintenance {
+        engine.start_maintenance();
+    }
+    if warmup_secs > 0 {
+        engine.advance(SimDuration::from_secs(warmup_secs));
+    }
+    let flap_cfg = FlappingConfig {
+        idle: SimDuration::from_secs(run.idle_secs),
+        offline: SimDuration::from_secs(run.offline_secs),
+        probability: run.probability,
+        start: engine.now(),
+    };
+    let mut flap = Flapping::new(flap_cfg, run.nodes, run.seed ^ 0xf1a9, &mut rng);
+    flap.exempt(origin);
+    engine.set_availability(Box::new(flap));
+    let flap_start = engine.now();
+    let period = run.period();
+    let window = run.deadline_window();
+
+    let before = engine.counters();
+    let mut handles = Vec::with_capacity(objects.len());
+    for (i, &object) in objects.iter().enumerate() {
+        let issue_at = flap_start + period * (i as u64 + 1);
+        engine.run_until(issue_at);
+        handles.push(engine.issue_lookup(origin, object, issue_at + window));
+    }
+    engine.run_until(engine.now() + window + SimDuration::from_secs(30));
+    let mut hops = Vec::new();
+    let mut ok = 0u64;
+    for &handle in &handles {
+        if let mpil_sim::LookupOutcome::Succeeded { hops: h, .. } = engine.lookup_outcome(handle) {
+            ok += 1;
+            hops.push(f64::from(h));
+        }
+    }
+    let after = engine.counters();
+    let stormy = PerturbResult {
+        success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
+        lookup_messages: after.lookup_messages - before.lookup_messages,
+        total_messages: after.total_messages - before.total_messages,
+        mean_reply_hops: hops.iter().sum::<f64>() / hops.len().max(1) as f64,
+        mean_replicas,
+    };
+
+    // Recovery: the storm ends, the overlay heals, the workload repeats.
+    engine.set_availability(Box::new(AlwaysOn));
+    engine.run_until(engine.now() + period * 2);
+    let deadline = engine.now() + window;
+    let recovered: Vec<_> = objects
+        .iter()
+        .map(|&o| engine.issue_lookup(origin, o, deadline))
+        .collect();
+    engine.run_until(deadline + SimDuration::from_secs(30));
+    let rec_ok = recovered
+        .iter()
+        .filter(|&&h| engine.lookup_outcome(h).is_success())
+        .count();
+    let convergence = 100.0 * rec_ok as f64 / recovered.len().max(1) as f64;
+    (stormy, convergence)
+}
+
+/// The `--dissemination` mode of [`ext_gossip_discovery`]: Plumtree and
+/// FOAF lookups on the HyParView/Plumtree epidemic engine against the
+/// expanding-ring flood they replace, plus MPIL routed over the frozen
+/// HyParView active graph (overlay-independence on the new view graph).
+/// Adds the two columns the flat table lacks: msgs/lookup at both ends
+/// of the flapping sweep, and convergence after the flap ends.
+fn ext_dissemination(nodes: usize, ops: usize, seed: u64) -> Report {
+    let probabilities = [0.0, 0.5, 0.9];
+    let specs: Vec<EngineSpec> = vec![
+        EngineSpec::Gossip {
+            view: 8,
+            walkers: 8,
+            ttl: 8,
+            strategy: LookupStrategy::ExpandingRing,
+        },
+        EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Plumtree,
+        },
+        EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Foaf,
+        },
+        EngineSpec::MpilOver(OverlaySource::HyParView { active: 8 }),
+    ];
+    let mut points = Vec::new();
+    for &spec in &specs {
+        for &p in &probabilities {
+            let mut run = PerturbRun::new(30, 30, p);
+            run.nodes = nodes;
+            run.operations = ops;
+            run.seed = seed;
+            points.push(Scenario::new(spec, run));
+        }
+    }
+    let results = ExperimentRunner::default().map(&points, dissemination_point);
+
+    let mut header: Vec<String> = vec!["system".into()];
+    header.extend(probabilities.iter().map(|p| format!("p={p} %")));
+    header.push("msgs/lookup (p=0)".into());
+    header.push("msgs/lookup (p=0.9)".into());
+    header.push("converged % (post-flap)".into());
+    let mut table = Table::new(header);
+    for (si, spec) in specs.iter().enumerate() {
+        let mut cells = vec![spec.label()];
+        for (pi, &p) in probabilities.iter().enumerate() {
+            let rate = results[si * probabilities.len() + pi].0.success_rate;
+            cells.push(format!("{rate:.1}"));
+            eprintln!("{} p={p}: {rate:.1}%", spec.label());
+        }
+        let calm = &results[si * probabilities.len()].0;
+        let stormy = &results[si * probabilities.len() + probabilities.len() - 1];
+        cells.push(format!("{:.1}", calm.lookup_messages as f64 / ops as f64));
+        cells.push(format!(
+            "{:.1}",
+            stormy.0.lookup_messages as f64 / ops as f64
+        ));
+        cells.push(format!("{:.1}", stormy.1));
+        table.row(cells);
+    }
+    let mut report = Report::new();
+    report.table(
+        format!(
+            "Extension: dissemination layer — Plumtree/FOAF vs expanding-ring flood \
+             ({nodes} nodes, {ops} lookups, idle:offline=30:30, seed={seed})"
+        ),
+        table,
+    );
+    report.note(format!(
+        "engines = [{}]; convergence measured two calm periods after the flapping stops",
+        specs
+            .iter()
+            .map(EngineSpec::label)
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     report
 }

@@ -41,6 +41,9 @@ pub struct ScalePoint {
     pub success_rate: f64,
     /// Raw kernel sends over the whole run.
     pub sent: u64,
+    /// Lookup-class messages during stage 2 (the numerator of the
+    /// msgs/lookup traffic tripwire).
+    pub lookup_msgs: u64,
     /// Kernel events (deliveries + timer fires) during stage 2 — the
     /// steady-state denominator for `allocs`.
     pub events: u64,
@@ -58,7 +61,8 @@ impl ScalePoint {
             "{{\"engine\": \"{}\", \"nodes\": {}, \"ops\": {}, \"seed\": {}, \"p\": {}, \
              \"build_s\": {:.3}, \"insert_s\": {:.3}, \"lookup_s\": {:.3}, \"total_s\": {:.3}, \
              \"peak_rss_mib\": {:.1}, \"success_rate\": {:.1}, \"sent\": {}, \"events\": {}, \
-             \"allocs\": {}, \"allocs_per_event\": {:.4}}}",
+             \"allocs\": {}, \"allocs_per_event\": {:.4}, \"lookup_msgs\": {}, \
+             \"msgs_per_lookup\": {:.1}}}",
             self.engine,
             self.nodes,
             self.operations,
@@ -74,7 +78,15 @@ impl ScalePoint {
             self.events,
             self.allocs,
             self.allocs_per_event(),
+            self.lookup_msgs,
+            self.msgs_per_lookup(),
         )
+    }
+
+    /// Stage-2 lookup-class messages per lookup driven — what the
+    /// `scale_run --max-msgs-per-lookup` tripwire budgets.
+    pub fn msgs_per_lookup(&self) -> f64 {
+        self.lookup_msgs as f64 / self.operations.max(1) as f64
     }
 
     /// Stage-2 heap allocations per kernel event — ~0 when the message
@@ -88,18 +100,36 @@ impl ScalePoint {
 /// Maps a `scale_run --engine` name (plus, for gossip, a `--strategy`)
 /// onto its [`EngineSpec`].
 ///
-/// The curve engines are the three the kernel work targets: MPIL over a
-/// frozen random graph (no maintenance timers), Kademlia (per-node
-/// refresh timers), and gossip (per-node shuffle timers — the heaviest
+/// All five engine families scale-test here: MPIL over a frozen random
+/// graph (no maintenance timers), Kademlia (per-node refresh timers),
+/// Chord and MSPastry (full structured maintenance, converged builds),
+/// and the two gossip engines (per-node shuffle timers — the heaviest
 /// scheduler load). Gossip takes a lookup strategy: `walk` (the default
 /// k-random-walk: 8 walkers, ttl 16) or `ring` (expanding-ring flooding,
-/// ttl 8). The strategies scale very differently — see the note in
-/// `BENCH_scale.json` on why k-walk success collapses to 0% at 10k+
-/// nodes while ring stays near 100%.
+/// ttl 8); `plumtree` and `foaf` select the HyParView/Plumtree epidemic
+/// engine with tree-query or bounded-fanout-walk lookups. The
+/// strategies scale very differently — see the notes in
+/// `BENCH_scale.json` (k-walk success collapses to 0% at 10k+ nodes
+/// while ring stays near 100%) and `BENCH_pr9.json` (plumtree matches
+/// ring's success at a fraction of its lookup traffic).
 pub fn scale_spec(name: &str, strategy: &str) -> Option<EngineSpec> {
     match (name, strategy) {
         ("mpil", _) => Some(EngineSpec::MpilOver(OverlaySource::RandomRegular(8))),
         ("kademlia", _) => Some(EngineSpec::Kademlia { k: 8, alpha: 3 }),
+        ("chord", _) => Some(EngineSpec::Chord),
+        ("pastry", _) => Some(EngineSpec::Pastry {
+            replication_on_route: false,
+        }),
+        ("plumtree", _) | ("gossip", "plumtree") => Some(EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Plumtree,
+        }),
+        ("foaf", _) | ("gossip", "foaf") => Some(EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Foaf,
+        }),
         ("gossip", "walk") => Some(EngineSpec::Gossip {
             view: 8,
             walkers: 8,
@@ -144,6 +174,7 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
     let insert_s = t1.elapsed_s();
 
     let stats_before = engine.net_stats();
+    let counters_before = engine.counters();
     let allocs_before = mpil_alloc::snapshot();
     let t2 = WallClock::start();
     if maintenance {
@@ -174,6 +205,7 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
     engine.run_until(tail);
     let lookup_s = t2.elapsed_s();
     let stats_after = engine.net_stats();
+    let counters_after = engine.counters();
     let allocs_after = mpil_alloc::snapshot();
     let events = (stats_after.delivered - stats_before.delivered)
         + (stats_after.timers_fired - stats_before.timers_fired);
@@ -195,6 +227,7 @@ pub fn run_point(spec: EngineSpec, nodes: usize, ops: usize, p: f64, seed: u64) 
         peak_rss_mib: peak_rss_mib().unwrap_or(0.0),
         success_rate: 100.0 * ok as f64 / handles.len().max(1) as f64,
         sent: engine.net_stats().sent,
+        lookup_msgs: counters_after.lookup_messages - counters_before.lookup_messages,
         events,
         allocs: allocs_after.since(allocs_before).allocs,
     }
@@ -205,11 +238,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scale_spec_knows_the_three_curve_engines() {
+    fn scale_spec_knows_every_curve_engine() {
         assert!(scale_spec("mpil", "walk").is_some());
         assert!(scale_spec("kademlia", "walk").is_some());
+        assert!(scale_spec("chord", "walk").is_some());
+        assert!(scale_spec("pastry", "walk").is_some());
         assert!(scale_spec("gossip", "walk").is_some());
         assert!(scale_spec("gossip", "ring").is_some());
+        assert!(scale_spec("plumtree", "walk").is_some());
+        assert!(scale_spec("foaf", "walk").is_some());
+        assert_eq!(
+            scale_spec("gossip", "plumtree"),
+            scale_spec("plumtree", "walk")
+        );
+        assert_eq!(scale_spec("gossip", "foaf"), scale_spec("foaf", "walk"));
         assert!(scale_spec("gossip", "banana").is_none());
         assert!(scale_spec("banana", "walk").is_none());
     }

@@ -41,10 +41,22 @@ pub(crate) fn parse_system(system: &str) -> Result<EngineSpec, CliError> {
             ttl: 8,
             strategy: LookupStrategy::ExpandingRing,
         },
+        "plumtree" => EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Plumtree,
+        },
+        "foaf" => EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Foaf,
+        },
+        "mpil-hyparview" => EngineSpec::MpilOver(OverlaySource::HyParView { active: 8 }),
         other => {
             return Err(CliError(format!(
                 "unknown system {other:?} (want pastry|pastry-rr|chord|kademlia|kademlia-1|\
-                 gossip|gossip-ring|mpil|mpil-ds|mpil-chord|mpil-kademlia|mpil-gossip)"
+                 gossip|gossip-ring|plumtree|foaf|mpil|mpil-ds|mpil-chord|mpil-kademlia|\
+                 mpil-gossip|mpil-hyparview)"
             )))
         }
     })
@@ -124,11 +136,14 @@ mod tests {
             "gossip",
             "gossip-walk",
             "gossip-ring",
+            "plumtree",
+            "foaf",
             "mpil",
             "mpil-ds",
             "mpil-chord",
             "mpil-kademlia",
             "mpil-gossip",
+            "mpil-hyparview",
         ] {
             assert!(parse_system(s).is_ok(), "{s}");
         }
@@ -139,5 +154,12 @@ mod tests {
         let out = run(&args("--system gossip --nodes 100 --ops 8 --p 0.0")).expect("ok");
         assert!(out.contains("success rate"), "got:\n{out}");
         assert!(out.contains("Gossip k-walk"), "got:\n{out}");
+    }
+
+    #[test]
+    fn plumtree_run_reports_success() {
+        let out = run(&args("--system plumtree --nodes 100 --ops 8 --p 0.0")).expect("ok");
+        assert!(out.contains("success rate"), "got:\n{out}");
+        assert!(out.contains("Plumtree active=5"), "got:\n{out}");
     }
 }

@@ -491,6 +491,11 @@ impl GossipSim {
                     Timer::RingRound { lookup },
                 );
             }
+            LookupStrategy::Plumtree | LookupStrategy::Foaf => {
+                // GossipConfig::assert_valid (checked in new) rejects
+                // the tree strategies for the Cyclon engine.
+                unreachable!("tree strategies run on EpidemicSim")
+            }
         }
         lookup
     }

@@ -1,0 +1,1608 @@
+//! The two-layer epidemic engine: HyParView membership under Plumtree
+//! dissemination.
+//!
+//! This is the successor to the flat Cyclon engine ([`crate::GossipSim`])
+//! for workloads where expanding-ring flooding is too expensive and
+//! k-random-walks too fragile:
+//!
+//! * **Membership (HyParView)** — each node keeps a small *symmetric
+//!   active* view carrying all protocol traffic and a larger *passive*
+//!   view refreshed by periodic shuffles. JOIN/FORWARD-JOIN walks seat
+//!   new nodes; a failed active peer (repeated exchange timeouts) is
+//!   *reactively* replaced by promoting a passive candidate through a
+//!   NEIGHBOR handshake, so the overlay heals in about one gossip
+//!   period instead of waiting for suspicion alone to drain bad links.
+//! * **Dissemination (Plumtree)** — replication announcements ride a
+//!   lazily-repaired spanning tree: eager push along tree links, IHAVE
+//!   digests to the rest of the active view, GRAFT (with retransmit)
+//!   when an announced object fails to arrive, PRUNE on duplicates.
+//!   The first broadcast floods the active graph and prunes itself
+//!   into a tree; later broadcasts pay one eager copy per node.
+//! * **Lookup** — because announcements plant the pointer at nearly
+//!   every node, a lookup is a shallow TTL-bounded query of the active
+//!   view ([`LookupStrategy::Plumtree`], forwarded along tree links) or
+//!   a FOAF-style bounded-fanout walk ([`LookupStrategy::Foaf`]),
+//!   retried in rounds until the deadline. Either way the cost is a few
+//!   messages per lookup instead of an expanding-ring flood.
+//!
+//! All randomness flows through the kernel RNG and messages ride the
+//! pooled payload plane, so fixed seeds reproduce exactly and the
+//! steady state does not allocate.
+
+use fxhash::{FxHashMap, FxHashSet};
+use mpil_id::{Id, IdMap, IdSet};
+use mpil_overlay::NodeIdx;
+use mpil_sim::{
+    Availability, Event, LatencyModel, LookupOutcome, Network, PayloadBuf, SimDuration, SimTime,
+};
+use rand::Rng;
+
+use crate::config::{EpidemicConfig, LookupStrategy};
+use crate::engine::GossipStats;
+use crate::membership::Membership;
+use crate::view::PartialView;
+
+/// A shuffle's peer list; one exchange carries `1 + shuffle_active +
+/// shuffle_passive` entries, which the default configuration keeps at
+/// the inline bound so the steady-state message plane never allocates.
+type Peers = PayloadBuf<NodeIdx, { mpil_sim::PAYLOAD_INLINE }>;
+
+/// Cap on offline grid points one [`EpidemicSim::arm_gossip`] pass may
+/// pre-skip (see the identical constant in the Cyclon engine).
+const MAX_GOSSIP_SKIP: u32 = 1024;
+
+/// GRAFT retransmission requests per missing announcement before the
+/// node gives up on lazy repair (lookup retries still cover it).
+const GRAFT_ATTEMPTS: u32 = 3;
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// A (re-)joining node announcing itself to its bootstrap.
+    Join,
+    /// The join walk: decrement, capture, forward.
+    ForwardJoin { joiner: NodeIdx, ttl: u32 },
+    /// Request to open a symmetric active link. `high_priority` forces
+    /// acceptance (the requester's active view is empty, or a join).
+    Neighbor { token: u64, high_priority: bool },
+    /// Accept/reject of a [`Msg::Neighbor`] request.
+    NeighborReply { token: u64, accepted: bool },
+    /// Polite close of an active link (overflow eviction).
+    Disconnect,
+    /// Shuffle request: the initiator's mixed active+passive sample,
+    /// itself included fresh.
+    Shuffle { token: u64, entries: Peers },
+    /// Shuffle response: the responder's passive sample.
+    ShuffleReply { token: u64, entries: Peers },
+    /// Eager push of a replication announcement along tree links.
+    Gossip { object: Id, hops: u32 },
+    /// Lazy digest of an announcement, sent on non-tree active links.
+    IHave { object: Id },
+    /// Request to retransmit a missing announcement and promote the
+    /// link to eager (tree repair).
+    Graft { object: Id },
+    /// Demote the sending link to lazy (duplicate received).
+    Prune,
+    /// One Plumtree lookup step, forwarded along tree links.
+    TreeQuery {
+        lookup: u64,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+        round: u32,
+    },
+    /// One FOAF bounded-fanout walk step.
+    FoafQuery {
+        lookup: u64,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+        round: u32,
+    },
+    /// Direct positive reply from a pointer holder to the origin.
+    Reply { lookup: u64, hops: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    /// Periodic per-node shuffle + reactive active-view fill. Same
+    /// pre-skip arming and epoch supersession as the Cyclon engine.
+    Gossip { epoch: u32 },
+    /// The shuffle reply for `token` did not arrive in time.
+    ShuffleTimeout { token: u64 },
+    /// The neighbor reply for `token` did not arrive in time.
+    NeighborTimeout { token: u64 },
+    /// Deadline for the eager copy of an announced object; on expiry
+    /// the node GRAFTs from the announcer.
+    GraftRetry { object: Id },
+    /// Time to retry the query wave for `lookup`.
+    QueryRound { lookup: u64 },
+}
+
+/// Restores the baseline intra-tick dispatch order after gossip-timer
+/// pre-skipping, exactly like the Cyclon engine's version: gossip
+/// timers first, ascending node index, everything else stable behind
+/// them.
+fn restore_tick_order(batch: &mut [Event<Msg, Timer>]) {
+    fn key(ev: &Event<Msg, Timer>) -> (bool, usize) {
+        match ev {
+            Event::Timer {
+                node,
+                timer: Timer::Gossip { .. },
+            } => (false, node.index()),
+            _ => (true, 0),
+        }
+    }
+    for i in 1..batch.len() {
+        let mut j = i;
+        while j > 0 && key(&batch[j - 1]) > key(&batch[j]) {
+            batch.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// An initiator's outstanding shuffle (one in flight per node: the
+/// exchange timeout is shorter than the gossip period).
+#[derive(Debug, Clone, Copy)]
+struct PendingShuffle {
+    token: u64,
+    target: NodeIdx,
+}
+
+/// An outstanding NEIGHBOR promotion request.
+#[derive(Debug, Clone, Copy)]
+struct PendingNeighbor {
+    token: u64,
+    candidate: NodeIdx,
+}
+
+#[derive(Debug)]
+struct LookupState {
+    issued_at: SimTime,
+    deadline: SimTime,
+    outcome: LookupOutcome,
+}
+
+#[derive(Debug)]
+struct QueryState {
+    origin: NodeIdx,
+    object: Id,
+    round: u32,
+    /// Nodes that already forwarded the current round (per-round
+    /// duplicate suppression).
+    forwarded: FxHashSet<NodeIdx>,
+}
+
+/// The HyParView + Plumtree simulation.
+///
+/// Drive it like every other engine: build converged membership
+/// ([`crate::build_converged_membership`]), insert on the quiet
+/// network, start maintenance, swap in a perturbed availability model,
+/// then issue lookups and run the clock. Counters reuse
+/// [`GossipStats`]: announcements (eager pushes + IHAVE digests) are
+/// insert traffic, queries are lookup traffic, and the membership and
+/// tree-repair control plane (join, neighbor, shuffle, graft, prune,
+/// disconnect) is maintenance.
+pub struct EpidemicSim {
+    config: EpidemicConfig,
+    members: Vec<Membership>,
+    /// Per node: the subset of the active view it eager-pushes to (the
+    /// spanning-tree links). Lazy links are `active \ eager`.
+    eager: Vec<PartialView>,
+    stores: Vec<IdSet>,
+    /// Per node: announced-but-missing objects -> (announcer, graft
+    /// attempts so far).
+    missing: Vec<IdMap<(NodeIdx, u32)>>,
+    net: Network<Msg, Timer>,
+    event_batch: Vec<Event<Msg, Timer>>,
+    /// Reusable draw buffers (steady-state paths must not allocate).
+    sample_scratch: Vec<NodeIdx>,
+    sample_scratch2: Vec<NodeIdx>,
+    /// Consecutive failed exchanges per (node, active peer), with the
+    /// same non-empty bitmap fast path as the Cyclon engine.
+    suspicion: Vec<FxHashMap<NodeIdx, u32>>,
+    suspicion_nonempty: Vec<u64>,
+    pending_shuffles: Vec<Option<PendingShuffle>>,
+    pending_neighbors: Vec<Option<PendingNeighbor>>,
+    lookups: FxHashMap<u64, LookupState>,
+    queries: FxHashMap<u64, QueryState>,
+    next_token: u64,
+    next_lookup: u64,
+    maintenance_started: bool,
+    timer_epoch: u32,
+    next_grid: Vec<SimTime>,
+    stats: GossipStats,
+}
+
+impl EpidemicSim {
+    /// Builds the simulation from per-node membership state (see
+    /// [`crate::build_converged_membership`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or a view violates its
+    /// invariants, names an out-of-range peer, or the wrong owner.
+    pub fn new(
+        members: Vec<Membership>,
+        config: EpidemicConfig,
+        availability: Box<dyn Availability>,
+        latency: Box<dyn LatencyModel>,
+        seed: u64,
+    ) -> Self {
+        config.assert_valid();
+        let n = members.len();
+        let mut eager = Vec::with_capacity(n);
+        for (i, m) in members.iter().enumerate() {
+            m.assert_invariants();
+            assert_eq!(m.owner(), NodeIdx::new(i as u32), "membership {i} owner");
+            for e in m.active.iter().chain(m.passive.iter()) {
+                assert!(e.peer.index() < n, "membership {i} names out-of-range peer");
+            }
+            // Every active link starts eager; the first broadcast
+            // prunes the graph into a tree.
+            let mut ev = PartialView::new(m.owner(), config.active_size.max(1));
+            for e in m.active.iter() {
+                ev.insert_fresh(e.peer);
+            }
+            eager.push(ev);
+        }
+        EpidemicSim {
+            config,
+            eager,
+            stores: vec![IdSet::new(); n],
+            missing: vec![IdMap::new(); n],
+            net: Network::new(n, availability, latency, seed),
+            event_batch: Vec::new(),
+            sample_scratch: Vec::new(),
+            sample_scratch2: Vec::new(),
+            suspicion: vec![FxHashMap::default(); n],
+            suspicion_nonempty: vec![0; n.div_ceil(64)],
+            pending_shuffles: vec![None; n],
+            pending_neighbors: vec![None; n],
+            lookups: FxHashMap::default(),
+            queries: FxHashMap::default(),
+            next_token: 0,
+            next_lookup: 0,
+            maintenance_started: false,
+            timer_epoch: 0,
+            next_grid: vec![SimTime::ZERO; n],
+            stats: GossipStats::default(),
+            members,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> GossipStats {
+        self.stats
+    }
+
+    /// Kernel counters.
+    pub fn net_stats(&self) -> mpil_sim::NetStats {
+        self.net.stats()
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &EpidemicConfig {
+        &self.config
+    }
+
+    /// Read access to a node's membership state (tests, diagnostics).
+    pub fn membership(&self, node: NodeIdx) -> &Membership {
+        &self.members[node.index()]
+    }
+
+    /// Each node's current active view frozen as a neighbor list — the
+    /// overlay MPIL routes on in the overlay-independence experiments.
+    pub fn neighbor_lists(&self) -> Vec<Vec<NodeIdx>> {
+        self.members.iter().map(|m| m.active.peers()).collect()
+    }
+
+    /// Swaps the availability model (static stage -> flapping stage),
+    /// superseding and re-arming every gossip timer chain exactly like
+    /// the Cyclon engine.
+    pub fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        self.net.set_availability(availability);
+        if !self.maintenance_started {
+            return;
+        }
+        self.timer_epoch += 1;
+        let now = self.net.now();
+        let period = self.config.gossip_period;
+        for i in 0..self.next_grid.len() {
+            let mut t = self.next_grid[i];
+            while t <= now {
+                t += period;
+            }
+            self.arm_gossip(NodeIdx::new(i as u32), t);
+        }
+    }
+
+    /// Sets the independent per-message link-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.net.set_loss_probability(p);
+    }
+
+    /// Nodes currently storing the pointer for `object`.
+    pub fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        (0..self.members.len() as u32)
+            .map(NodeIdx::new)
+            .filter(|n| self.stores[n.index()].contains(&object))
+            .collect()
+    }
+
+    /// Number of nodes storing the pointer for `object`.
+    pub fn replica_count(&self, object: Id) -> usize {
+        self.stores.iter().filter(|s| s.contains(&object)).count()
+    }
+
+    /// Starts the periodic shuffle/repair timers, staggered uniformly
+    /// over one gossip period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if maintenance was already started.
+    pub fn start_maintenance(&mut self) {
+        assert!(!self.maintenance_started, "maintenance already started");
+        self.maintenance_started = true;
+        let period = self.config.gossip_period.as_micros();
+        for i in 0..self.members.len() as u32 {
+            let node = NodeIdx::new(i);
+            let delay = SimDuration::from_micros(self.net.rng().gen_range(0..period));
+            let start = self.net.now() + delay;
+            self.arm_gossip(node, start);
+        }
+    }
+
+    /// Arms `node`'s next gossip timer at the first live grid point at
+    /// or after `start` (offline grid points pre-skipped, exactly like
+    /// the Cyclon engine's arming scan).
+    fn arm_gossip(&mut self, node: NodeIdx, start: SimTime) {
+        self.next_grid[node.index()] = start;
+        let period = self.config.gossip_period;
+        let mut at = start;
+        let mut skipped = 0;
+        while skipped < MAX_GOSSIP_SKIP && !self.net.is_online_at(node, at) {
+            at += period;
+            skipped += 1;
+        }
+        let delay = SimDuration::from_micros(at.as_micros() - self.net.now().as_micros());
+        let epoch = self.timer_epoch;
+        self.net.schedule(node, delay, Timer::Gossip { epoch });
+    }
+
+    /// (Re-)joins `joiner` through `bootstrap`: both views collapse,
+    /// the bootstrap link opens optimistically, and a JOIN message
+    /// triggers FORWARD-JOIN walks that seat the joiner in active and
+    /// passive views across the overlay.
+    pub fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) {
+        if joiner == bootstrap {
+            return;
+        }
+        let u = joiner.index();
+        self.members[u].active.clear();
+        self.members[u].passive.clear();
+        self.eager[u].clear();
+        self.missing[u].clear();
+        self.suspicion[u].clear();
+        self.sync_suspicion_bit(joiner);
+        self.pending_neighbors[u] = None;
+        if let Some(stale) = self.pending_shuffles[u].take() {
+            let _ = stale; // its reply/timeout will fail the token match
+        }
+        self.add_active(joiner, bootstrap, true);
+        self.stats.maintenance_messages += 1;
+        self.net.send(joiner, bootstrap, Msg::Join);
+    }
+
+    /// Starts an insertion of `object` from `origin`: the announcement
+    /// is broadcast down the Plumtree and every node that delivers it
+    /// stores the pointer. The origin itself stores nothing (the
+    /// paper's engines count remote replicas only).
+    pub fn insert(&mut self, origin: NodeIdx, object: Id) {
+        self.push_announcement(origin, None, object, 1);
+    }
+
+    /// Issues a lookup of `object` from `origin` with the given
+    /// deadline, using the configured [`LookupStrategy`].
+    pub fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> u64 {
+        let lookup = self.next_lookup;
+        self.next_lookup += 1;
+        self.lookups.insert(
+            lookup,
+            LookupState {
+                issued_at: self.net.now(),
+                deadline,
+                outcome: LookupOutcome::Pending,
+            },
+        );
+        if self.stores[origin.index()].contains(&object) {
+            self.complete_lookup(lookup, 0);
+            return lookup;
+        }
+        self.queries.insert(
+            lookup,
+            QueryState {
+                origin,
+                object,
+                round: 0,
+                forwarded: FxHashSet::default(),
+            },
+        );
+        self.launch_query_round(lookup);
+        self.net.schedule(
+            origin,
+            self.config.query_round_gap,
+            Timer::QueryRound { lookup },
+        );
+        lookup
+    }
+
+    /// Outcome of a lookup; `Pending` past its deadline reads as
+    /// `Failed`.
+    pub fn lookup_outcome(&self, lookup: u64) -> LookupOutcome {
+        match self.lookups.get(&lookup) {
+            None => LookupOutcome::Failed,
+            Some(s) => match s.outcome {
+                LookupOutcome::Pending if self.net.now() >= s.deadline => LookupOutcome::Failed,
+                o => o,
+            },
+        }
+    }
+
+    /// Runs the event loop until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let mut batch = std::mem::take(&mut self.event_batch);
+        while self.net.next_batch_before(deadline, &mut batch) {
+            restore_tick_order(&mut batch);
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
+        }
+        self.event_batch = batch;
+    }
+
+    /// Runs until no events remain (only terminates before maintenance
+    /// starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`EpidemicSim::start_maintenance`]: periodic
+    /// shuffles never quiesce.
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            !self.maintenance_started,
+            "periodic gossip never quiesces; use run_until"
+        );
+        self.run_until(SimTime::from_micros(u64::MAX));
+    }
+
+    // --- membership -----------------------------------------------------------
+
+    /// Opens the `node -> peer` half of an active link: removes `peer`
+    /// from the passive view, makes room (random eviction + DISCONNECT
+    /// when `force`), and starts the link eager. Returns whether the
+    /// active view changed.
+    fn add_active(&mut self, node: NodeIdx, peer: NodeIdx, force: bool) -> bool {
+        let u = node.index();
+        if peer == node || self.members[u].active.contains(peer) {
+            return false;
+        }
+        self.members[u].passive.remove(peer);
+        if self.members[u].active.len() >= self.config.active_size {
+            if !force {
+                return false;
+            }
+            self.members[u]
+                .active
+                .sample_into(1, None, self.net.rng(), &mut self.sample_scratch);
+            if let Some(&victim) = self.sample_scratch.first() {
+                self.drop_active(node, victim, false);
+                self.stats.maintenance_messages += 1;
+                self.net.send(node, victim, Msg::Disconnect);
+                self.integrate_into_passive(node, victim);
+            }
+        }
+        self.members[u].active.insert_fresh(peer);
+        self.eager[u].insert_fresh(peer);
+        self.suspicion[u].remove(&peer);
+        self.sync_suspicion_bit(node);
+        true
+    }
+
+    /// Closes the `node -> peer` half of an active link; counts a
+    /// failure declaration when `declared` (suspicion eviction, not a
+    /// polite close). Returns whether the peer was present.
+    fn drop_active(&mut self, node: NodeIdx, peer: NodeIdx, declared: bool) -> bool {
+        let u = node.index();
+        let was = self.members[u].active.remove(peer);
+        if was {
+            self.eager[u].remove(peer);
+            if declared {
+                self.stats.failure_declarations += 1;
+            }
+        }
+        self.suspicion[u].remove(&peer);
+        self.sync_suspicion_bit(node);
+        was
+    }
+
+    /// Admits `peer` to `node`'s passive view (random eviction on
+    /// overflow, never displacing toward the active view).
+    fn integrate_into_passive(&mut self, node: NodeIdx, peer: NodeIdx) {
+        let u = node.index();
+        if peer == node
+            || self.members[u].active.contains(peer)
+            || self.members[u].passive.contains(peer)
+        {
+            return;
+        }
+        if self.members[u].passive.len() >= self.config.passive_size {
+            self.members[u]
+                .passive
+                .sample_into(1, None, self.net.rng(), &mut self.sample_scratch);
+            if let Some(&victim) = self.sample_scratch.first() {
+                self.members[u].passive.remove(victim);
+            }
+        }
+        self.members[u].passive.insert_fresh(peer);
+    }
+
+    /// Starts a NEIGHBOR promotion of a random passive candidate if the
+    /// active view is underfull and no promotion is in flight.
+    fn try_neighbor(&mut self, node: NodeIdx) {
+        let u = node.index();
+        if self.pending_neighbors[u].is_some()
+            || self.members[u].active.len() >= self.config.active_size
+        {
+            return;
+        }
+        self.members[u]
+            .passive
+            .sample_into(1, None, self.net.rng(), &mut self.sample_scratch);
+        let Some(&candidate) = self.sample_scratch.first() else {
+            return; // empty passive view; shuffles will refill it
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_neighbors[u] = Some(PendingNeighbor { token, candidate });
+        let high_priority = self.members[u].active.is_empty();
+        self.stats.maintenance_messages += 1;
+        self.net.send(
+            node,
+            candidate,
+            Msg::Neighbor {
+                token,
+                high_priority,
+            },
+        );
+        self.net.schedule(
+            node,
+            self.config.exchange_timeout,
+            Timer::NeighborTimeout { token },
+        );
+    }
+
+    fn initiate_shuffle(&mut self, node: NodeIdx, target: NodeIdx) {
+        let u = node.index();
+        self.members[u].active.sample_into(
+            self.config.shuffle_active,
+            Some(target),
+            self.net.rng(),
+            &mut self.sample_scratch,
+        );
+        self.members[u].passive.sample_into(
+            self.config.shuffle_passive,
+            Some(target),
+            self.net.rng(),
+            &mut self.sample_scratch2,
+        );
+        let mut entries = Peers::new();
+        entries.push(node, self.net.payload_pool());
+        entries.extend_from_slice(&self.sample_scratch, self.net.payload_pool());
+        entries.extend_from_slice(&self.sample_scratch2, self.net.payload_pool());
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_shuffles[u] = Some(PendingShuffle { token, target });
+        self.stats.maintenance_messages += 1;
+        self.net.send(node, target, Msg::Shuffle { token, entries });
+        self.net.schedule(
+            node,
+            self.config.exchange_timeout,
+            Timer::ShuffleTimeout { token },
+        );
+    }
+
+    fn on_gossip_timer(&mut self, node: NodeIdx, epoch: u32) {
+        if epoch != self.timer_epoch {
+            return; // superseded chain (availability swap)
+        }
+        if self.net.is_online(node) {
+            // Reactive repair first: an underfull active view promotes
+            // a passive candidate without waiting for a shuffle.
+            self.try_neighbor(node);
+            self.members[node.index()].active.sample_into(
+                1,
+                None,
+                self.net.rng(),
+                &mut self.sample_scratch,
+            );
+            if let Some(&target) = self.sample_scratch.first() {
+                self.initiate_shuffle(node, target);
+            }
+        }
+        self.arm_gossip(node, self.net.now() + self.config.gossip_period);
+    }
+
+    fn on_join(&mut self, joiner: NodeIdx, to: NodeIdx) {
+        self.add_active(to, joiner, true);
+        let ttl = self.config.arwl;
+        let mut walk_targets = std::mem::take(&mut self.sample_scratch);
+        walk_targets.clear();
+        walk_targets.extend(
+            self.members[to.index()]
+                .active
+                .iter()
+                .map(|e| e.peer)
+                .filter(|&p| p != joiner),
+        );
+        for &peer in &walk_targets {
+            self.stats.maintenance_messages += 1;
+            self.net.send(to, peer, Msg::ForwardJoin { joiner, ttl });
+        }
+        self.sample_scratch = walk_targets;
+    }
+
+    fn on_forward_join(&mut self, from: NodeIdx, to: NodeIdx, joiner: NodeIdx, ttl: u32) {
+        if joiner == to {
+            return;
+        }
+        let u = to.index();
+        if ttl == 0 || self.members[u].active.len() < self.config.active_size {
+            // Seat the joiner here through the normal NEIGHBOR
+            // handshake so both sides add the link.
+            if self.pending_neighbors[u].is_none() && !self.members[u].active.contains(joiner) {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending_neighbors[u] = Some(PendingNeighbor {
+                    token,
+                    candidate: joiner,
+                });
+                self.stats.maintenance_messages += 1;
+                self.net.send(
+                    to,
+                    joiner,
+                    Msg::Neighbor {
+                        token,
+                        high_priority: true,
+                    },
+                );
+                self.net.schedule(
+                    to,
+                    self.config.exchange_timeout,
+                    Timer::NeighborTimeout { token },
+                );
+            } else {
+                self.integrate_into_passive(to, joiner);
+            }
+            return;
+        }
+        if ttl == self.config.prwl {
+            self.integrate_into_passive(to, joiner);
+        }
+        self.members[u]
+            .active
+            .sample_into(1, Some(from), self.net.rng(), &mut self.sample_scratch);
+        match self.sample_scratch.first() {
+            Some(&next) if next != joiner => {
+                self.stats.maintenance_messages += 1;
+                self.net.send(
+                    to,
+                    next,
+                    Msg::ForwardJoin {
+                        joiner,
+                        ttl: ttl - 1,
+                    },
+                );
+            }
+            _ => {
+                // Nowhere to walk: capture the joiner locally instead.
+                self.integrate_into_passive(to, joiner);
+            }
+        }
+    }
+
+    fn on_neighbor(&mut self, from: NodeIdx, to: NodeIdx, token: u64, high_priority: bool) {
+        let full = self.members[to.index()].active.len() >= self.config.active_size;
+        let accepted = high_priority || !full;
+        if accepted {
+            self.add_active(to, from, true);
+        }
+        self.stats.maintenance_messages += 1;
+        self.net
+            .send(to, from, Msg::NeighborReply { token, accepted });
+    }
+
+    fn on_neighbor_reply(&mut self, from: NodeIdx, to: NodeIdx, token: u64, accepted: bool) {
+        let u = to.index();
+        let slot = &mut self.pending_neighbors[u];
+        if slot.is_none_or(|p| p.token != token) {
+            return; // late reply after the timeout already fired
+        }
+        *slot = None;
+        if accepted {
+            self.add_active(to, from, false);
+        }
+        // A rejection leaves the candidate in the passive view (it is
+        // alive, just full); the next gossip tick tries another.
+    }
+
+    fn on_neighbor_timeout(&mut self, node: NodeIdx, token: u64) {
+        let u = node.index();
+        let slot = &mut self.pending_neighbors[u];
+        let Some(pending) = *slot else {
+            return;
+        };
+        if pending.token != token {
+            return;
+        }
+        *slot = None;
+        // The candidate did not answer: drop the stale passive entry so
+        // the next promotion draws someone else.
+        self.members[u].passive.remove(pending.candidate);
+    }
+
+    fn on_disconnect(&mut self, from: NodeIdx, to: NodeIdx) {
+        if self.drop_active(to, from, false) {
+            self.integrate_into_passive(to, from);
+        }
+    }
+
+    fn on_shuffle(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Peers) {
+        let reply_len = entries.len();
+        self.members[to.index()].passive.sample_into(
+            reply_len,
+            Some(from),
+            self.net.rng(),
+            &mut self.sample_scratch,
+        );
+        let mut reply = Peers::new();
+        reply.extend_from_slice(&self.sample_scratch, self.net.payload_pool());
+        self.stats.maintenance_messages += 1;
+        self.net.send(
+            to,
+            from,
+            Msg::ShuffleReply {
+                token,
+                entries: reply,
+            },
+        );
+        for i in 0..entries.len() {
+            let peer = entries.as_slice()[i];
+            self.integrate_into_passive(to, peer);
+        }
+        entries.recycle(self.net.payload_pool());
+        self.clear_suspicion_of(to, from);
+    }
+
+    fn on_shuffle_reply(&mut self, from: NodeIdx, to: NodeIdx, token: u64, entries: Peers) {
+        let slot = &mut self.pending_shuffles[to.index()];
+        if slot.is_none_or(|p| p.token != token) {
+            entries.recycle(self.net.payload_pool());
+            return; // late reply after the timeout already fired
+        }
+        *slot = None;
+        for i in 0..entries.len() {
+            let peer = entries.as_slice()[i];
+            self.integrate_into_passive(to, peer);
+        }
+        entries.recycle(self.net.payload_pool());
+        self.clear_suspicion_of(to, from);
+    }
+
+    fn on_shuffle_timeout(&mut self, initiator: NodeIdx, token: u64) {
+        let u = initiator.index();
+        let slot = &mut self.pending_shuffles[u];
+        if slot.is_none_or(|p| p.token != token) {
+            return; // the reply arrived in time
+        }
+        let pending = slot.take().expect("token matched above");
+        let target = pending.target;
+        if !self.members[u].active.contains(target) {
+            self.suspicion[u].remove(&target);
+            self.sync_suspicion_bit(initiator);
+            return;
+        }
+        let strikes = self.suspicion[u].entry(target).or_insert(0);
+        *strikes += 1;
+        if *strikes >= self.config.suspicion_limit {
+            self.drop_active(initiator, target, true);
+            // Reactive replacement: promote a passive candidate now
+            // instead of waiting for the next gossip tick.
+            self.try_neighbor(initiator);
+        } else {
+            self.sync_suspicion_bit(initiator);
+        }
+    }
+
+    /// Hearing from a peer is direct evidence it is alive; wipe its
+    /// strikes (bitmap-guarded, this runs on every delivery).
+    fn clear_suspicion_of(&mut self, node: NodeIdx, peer: NodeIdx) {
+        if self.has_suspicion(node) {
+            self.suspicion[node.index()].remove(&peer);
+            self.sync_suspicion_bit(node);
+        }
+    }
+
+    fn has_suspicion(&self, node: NodeIdx) -> bool {
+        let u = node.index();
+        self.suspicion_nonempty[u / 64] >> (u % 64) & 1 != 0
+    }
+
+    fn sync_suspicion_bit(&mut self, node: NodeIdx) {
+        let u = node.index();
+        let bit = 1u64 << (u % 64);
+        if self.suspicion[u].is_empty() {
+            self.suspicion_nonempty[u / 64] &= !bit;
+        } else {
+            self.suspicion_nonempty[u / 64] |= bit;
+        }
+    }
+
+    // --- dissemination --------------------------------------------------------
+
+    /// Pushes an announcement out of `node`: eager copies along tree
+    /// links, IHAVE digests on the remaining active links, `exclude`
+    /// (the delivering peer) skipped on both.
+    fn push_announcement(
+        &mut self,
+        node: NodeIdx,
+        exclude: Option<NodeIdx>,
+        object: Id,
+        hops: u32,
+    ) {
+        let u = node.index();
+        let mut targets = std::mem::take(&mut self.sample_scratch);
+        targets.clear();
+        targets.extend(self.eager[u].iter().map(|e| e.peer));
+        for &peer in &targets {
+            if Some(peer) == exclude {
+                continue;
+            }
+            self.stats.insert_messages += 1;
+            self.net.send(node, peer, Msg::Gossip { object, hops });
+        }
+        targets.clear();
+        targets.extend(
+            self.members[u]
+                .active
+                .iter()
+                .map(|e| e.peer)
+                .filter(|&p| !self.eager[u].contains(p)),
+        );
+        for &peer in &targets {
+            if Some(peer) == exclude {
+                continue;
+            }
+            self.stats.insert_messages += 1;
+            self.net.send(node, peer, Msg::IHave { object });
+        }
+        self.sample_scratch = targets;
+    }
+
+    /// Moves the `node -> peer` link to eager (tree link), if active.
+    fn promote_eager(&mut self, node: NodeIdx, peer: NodeIdx) {
+        let u = node.index();
+        if self.members[u].active.contains(peer) && !self.eager[u].contains(peer) {
+            self.eager[u].insert_fresh(peer);
+        }
+    }
+
+    /// Moves the `node -> peer` link to lazy (IHAVE-only).
+    fn demote_eager(&mut self, node: NodeIdx, peer: NodeIdx) {
+        self.eager[node.index()].remove(peer);
+    }
+
+    fn on_gossip_msg(&mut self, from: NodeIdx, to: NodeIdx, object: Id, hops: u32) {
+        let u = to.index();
+        if self.stores[u].insert(object) {
+            // First delivery: the sender is our tree parent.
+            self.missing[u].remove(&object);
+            self.promote_eager(to, from);
+            self.push_announcement(to, Some(from), object, hops + 1);
+        } else {
+            // Duplicate: this link is redundant for the tree.
+            self.demote_eager(to, from);
+            self.stats.maintenance_messages += 1;
+            self.net.send(to, from, Msg::Prune);
+        }
+    }
+
+    fn on_ihave(&mut self, from: NodeIdx, to: NodeIdx, object: Id) {
+        let u = to.index();
+        if self.stores[u].contains(&object) || self.missing[u].contains_key(&object) {
+            return;
+        }
+        self.missing[u].insert(object, (from, 0));
+        self.net
+            .schedule(to, self.config.graft_timeout, Timer::GraftRetry { object });
+    }
+
+    fn on_graft_timer(&mut self, node: NodeIdx, object: Id) {
+        let u = node.index();
+        let Some(&(announcer, attempts)) = self.missing[u].get(&object) else {
+            return; // the eager copy arrived in time
+        };
+        if self.stores[u].contains(&object) {
+            self.missing[u].remove(&object);
+            return;
+        }
+        self.promote_eager(node, announcer);
+        self.stats.maintenance_messages += 1;
+        self.net.send(node, announcer, Msg::Graft { object });
+        if attempts + 1 >= GRAFT_ATTEMPTS {
+            self.missing[u].remove(&object);
+        } else {
+            self.missing[u].insert(object, (announcer, attempts + 1));
+            self.net.schedule(
+                node,
+                self.config.graft_timeout,
+                Timer::GraftRetry { object },
+            );
+        }
+    }
+
+    fn on_graft(&mut self, from: NodeIdx, to: NodeIdx, object: Id) {
+        self.promote_eager(to, from);
+        if self.stores[to.index()].contains(&object) {
+            self.stats.insert_messages += 1;
+            self.net.send(to, from, Msg::Gossip { object, hops: 1 });
+        }
+    }
+
+    fn on_prune(&mut self, from: NodeIdx, to: NodeIdx) {
+        self.demote_eager(to, from);
+    }
+
+    // --- lookup ---------------------------------------------------------------
+
+    /// Launches one query wave for `lookup` at its current round.
+    fn launch_query_round(&mut self, lookup: u64) {
+        let Some(q) = self.queries.get_mut(&lookup) else {
+            return;
+        };
+        q.forwarded.clear();
+        let origin = q.origin;
+        let object = q.object;
+        let round = q.round;
+        let u = origin.index();
+        let mut targets = std::mem::take(&mut self.sample_scratch);
+        match self.config.strategy {
+            LookupStrategy::Plumtree => {
+                // Query the whole active view: holders answer directly,
+                // non-holders forward along their tree links.
+                targets.clear();
+                targets.extend(self.members[u].active.iter().map(|e| e.peer));
+                for &peer in &targets {
+                    self.stats.lookup_messages += 1;
+                    self.net.send(
+                        origin,
+                        peer,
+                        Msg::TreeQuery {
+                            lookup,
+                            origin,
+                            object,
+                            ttl: self.config.query_ttl,
+                            hops: 1,
+                            round,
+                        },
+                    );
+                }
+            }
+            LookupStrategy::Foaf => {
+                self.members[u].active.sample_into(
+                    self.config.foaf_fanout,
+                    None,
+                    self.net.rng(),
+                    &mut targets,
+                );
+                for &peer in &targets {
+                    self.stats.lookup_messages += 1;
+                    self.net.send(
+                        origin,
+                        peer,
+                        Msg::FoafQuery {
+                            lookup,
+                            origin,
+                            object,
+                            ttl: self.config.foaf_ttl,
+                            hops: 1,
+                            round,
+                        },
+                    );
+                }
+            }
+            LookupStrategy::KRandomWalk | LookupStrategy::ExpandingRing => {
+                // EpidemicConfig::assert_valid (checked in new) rejects
+                // the Cyclon strategies for this engine.
+                unreachable!("cyclon strategies run on GossipSim")
+            }
+        }
+        self.sample_scratch = targets;
+    }
+
+    fn on_query_round(&mut self, lookup: u64) {
+        let still_pending = matches!(
+            self.lookups.get(&lookup).map(|s| s.outcome),
+            Some(LookupOutcome::Pending)
+        );
+        let Some(q) = self.queries.get_mut(&lookup) else {
+            return;
+        };
+        let deadline = self.lookups[&lookup].deadline;
+        if !still_pending || self.net.now() >= deadline {
+            self.queries.remove(&lookup);
+            return;
+        }
+        q.round += 1;
+        let origin = q.origin;
+        self.launch_query_round(lookup);
+        self.net.schedule(
+            origin,
+            self.config.query_round_gap,
+            Timer::QueryRound { lookup },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_tree_query(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        lookup: u64,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+        round: u32,
+    ) {
+        if self.stores[to.index()].contains(&object) {
+            self.stats.reply_messages += 1;
+            self.net.send(to, origin, Msg::Reply { lookup, hops });
+            return;
+        }
+        if ttl <= 1 {
+            return;
+        }
+        let Some(q) = self.queries.get_mut(&lookup) else {
+            return; // the query was torn down (reply arrived or gave up)
+        };
+        if q.round != round || !q.forwarded.insert(to) {
+            return; // stale round, or this node already forwarded it
+        }
+        let u = to.index();
+        let mut targets = std::mem::take(&mut self.sample_scratch);
+        targets.clear();
+        // Forward along tree links; fall back to the active view if
+        // every link was pruned lazy.
+        if self.eager[u].is_empty() {
+            targets.extend(self.members[u].active.iter().map(|e| e.peer));
+        } else {
+            targets.extend(self.eager[u].iter().map(|e| e.peer));
+        }
+        for &peer in &targets {
+            if peer == from || peer == origin {
+                continue;
+            }
+            self.stats.lookup_messages += 1;
+            self.net.send(
+                to,
+                peer,
+                Msg::TreeQuery {
+                    lookup,
+                    origin,
+                    object,
+                    ttl: ttl - 1,
+                    hops: hops + 1,
+                    round,
+                },
+            );
+        }
+        self.sample_scratch = targets;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_foaf_query(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        lookup: u64,
+        origin: NodeIdx,
+        object: Id,
+        ttl: u32,
+        hops: u32,
+        round: u32,
+    ) {
+        if self.stores[to.index()].contains(&object) {
+            self.stats.reply_messages += 1;
+            self.net.send(to, origin, Msg::Reply { lookup, hops });
+            return;
+        }
+        if ttl <= 1 {
+            return;
+        }
+        let Some(q) = self.queries.get_mut(&lookup) else {
+            return;
+        };
+        if q.round != round || !q.forwarded.insert(to) {
+            return;
+        }
+        self.members[to.index()].active.sample_into(
+            self.config.foaf_fanout,
+            Some(from),
+            self.net.rng(),
+            &mut self.sample_scratch,
+        );
+        let targets = std::mem::take(&mut self.sample_scratch);
+        for &peer in &targets {
+            if peer == origin {
+                continue;
+            }
+            self.stats.lookup_messages += 1;
+            self.net.send(
+                to,
+                peer,
+                Msg::FoafQuery {
+                    lookup,
+                    origin,
+                    object,
+                    ttl: ttl - 1,
+                    hops: hops + 1,
+                    round,
+                },
+            );
+        }
+        self.sample_scratch = targets;
+    }
+
+    fn complete_lookup(&mut self, lookup: u64, hops: u32) {
+        let now = self.net.now();
+        if let Some(state) = self.lookups.get_mut(&lookup) {
+            if matches!(state.outcome, LookupOutcome::Pending) {
+                state.outcome = if now <= state.deadline {
+                    LookupOutcome::Succeeded {
+                        hops,
+                        latency: now.duration_since(state.issued_at),
+                    }
+                } else {
+                    LookupOutcome::Failed
+                };
+            }
+        }
+        self.queries.remove(&lookup);
+    }
+
+    // --- event dispatch -------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event<Msg, Timer>) {
+        match ev {
+            Event::Message { from, to, msg } => match msg {
+                Msg::Join => self.on_join(from, to),
+                Msg::ForwardJoin { joiner, ttl } => self.on_forward_join(from, to, joiner, ttl),
+                Msg::Neighbor {
+                    token,
+                    high_priority,
+                } => self.on_neighbor(from, to, token, high_priority),
+                Msg::NeighborReply { token, accepted } => {
+                    self.on_neighbor_reply(from, to, token, accepted)
+                }
+                Msg::Disconnect => self.on_disconnect(from, to),
+                Msg::Shuffle { token, entries } => self.on_shuffle(from, to, token, entries),
+                Msg::ShuffleReply { token, entries } => {
+                    self.on_shuffle_reply(from, to, token, entries)
+                }
+                Msg::Gossip { object, hops } => self.on_gossip_msg(from, to, object, hops),
+                Msg::IHave { object } => self.on_ihave(from, to, object),
+                Msg::Graft { object } => self.on_graft(from, to, object),
+                Msg::Prune => self.on_prune(from, to),
+                Msg::TreeQuery {
+                    lookup,
+                    origin,
+                    object,
+                    ttl,
+                    hops,
+                    round,
+                } => self.on_tree_query(from, to, lookup, origin, object, ttl, hops, round),
+                Msg::FoafQuery {
+                    lookup,
+                    origin,
+                    object,
+                    ttl,
+                    hops,
+                    round,
+                } => self.on_foaf_query(from, to, lookup, origin, object, ttl, hops, round),
+                Msg::Reply { lookup, hops } => self.complete_lookup(lookup, hops),
+            },
+            Event::Timer { node, timer } => match timer {
+                Timer::Gossip { epoch } => self.on_gossip_timer(node, epoch),
+                Timer::ShuffleTimeout { token } => self.on_shuffle_timeout(node, token),
+                Timer::NeighborTimeout { token } => self.on_neighbor_timeout(node, token),
+                Timer::GraftRetry { object } => self.on_graft_timer(node, object),
+                Timer::QueryRound { lookup } => self.on_query_round(lookup),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for EpidemicSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpidemicSim")
+            .field("nodes", &self.members.len())
+            .field("now", &self.net.now())
+            .field("strategy", &self.config.strategy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::build_converged_membership;
+    use mpil_sim::{AlwaysOn, ConstantLatency, Flapping, FlappingConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, config: EpidemicConfig, seed: u64) -> EpidemicSim {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let members =
+            build_converged_membership(n, config.active_size, config.passive_size, &mut rng);
+        EpidemicSim::new(
+            members,
+            config,
+            Box::new(AlwaysOn),
+            Box::new(ConstantLatency(SimDuration::from_millis(20))),
+            seed,
+        )
+    }
+
+    #[test]
+    fn announcements_reach_nearly_everyone() {
+        let mut sim = build(100, EpidemicConfig::default(), 1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let object = Id::random(&mut rng);
+            sim.insert(NodeIdx::new(0), object);
+            sim.run_to_quiescence();
+            let holders = sim.replica_holders(object);
+            assert!(
+                holders.len() >= 99,
+                "broadcast reached only {} of 99 remote nodes",
+                holders.len()
+            );
+            assert!(
+                !holders.contains(&NodeIdx::new(0)),
+                "origin stores remotely"
+            );
+        }
+        assert!(sim.stats().insert_messages > 0);
+        assert_eq!(sim.stats().lookup_messages, 0);
+    }
+
+    #[test]
+    fn repeated_broadcasts_prune_the_eager_graph_to_a_tree() {
+        let n = 100;
+        let mut sim = build(n, EpidemicConfig::default(), 2);
+        let mut rng = SmallRng::seed_from_u64(10);
+        for _ in 0..2 {
+            sim.insert(NodeIdx::new(0), Id::random(&mut rng));
+            sim.run_to_quiescence();
+        }
+        // A connected broadcast from one root prunes eager links down
+        // to a spanning tree: directed eager degree sums to 2(n-1).
+        let eager_links: usize = sim.eager.iter().map(PartialView::len).sum();
+        assert_eq!(eager_links, 2 * (n - 1), "eager graph is not a tree");
+        // The tree then carries one eager copy per remote node.
+        let before = sim.stats().insert_messages;
+        sim.insert(NodeIdx::new(0), Id::random(&mut rng));
+        sim.run_to_quiescence();
+        let active_links: usize = sim.members.iter().map(|m| m.active.len()).sum();
+        let spent = (sim.stats().insert_messages - before) as usize;
+        // n-1 eager pushes plus one IHAVE per lazy link.
+        assert_eq!(spent, (n - 1) + (active_links - eager_links));
+    }
+
+    #[test]
+    fn plumtree_lookups_succeed_in_a_handful_of_messages() {
+        let mut sim = build(100, EpidemicConfig::default(), 3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let objects: Vec<Id> = (0..20).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+        }
+        sim.run_to_quiescence();
+        let lookup_base = sim.stats().lookup_messages;
+        let deadline = sim.now() + SimDuration::from_secs(600);
+        let handles: Vec<u64> = objects
+            .iter()
+            .map(|&o| sim.issue_lookup(NodeIdx::new(0), o, deadline))
+            .collect();
+        sim.run_to_quiescence();
+        for h in handles {
+            assert!(sim.lookup_outcome(h).is_success(), "lookup {h} failed");
+        }
+        let spent = sim.stats().lookup_messages - lookup_base;
+        // One wave of at most active_size queries per lookup; every
+        // neighbor holds the pointer, so nothing forwards.
+        assert!(
+            spent <= 20 * sim.config().active_size as u64,
+            "plumtree lookups flooded: {spent} msgs for 20 lookups"
+        );
+        assert!(sim.stats().reply_messages > 0);
+    }
+
+    #[test]
+    fn foaf_lookups_succeed_on_a_quiet_network() {
+        let config = EpidemicConfig::default().with_strategy(LookupStrategy::Foaf);
+        let mut sim = build(100, config, 4);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let objects: Vec<Id> = (0..20).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+        }
+        sim.run_to_quiescence();
+        let deadline = sim.now() + SimDuration::from_secs(600);
+        let handles: Vec<u64> = objects
+            .iter()
+            .map(|&o| sim.issue_lookup(NodeIdx::new(0), o, deadline))
+            .collect();
+        sim.run_to_quiescence();
+        let ok = handles
+            .iter()
+            .filter(|&&h| sim.lookup_outcome(h).is_success())
+            .count();
+        assert!(ok >= 19, "only {ok}/20 foaf lookups succeeded");
+    }
+
+    #[test]
+    fn absent_object_fails_without_wedging() {
+        for strategy in [LookupStrategy::Plumtree, LookupStrategy::Foaf] {
+            let mut sim = build(50, EpidemicConfig::default().with_strategy(strategy), 5);
+            let h = sim.issue_lookup(
+                NodeIdx::new(1),
+                Id::from_low_u64(0xdead),
+                sim.now() + SimDuration::from_secs(60),
+            );
+            sim.run_to_quiescence();
+            assert!(!sim.lookup_outcome(h).is_success(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn local_holder_succeeds_in_zero_hops() {
+        let mut sim = build(30, EpidemicConfig::default(), 6);
+        let object = Id::from_low_u64(7);
+        sim.stores[2].insert(object);
+        let h = sim.issue_lookup(
+            NodeIdx::new(2),
+            object,
+            sim.now() + SimDuration::from_secs(10),
+        );
+        assert!(matches!(
+            sim.lookup_outcome(h),
+            LookupOutcome::Succeeded { hops: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn loss_triggers_graft_repair() {
+        let mut sim = build(100, EpidemicConfig::default(), 7);
+        sim.set_loss_probability(0.25);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let objects: Vec<Id> = (0..5).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+            sim.run_to_quiescence();
+        }
+        for &o in &objects {
+            assert!(
+                sim.replica_count(o) >= 85,
+                "lazy repair left only {} replicas under 25% loss",
+                sim.replica_count(o)
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_shuffles_run_and_views_stay_legal() {
+        let mut sim = build(60, EpidemicConfig::default(), 8);
+        sim.start_maintenance();
+        sim.run_until(SimTime::from_secs(120));
+        assert!(sim.stats().maintenance_messages > 0);
+        assert_eq!(sim.stats().failure_declarations, 0);
+        for i in 0..sim.len() {
+            sim.membership(NodeIdx::new(i as u32)).assert_invariants();
+            sim.eager[i].assert_invariants();
+        }
+    }
+
+    #[test]
+    fn suspicion_evicts_and_reactively_replaces() {
+        let mut sim = build(40, EpidemicConfig::default(), 9);
+        sim.start_maintenance();
+        // Half the overlay goes offline essentially forever.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let cfg = FlappingConfig {
+            idle: SimDuration::from_micros(1),
+            offline: SimDuration::from_secs(1_000_000),
+            probability: 0.5,
+            start: SimTime::ZERO,
+        };
+        let mut flap = Flapping::new(cfg, 40, 77, &mut rng);
+        flap.exempt(NodeIdx::new(0));
+        sim.set_availability(Box::new(flap));
+        sim.run_until(SimTime::from_secs(300));
+        assert!(
+            sim.stats().failure_declarations > 0,
+            "dead peers must age out of active views"
+        );
+        // Reactive replacement kept the exempt node's active view
+        // populated even though some of its original peers died.
+        assert!(
+            !sim.membership(NodeIdx::new(0)).active.is_empty(),
+            "reactive replacement left node 0 isolated"
+        );
+        for i in 0..sim.len() {
+            sim.membership(NodeIdx::new(i as u32)).assert_invariants();
+        }
+    }
+
+    #[test]
+    fn join_rebuilds_symmetric_links_through_the_bootstrap() {
+        let mut sim = build(30, EpidemicConfig::default(), 10);
+        sim.join(NodeIdx::new(5), NodeIdx::new(0));
+        assert_eq!(
+            sim.membership(NodeIdx::new(5)).active.peers(),
+            vec![NodeIdx::new(0)]
+        );
+        sim.run_to_quiescence();
+        let m = sim.membership(NodeIdx::new(5));
+        assert!(m.active.contains(NodeIdx::new(0)), "bootstrap link kept");
+        assert!(
+            sim.membership(NodeIdx::new(0))
+                .active
+                .contains(NodeIdx::new(5)),
+            "bootstrap side of the link is missing"
+        );
+        assert!(
+            m.active.len() > 1 || !m.passive.is_empty(),
+            "forward-join walks seated the joiner nowhere"
+        );
+        m.assert_invariants();
+        // Self-join is a no-op.
+        sim.join(NodeIdx::new(5), NodeIdx::new(5));
+    }
+
+    #[test]
+    fn stats_classes_sum_to_kernel_sends() {
+        for strategy in [LookupStrategy::Plumtree, LookupStrategy::Foaf] {
+            let mut sim = build(80, EpidemicConfig::default().with_strategy(strategy), 11);
+            let mut rng = SmallRng::seed_from_u64(14);
+            for _ in 0..5 {
+                sim.insert(NodeIdx::new(0), Id::random(&mut rng));
+            }
+            sim.run_to_quiescence();
+            sim.join(NodeIdx::new(7), NodeIdx::new(3));
+            sim.run_to_quiescence();
+            let h = sim.issue_lookup(
+                NodeIdx::new(9),
+                Id::from_low_u64(1),
+                sim.now() + SimDuration::from_secs(60),
+            );
+            sim.start_maintenance();
+            sim.run_until(sim.now() + SimDuration::from_secs(90));
+            let _ = sim.lookup_outcome(h);
+            assert_eq!(
+                sim.stats().total_messages(),
+                sim.net_stats().sent,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_seed_runs_reproduce_exactly() {
+        let run = |seed: u64, strategy: LookupStrategy| {
+            let mut sim = build(70, EpidemicConfig::default().with_strategy(strategy), seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+            let objects: Vec<Id> = (0..8).map(|_| Id::random(&mut rng)).collect();
+            for &o in &objects {
+                sim.insert(NodeIdx::new(0), o);
+            }
+            sim.run_to_quiescence();
+            sim.start_maintenance();
+            let mut flap_rng = SmallRng::seed_from_u64(seed ^ 2);
+            let mut flap = Flapping::new(
+                FlappingConfig::idle_offline_secs(30, 30, 0.6).starting_at(sim.now()),
+                70,
+                seed ^ 3,
+                &mut flap_rng,
+            );
+            flap.exempt(NodeIdx::new(0));
+            sim.set_availability(Box::new(flap));
+            let mut outcomes = Vec::new();
+            for &o in &objects {
+                sim.run_until(sim.now() + SimDuration::from_secs(60));
+                let h =
+                    sim.issue_lookup(NodeIdx::new(0), o, sim.now() + SimDuration::from_secs(60));
+                outcomes.push(h);
+            }
+            sim.run_until(sim.now() + SimDuration::from_secs(90));
+            let results: Vec<LookupOutcome> =
+                outcomes.iter().map(|&h| sim.lookup_outcome(h)).collect();
+            (results, sim.stats(), sim.net_stats())
+        };
+        for strategy in [LookupStrategy::Plumtree, LookupStrategy::Foaf] {
+            assert_eq!(run(21, strategy), run(21, strategy), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn lookups_hold_under_heavy_flapping() {
+        let mut sim = build(100, EpidemicConfig::default(), 12);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let objects: Vec<Id> = (0..10).map(|_| Id::random(&mut rng)).collect();
+        for &o in &objects {
+            sim.insert(NodeIdx::new(0), o);
+        }
+        sim.run_to_quiescence();
+        sim.start_maintenance();
+        let mut flap_rng = SmallRng::seed_from_u64(16);
+        let mut flap = Flapping::new(
+            FlappingConfig::idle_offline_secs(30, 30, 0.9).starting_at(sim.now()),
+            100,
+            17,
+            &mut flap_rng,
+        );
+        flap.exempt(NodeIdx::new(0));
+        sim.set_availability(Box::new(flap));
+        let mut handles = Vec::new();
+        for &o in &objects {
+            sim.run_until(sim.now() + SimDuration::from_secs(60));
+            handles.push(sim.issue_lookup(
+                NodeIdx::new(0),
+                o,
+                sim.now() + SimDuration::from_secs(60),
+            ));
+        }
+        sim.run_until(sim.now() + SimDuration::from_secs(90));
+        let ok = handles
+            .iter()
+            .filter(|&&h| sim.lookup_outcome(h).is_success())
+            .count();
+        assert!(
+            ok >= 9,
+            "only {ok}/10 plumtree lookups survived p=0.9 flapping"
+        );
+    }
+}

@@ -149,6 +149,53 @@ impl RssBudget {
     }
 }
 
+/// A messages-per-lookup ceiling: the traffic-side sibling of
+/// [`WallClockBudget`] / [`RssBudget`], used by `scale_run
+/// --max-msgs-per-lookup` as the CI tripwire for lookup-traffic
+/// regressions (e.g. a Plumtree change quietly degenerating back into
+/// expanding-ring flooding).
+///
+/// Unlike the other budgets this one is fed measurements: callers hand
+/// it the lookup-class message count and the number of lookups driven,
+/// and it checks the quotient.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficBudget {
+    ceiling_msgs_per_lookup: f64,
+}
+
+impl TrafficBudget {
+    /// Creates a budget with a messages-per-lookup ceiling.
+    pub fn new(ceiling_msgs_per_lookup: f64) -> Self {
+        TrafficBudget {
+            ceiling_msgs_per_lookup,
+        }
+    }
+
+    /// The ceiling this budget enforces, in messages per lookup.
+    pub fn ceiling_msgs_per_lookup(&self) -> f64 {
+        self.ceiling_msgs_per_lookup
+    }
+
+    /// Returns `Err` with a ready-to-print message if `lookup_messages`
+    /// averaged over `lookups` exceeds the ceiling; `context` names
+    /// what ran. Zero lookups trivially passes (nothing was measured).
+    pub fn check(&self, context: &str, lookup_messages: u64, lookups: usize) -> Result<(), String> {
+        if lookups == 0 {
+            return Ok(());
+        }
+        let per_lookup = lookup_messages as f64 / lookups as f64;
+        if per_lookup > self.ceiling_msgs_per_lookup {
+            Err(format!(
+                "{context} spent {per_lookup:.1} msgs/lookup ({lookup_messages} over {lookups} \
+                 lookups, ceiling {:.1})",
+                self.ceiling_msgs_per_lookup
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +232,18 @@ mod tests {
             assert!(err.contains("ceiling"), "{err}");
         }
         assert!(RssBudget::new(1e12).check("this test").is_ok());
+    }
+
+    #[test]
+    fn traffic_budget_checks_the_quotient() {
+        let b = TrafficBudget::new(25.0);
+        assert_eq!(b.ceiling_msgs_per_lookup(), 25.0);
+        assert!(b.check("cheap lookups", 400, 20).is_ok());
+        let err = b.check("flooding lookups", 2356, 20).unwrap_err();
+        assert!(err.contains("117.8"), "{err}");
+        assert!(err.contains("ceiling"), "{err}");
+        // No lookups driven means nothing to judge.
+        assert!(b.check("empty run", 0, 0).is_ok());
     }
 
     #[test]

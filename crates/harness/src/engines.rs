@@ -6,7 +6,7 @@
 
 use mpil::{DynamicNetwork, MessageId};
 use mpil_chord::ChordSim;
-use mpil_gossip::GossipSim;
+use mpil_gossip::{EpidemicSim, GossipSim, LookupStrategy};
 use mpil_id::Id;
 use mpil_kademlia::KademliaSim;
 use mpil_overlay::NodeIdx;
@@ -295,6 +295,83 @@ impl DiscoveryEngine for GossipSim {
 
     fn net_stats(&self) -> NetStats {
         GossipSim::net_stats(self)
+    }
+}
+
+impl DiscoveryEngine for EpidemicSim {
+    fn name(&self) -> &'static str {
+        match self.config().strategy {
+            LookupStrategy::Foaf => "FOAF",
+            _ => "Plumtree",
+        }
+    }
+
+    fn len(&self) -> usize {
+        EpidemicSim::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        EpidemicSim::now(self)
+    }
+
+    fn insert(&mut self, origin: NodeIdx, object: Id) {
+        EpidemicSim::insert(self, origin, object);
+    }
+
+    fn issue_lookup(&mut self, origin: NodeIdx, object: Id, deadline: SimTime) -> LookupHandle {
+        LookupHandle(EpidemicSim::issue_lookup(self, origin, object, deadline))
+    }
+
+    fn lookup_outcome(&self, lookup: LookupHandle) -> LookupOutcome {
+        EpidemicSim::lookup_outcome(self, lookup.0)
+    }
+
+    fn join(&mut self, joiner: NodeIdx, bootstrap: NodeIdx) -> bool {
+        EpidemicSim::join(self, joiner, bootstrap);
+        true
+    }
+
+    fn start_maintenance(&mut self) {
+        EpidemicSim::start_maintenance(self);
+    }
+
+    fn set_availability(&mut self, availability: Box<dyn Availability>) {
+        EpidemicSim::set_availability(self, availability);
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        EpidemicSim::set_loss_probability(self, p);
+    }
+
+    fn replica_holders(&self, object: Id) -> Vec<NodeIdx> {
+        EpidemicSim::replica_holders(self, object)
+    }
+
+    fn replica_count(&self, object: Id) -> usize {
+        EpidemicSim::replica_count(self, object)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        EpidemicSim::run_until(self, deadline);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        EpidemicSim::run_to_quiescence(self);
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.stats();
+        Counters {
+            lookup_messages: s.lookup_messages,
+            insert_messages: s.insert_messages,
+            reply_messages: s.reply_messages,
+            maintenance_messages: s.maintenance_messages,
+            total_messages: s.total_messages(),
+        }
+    }
+
+    fn net_stats(&self) -> NetStats {
+        EpidemicSim::net_stats(self)
     }
 }
 

@@ -38,7 +38,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use budget::{peak_rss_mib, RssBudget, WallClock, WallClockBudget};
+pub use budget::{peak_rss_mib, RssBudget, TrafficBudget, WallClock, WallClockBudget};
 pub use engine::{Counters, DiscoveryEngine, LookupHandle};
 pub use mpil_gossip::LookupStrategy;
 pub use report::Report;

@@ -12,7 +12,7 @@ use std::fmt;
 
 use mpil::{DynamicConfig, DynamicNetwork, MpilConfig};
 use mpil_chord::{ChordConfig, ChordSim};
-use mpil_gossip::{GossipConfig, GossipSim, LookupStrategy};
+use mpil_gossip::{EpidemicConfig, EpidemicSim, GossipConfig, GossipSim, LookupStrategy};
 use mpil_id::Id;
 use mpil_kademlia::{KademliaConfig, KademliaSim};
 use mpil_overlay::transit_stub::{self, TransitStubConfig};
@@ -44,6 +44,12 @@ pub enum OverlaySource {
         /// Partial-view bound (the overlay's out-degree).
         view: usize,
     },
+    /// Converged HyParView active views (each node's symmetric active
+    /// view frozen as its neighbor list), with the given active bound.
+    HyParView {
+        /// Active-view bound (the overlay's degree).
+        active: usize,
+    },
 }
 
 impl OverlaySource {
@@ -56,6 +62,7 @@ impl OverlaySource {
             OverlaySource::RandomRegular(d) => format!("random d={d}"),
             OverlaySource::PowerLaw => "power-law".into(),
             OverlaySource::Gossip { view } => format!("gossip view={view}"),
+            OverlaySource::HyParView { active } => format!("hyparview active={active}"),
         }
     }
 
@@ -110,6 +117,17 @@ impl OverlaySource {
                 let ids = mpil_chord::random_ids(nodes, &mut rng);
                 let views = mpil_gossip::build_converged_views(nodes, *view, &mut rng);
                 let nbrs = views.iter().map(|v| v.peers()).collect();
+                (ids, nbrs)
+            }
+            OverlaySource::HyParView { active } => {
+                let ids = mpil_chord::random_ids(nodes, &mut rng);
+                let members = mpil_gossip::build_converged_membership(
+                    nodes,
+                    *active,
+                    EpidemicConfig::default().passive_size,
+                    &mut rng,
+                );
+                let nbrs = members.iter().map(|m| m.active.peers()).collect();
                 (ids, nbrs)
             }
         }
@@ -223,6 +241,17 @@ pub enum EngineSpec {
         /// How lookups spread.
         strategy: LookupStrategy,
     },
+    /// The two-layer epidemic engine: HyParView membership under
+    /// Plumtree dissemination, with tree-query or FOAF-walk lookups,
+    /// constant latency.
+    Epidemic {
+        /// Active-view bound (symmetric protocol links).
+        active: usize,
+        /// Passive-view bound (reactive-replacement reservoir).
+        passive: usize,
+        /// How lookups spread (`Plumtree` or `Foaf`).
+        strategy: LookupStrategy,
+    },
 }
 
 impl EngineSpec {
@@ -256,6 +285,22 @@ impl EngineSpec {
                 strategy: LookupStrategy::ExpandingRing,
                 ..
             } => format!("Gossip ring view={view} ttl={ttl}"),
+            EngineSpec::Gossip { strategy, .. } => {
+                unreachable!("GossipConfig rejects {strategy:?}")
+            }
+            EngineSpec::Epidemic {
+                active,
+                passive,
+                strategy: LookupStrategy::Plumtree,
+            } => format!("Plumtree active={active} passive={passive}"),
+            EngineSpec::Epidemic {
+                active,
+                passive,
+                strategy: LookupStrategy::Foaf,
+            } => format!("FOAF active={active} passive={passive}"),
+            EngineSpec::Epidemic { strategy, .. } => {
+                unreachable!("EpidemicConfig rejects {strategy:?}")
+            }
         }
     }
 }
@@ -469,6 +514,34 @@ impl Scenario {
                     warmup_secs: 0,
                 }
             }
+            EngineSpec::Epidemic {
+                active,
+                passive,
+                strategy,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(run.seed);
+                let config = EpidemicConfig::default()
+                    .with_views(active, passive)
+                    .with_strategy(strategy);
+                let members =
+                    mpil_gossip::build_converged_membership(run.nodes, active, passive, &mut rng);
+                let sim = EpidemicSim::new(
+                    members,
+                    config,
+                    Box::new(AlwaysOn),
+                    Box::new(ConstantLatency(SimDuration::from_millis(20))),
+                    run.seed ^ 0x5151,
+                );
+                let objects = draw_objects(run.operations, &mut rng);
+                PreparedRun {
+                    engine: Box::new(sim),
+                    origin: NodeIdx::new(0),
+                    objects,
+                    rng,
+                    maintenance: true,
+                    warmup_secs: 0,
+                }
+            }
         }
     }
 }
@@ -578,6 +651,28 @@ mod tests {
             EngineSpec::MpilOver(OverlaySource::Gossip { view: 8 }).label(),
             "MPIL over gossip view=8"
         );
+        assert_eq!(
+            EngineSpec::Epidemic {
+                active: 5,
+                passive: 24,
+                strategy: LookupStrategy::Plumtree
+            }
+            .label(),
+            "Plumtree active=5 passive=24"
+        );
+        assert_eq!(
+            EngineSpec::Epidemic {
+                active: 5,
+                passive: 24,
+                strategy: LookupStrategy::Foaf
+            }
+            .label(),
+            "FOAF active=5 passive=24"
+        );
+        assert_eq!(
+            EngineSpec::MpilOver(OverlaySource::HyParView { active: 5 }).label(),
+            "MPIL over hyparview active=5"
+        );
     }
 
     #[test]
@@ -617,6 +712,17 @@ mod tests {
                 ttl: 8,
                 strategy: LookupStrategy::ExpandingRing,
             },
+            EngineSpec::Epidemic {
+                active: 5,
+                passive: 24,
+                strategy: LookupStrategy::Plumtree,
+            },
+            EngineSpec::Epidemic {
+                active: 5,
+                passive: 24,
+                strategy: LookupStrategy::Foaf,
+            },
+            EngineSpec::MpilOver(OverlaySource::HyParView { active: 5 }),
         ] {
             let prepared = Scenario::new(spec, run).build();
             assert_eq!(prepared.engine.len(), 60, "{}", spec.label());

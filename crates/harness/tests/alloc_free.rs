@@ -11,7 +11,12 @@
 //! allowed a trickle. The bound of 0.01 allocations per shuffle round
 //! is ~500x below the two-allocations-per-message plane this replaced.
 
-use mpil_gossip::{build_converged_views, GossipConfig, GossipSim};
+use mpil_gossip::{
+    build_converged_membership, build_converged_views, EpidemicConfig, EpidemicSim, GossipConfig,
+    GossipSim,
+};
+use mpil_id::Id;
+use mpil_overlay::NodeIdx;
 use mpil_sim::{AlwaysOn, SimDuration, UniformLatency};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -57,6 +62,110 @@ fn warmed_up_shuffle_rounds_allocate_nothing() {
          ({per_round:.4}/round, {} bytes)",
         delta.allocs,
         rounds,
+        delta.bytes,
+    );
+}
+
+#[test]
+fn warmed_up_epidemic_rounds_allocate_nothing() {
+    // Same gate for the HyParView/Plumtree engine: once the timer
+    // wheel, payload pool, and per-node maps are warm, the combined
+    // shuffle + NEIGHBOR control plane must stay on the pooled plane.
+    const NODES: usize = 10_000;
+    let config = EpidemicConfig::default();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let members =
+        build_converged_membership(NODES, config.active_size, config.passive_size, &mut rng);
+    let mut sim = EpidemicSim::new(
+        members,
+        config,
+        Box::new(AlwaysOn),
+        Box::new(UniformLatency::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(80),
+        )),
+        7,
+    );
+    sim.start_maintenance();
+
+    let warmup_periods = 4u64;
+    sim.run_until(sim.now() + config.gossip_period * warmup_periods);
+
+    let measured_periods = 10u64;
+    let before = mpil_alloc::snapshot();
+    sim.run_until(sim.now() + config.gossip_period * measured_periods);
+    let delta = mpil_alloc::snapshot().since(before);
+
+    let rounds = NODES as u64 * measured_periods;
+    let per_round = delta.allocs as f64 / rounds as f64;
+    assert!(
+        per_round < 0.01,
+        "steady-state epidemic rounds allocate: {} allocations over {} rounds \
+         ({per_round:.4}/round, {} bytes)",
+        delta.allocs,
+        rounds,
+        delta.bytes,
+    );
+}
+
+#[test]
+fn warmed_up_plumtree_broadcasts_and_lookups_stay_on_the_pooled_plane() {
+    // The dissemination plane: Gossip/IHave/Graft/Prune broadcasts and
+    // TreeQuery/Reply lookups ride plain pooled events, so a warmed
+    // overlay must push announcements and answer lookups with only a
+    // trickle of allocations (lookup-table growth amortized across
+    // hundreds of thousands of kernel sends).
+    const NODES: usize = 10_000;
+    let config = EpidemicConfig::default();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let members =
+        build_converged_membership(NODES, config.active_size, config.passive_size, &mut rng);
+    let mut sim = EpidemicSim::new(
+        members,
+        config,
+        Box::new(AlwaysOn),
+        Box::new(UniformLatency::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(80),
+        )),
+        9,
+    );
+    let origin = NodeIdx::new(0);
+    let mut object_rng = SmallRng::seed_from_u64(10);
+    let mut workload = |sim: &mut EpidemicSim, objects: usize| {
+        for _ in 0..objects {
+            let object = Id::random(&mut object_rng);
+            sim.insert(origin, object);
+            sim.run_to_quiescence();
+            let deadline = sim.now() + SimDuration::from_secs(600);
+            sim.issue_lookup(origin, object, deadline);
+            sim.run_to_quiescence();
+        }
+    };
+
+    // Warmup: prune the eager graph to its tree and grow every map.
+    // 13 objects push every node's store table past its 8->16->32 slot
+    // doublings, so the measured window (10 more objects, ending at 23
+    // entries) sits entirely inside the warmed 32-slot capacity.
+    workload(&mut sim, 13);
+
+    let before_alloc = mpil_alloc::snapshot();
+    let before_sent = sim.net_stats().sent;
+    workload(&mut sim, 10);
+    let delta = mpil_alloc::snapshot().since(before_alloc);
+    let sent = sim.net_stats().sent - before_sent;
+
+    assert!(
+        sent > 50_000,
+        "workload too small to measure ({sent} sends)"
+    );
+    let per_message = delta.allocs as f64 / sent as f64;
+    assert!(
+        per_message < 0.01,
+        "broadcast/lookup plane allocates: {} allocations over {} sends \
+         ({per_message:.4}/message, {} bytes)",
+        delta.allocs,
+        sent,
         delta.bytes,
     );
 }

@@ -43,6 +43,17 @@ fn all_specs() -> Vec<EngineSpec> {
             ttl: 8,
             strategy: LookupStrategy::ExpandingRing,
         },
+        EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Plumtree,
+        },
+        EngineSpec::Epidemic {
+            active: 5,
+            passive: 24,
+            strategy: LookupStrategy::Foaf,
+        },
+        EngineSpec::MpilOver(OverlaySource::HyParView { active: 8 }),
     ]
 }
 
@@ -232,7 +243,9 @@ fn lookup_outcome_is_failed_for_unknown_objects_on_every_engine() {
 
 #[test]
 fn join_is_supported_exactly_where_the_protocol_has_one() {
-    let expectations = [true, true, false, false, false, true, true];
+    let expectations = [
+        true, true, false, false, false, true, true, true, true, false,
+    ];
     let engines = all_engines(17);
     // zip() truncates silently: a spec added to all_specs() without a
     // matching expectation here must fail loudly, not skip the test.
@@ -339,7 +352,8 @@ fn hundred_thousand_node_smoke_on_every_engine() {
 #[test]
 fn engine_names_and_sizes_are_reported() {
     let expected = [
-        "MSPastry", "Chord", "Kademlia", "MPIL", "MPIL", "Gossip", "Gossip",
+        "MSPastry", "Chord", "Kademlia", "MPIL", "MPIL", "Gossip", "Gossip", "Plumtree", "FOAF",
+        "MPIL",
     ];
     let engines = all_engines(19);
     assert_eq!(

@@ -11,6 +11,9 @@
 #   scale:   scale_run at 20k nodes under --budget-s — catches an
 #            accidental O(n²) (or worse) regression in the simulation
 #            kernel long before the full BENCH_scale curve would
+#   traffic: a 20k-node plumtree point under --max-msgs-per-lookup —
+#            catches the dissemination layer regressing to flood-scale
+#            lookup traffic
 #
 # Everything resolves from vendor/ path entries (see vendor/README.md),
 # so this must pass from a clean checkout with no network access.
@@ -43,5 +46,18 @@ scripts/verify.sh --benches
 timeout 150 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 \
     --budget-s 120 --max-rss-mib 100 \
     || { echo "ci: 20k-node scale smoke exceeded a budget or failed" >&2; exit 1; }
+
+# Traffic tripwire (TrafficBudget): the whole point of the epidemic
+# stack is that Plumtree tree queries cost a handful of messages per
+# lookup where expanding-ring flooding costs >100. A 20k-node plumtree
+# point runs near 5 msgs/lookup; a 25-message ceiling trips if tree
+# repair ever degenerates back towards flooding, while leaving slack
+# for unlucky seeds. The RSS ceiling is higher than the gossip point's:
+# the harness issues all 20 broadcasts back-to-back, so ~13M pooled
+# messages are in flight at the stage-1 peak (~275 MiB today); 400 MiB
+# trips on a kernel or pool regression with ~1.5x slack.
+timeout 150 ./target/release/scale_run --engine plumtree --nodes 20000 --seed 1 \
+    --budget-s 120 --max-rss-mib 400 --max-msgs-per-lookup 25 \
+    || { echo "ci: 20k-node plumtree smoke exceeded a budget or failed" >&2; exit 1; }
 
 echo "ci: OK"
