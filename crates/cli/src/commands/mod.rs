@@ -3,8 +3,10 @@
 
 pub mod analyze;
 pub mod live;
+pub mod load;
 pub mod overlay;
 pub mod perturb;
+pub mod serve;
 pub mod simulate;
 pub mod sweep;
 

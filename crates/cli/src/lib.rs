@@ -12,6 +12,8 @@
 //! mpilctl simulate --family random --nodes 1000 --ops 100 [--max-flows 10] [--replicas 5]
 //! mpilctl perturb  --system mpil --nodes 300 --ops 50 --idle 30 --offline 30 --p 0.5 [--loss 0.1]
 //! mpilctl live     --nodes 32 --degree 6 --ops 5 [--udp]
+//! mpilctl serve    --port P --nodes 48 --spares 4 [--udp]
+//! mpilctl load     --embedded --objects 100 --lookups 500 [--rate R]
 //! ```
 //!
 //! Run `mpilctl help` for the same synopsis.
@@ -59,6 +61,13 @@ COMMANDS:
             (same flags as perturb) [--seeds K] [--workers W] [--json]
   live      spawn a real thread-per-node cluster and run operations
             --nodes N [--degree D] [--ops K] [--udp] [--seed S]
+  serve     run the mpild daemon in the foreground (control on loopback UDP)
+            [--port P] [--nodes N] [--degree D] [--spares S] [--udp]
+            [--max-flows F] [--replicas R] [--timeout-ms T] [--retries N]
+  load      drive a daemon with the insert-then-lookup workload
+            --addr HOST:PORT | --embedded [--ctrl-udp]
+            [--objects N] [--lookups K] [--rate R] [--window W] [--workers C]
+            [--churn-period-ms P] [--min-success PCT] [--max-p99-ms MS]
   help      print this message
 ";
 
@@ -81,6 +90,8 @@ pub fn dispatch<I: IntoIterator<Item = String>>(args: I) -> Result<String, CliEr
         "perturb" => commands::perturb::run(&rest),
         "sweep" => commands::sweep::run(&rest),
         "live" => commands::live::run(&rest),
+        "serve" => commands::serve::run(&rest),
+        "load" => commands::load::run(&rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!(
             "unknown command {other:?}; run `mpilctl help`"

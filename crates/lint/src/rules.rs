@@ -6,7 +6,7 @@
 //! | D001 | deterministic crates, all code         | `std::collections::{HashMap,HashSet}` |
 //! | D002 | everywhere but `net` and bench targets | wall-clock (`Instant`, `SystemTime`) and entropy (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`, `getrandom`) |
 //! | D003 | deterministic crates, non-test code    | iterating an `FxHashMap`/`FxHashSet` without an allow annotation |
-//! | P001 | `net`/`harness` library code           | `unwrap()`, `expect(`, `panic!` |
+//! | P001 | `net`/`harness`/`mpild` library code   | `unwrap()`, `expect(`, `panic!` |
 //! | S001 | every scanned file                     | malformed, unknown-rule, reasonless, or unused `mpil-lint: allow(…)` |
 //!
 //! Inline `#[cfg(test)]` modules are exempt from D002/D003/P001 but NOT
@@ -25,9 +25,9 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core", "chord", "kademlia", "pastry", "gossip", "sim", "overlay", "harness", "workload",
 ];
 
-/// The crates on the future `mpild` service path: library code there
-/// must not panic on fallible operations.
-pub const NO_PANIC_CRATES: &[&str] = &["net", "harness"];
+/// The crates on the `mpild` service path: library code there must not
+/// panic on fallible operations.
+pub const NO_PANIC_CRATES: &[&str] = &["net", "harness", "mpild"];
 
 /// Stable rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

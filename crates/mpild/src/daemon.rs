@@ -1,0 +1,891 @@
+//! The `mpild` daemon: a live MPIL cluster behind a control plane.
+//!
+//! One [`Daemon`] owns a [`LiveCluster`] (one thread per overlay node
+//! over a channel or loopback-UDP mesh) and a [`ControlPlane`] socket.
+//! Its single-threaded event loop multiplexes three sources:
+//!
+//! 1. **Control requests** — announce / lookup / join / perturb / heal /
+//!    stats / drain frames from clients ([`crate::proto`]);
+//! 2. **Cluster events** — store-acks and lookup replies surfacing on
+//!    the cluster's client endpoint ([`LiveCluster::poll_event`]);
+//! 3. **Deadlines** — per-request timeouts tracked by a
+//!    [`RequestTracker`], with bounded retries under fresh message ids.
+//!
+//! Data-plane requests are fully pipelined: a control frame is turned
+//! into a [`LiveCluster::submit`] and a tracker entry, and the client
+//! hears back when the matching event arrives (or the retry budget
+//! dies). Every wall-clock read goes through the workspace's sanctioned
+//! [`WallClock`] touchpoint; timestamps inside the daemon are plain
+//! [`Duration`]s since startup.
+//!
+//! Shutdown is graceful by contract: a `Drain` request stops admission,
+//! keeps pumping events until the in-flight set empties (or the drain
+//! budget runs out, failing the stragglers), then drains the node
+//! threads themselves via [`LiveCluster::shutdown_drain`].
+
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use mpil::{MessageKind, MpilConfig};
+use mpil_harness::WallClock;
+use mpil_id::Id;
+use mpil_net::{
+    ClientEvent, LiveClusterBuilder, NodeStats, RequestTracker, RetryPolicy, TransportKind,
+};
+use mpil_overlay::{generators, NodeIdx};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::proto::{err_code, CtrlRequest, CtrlResponse, StatsBody};
+
+/// Smallest poll slice the daemon uses. UDP sockets reject a zero read
+/// timeout, so this is the floor for every blocking wait.
+const POLL: Duration = Duration::from_millis(1);
+/// Control frames handled per loop iteration before the event pump gets
+/// a turn (keeps a flooding client from starving in-flight replies).
+const CTRL_BATCH: usize = 256;
+/// Cluster events handled per loop iteration.
+const EVENT_BATCH: usize = 1024;
+
+/// One end of the daemon's admin/data socket. `mpild` ships two: a
+/// loopback-UDP implementation for real clients and an in-process
+/// channel pair for embedded/smoke use.
+pub trait ControlPlane: Send {
+    /// Client address type, echoed back on [`ControlPlane::send`].
+    type Addr: Clone + std::fmt::Debug + Send;
+
+    /// Receives the next request frame, waiting at most `timeout`;
+    /// `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the plane is unusable (the daemon treats
+    /// this as a shutdown signal).
+    fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<(Self::Addr, Vec<u8>)>>;
+
+    /// Sends a response frame to `to`.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` on socket failure (the daemon counts and
+    /// continues — the client may simply be gone).
+    fn send(&mut self, to: &Self::Addr, frame: &[u8]) -> std::io::Result<()>;
+}
+
+/// Loopback-UDP control plane: one datagram per request/response.
+#[derive(Debug)]
+pub struct UdpControl {
+    socket: UdpSocket,
+}
+
+impl UdpControl {
+    /// Binds `127.0.0.1:port` (`port` 0 picks an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Socket `bind` failure.
+    pub fn bind(port: u16) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", port))?;
+        Ok(UdpControl { socket })
+    }
+
+    /// The bound address, for clients to connect to.
+    ///
+    /// # Errors
+    ///
+    /// `local_addr` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl ControlPlane for UdpControl {
+    type Addr = SocketAddr;
+
+    fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<(SocketAddr, Vec<u8>)>> {
+        self.socket.set_read_timeout(Some(timeout.max(POLL)))?;
+        let mut buf = [0u8; 512];
+        match self.socket.recv_from(&mut buf) {
+            Ok((len, addr)) => Ok(Some((addr, buf[..len].to_vec()))),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn send(&mut self, to: &SocketAddr, frame: &[u8]) -> std::io::Result<()> {
+        self.socket.send_to(frame, to).map(|_| ())
+    }
+}
+
+/// In-process control plane for embedded daemons (the CI smoke and
+/// `mpil-load --embedded`): a crossbeam channel pair with a single
+/// client.
+#[derive(Debug)]
+pub struct ChannelControl {
+    rx: crossbeam::channel::Receiver<Vec<u8>>,
+    tx: crossbeam::channel::Sender<Vec<u8>>,
+}
+
+/// The client half of a [`ChannelControl`] pair; implements the load
+/// generator's connection trait.
+#[derive(Debug)]
+pub struct ChannelCtrlClient {
+    rx: crossbeam::channel::Receiver<Vec<u8>>,
+    tx: crossbeam::channel::Sender<Vec<u8>>,
+}
+
+impl ChannelControl {
+    /// A connected (server, client) pair.
+    pub fn pair() -> (ChannelControl, ChannelCtrlClient) {
+        let (to_daemon, from_client) = crossbeam::channel::unbounded();
+        let (to_client, from_daemon) = crossbeam::channel::unbounded();
+        (
+            ChannelControl {
+                rx: from_client,
+                tx: to_client,
+            },
+            ChannelCtrlClient {
+                rx: from_daemon,
+                tx: to_daemon,
+            },
+        )
+    }
+}
+
+fn broken_pipe() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "control peer disconnected")
+}
+
+impl ControlPlane for ChannelControl {
+    type Addr = ();
+
+    fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<((), Vec<u8>)>> {
+        match self.rx.recv_timeout(timeout.max(POLL)) {
+            Ok(frame) => Ok(Some(((), frame))),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(broken_pipe()),
+        }
+    }
+
+    fn send(&mut self, _to: &(), frame: &[u8]) -> std::io::Result<()> {
+        self.tx.send(frame.to_vec()).map_err(|_| broken_pipe())
+    }
+}
+
+impl ChannelCtrlClient {
+    /// Sends a request frame to the embedded daemon.
+    ///
+    /// # Errors
+    ///
+    /// `BrokenPipe` when the daemon is gone.
+    pub fn send(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.tx.send(frame.to_vec()).map_err(|_| broken_pipe())
+    }
+
+    /// Receives the next response frame, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// `BrokenPipe` when the daemon is gone.
+    pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<Vec<u8>>> {
+        match self.rx.recv_timeout(timeout.max(POLL)) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(broken_pipe()),
+        }
+    }
+}
+
+/// Everything needed to spawn a daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Overlay nodes in service from the start.
+    pub nodes: usize,
+    /// Regular-graph degree of the overlay.
+    pub degree: usize,
+    /// Extra nodes spawned parked, joinable later via the `Join` admin
+    /// op (the live analogue of not-yet-joined members).
+    pub spares: usize,
+    /// Master seed: topology, node ids, per-node RNGs.
+    pub seed: u64,
+    /// Data-plane transport of the cluster mesh.
+    pub transport: TransportKind,
+    /// MPIL protocol parameters (flows, replicas, suppression).
+    pub mpil: MpilConfig,
+    /// Per-request timeout/retry policy of the daemon's data plane.
+    pub retry: RetryPolicy,
+    /// Drain budget applied when the control plane dies without a
+    /// `Drain` request (embedded client dropped, socket error).
+    pub fallback_drain: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            nodes: 48,
+            degree: 8,
+            spares: 0,
+            seed: 1,
+            transport: TransportKind::Channel,
+            mpil: MpilConfig::default()
+                .with_max_flows(10)
+                .with_num_replicas(3),
+            retry: RetryPolicy::default(),
+            fallback_drain: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Why a daemon failed to start or died.
+#[derive(Debug)]
+pub struct DaemonError(pub String);
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+/// What the daemon was doing for a tracked request.
+#[derive(Debug, Clone, Copy)]
+struct Ticket<A> {
+    addr: A,
+    token: u64,
+    kind: MessageKind,
+    object: Id,
+    origin: NodeIdx,
+}
+
+/// The final account of a daemon's life, returned by [`Daemon::run`].
+#[derive(Debug, Clone, Default)]
+pub struct DaemonReport {
+    /// Seconds between startup and the end of the drain.
+    pub uptime_s: f64,
+    /// Service counters at shutdown.
+    pub stats: StatsBody,
+    /// Join admin operations applied.
+    pub joins: u64,
+    /// Perturb admin operations applied.
+    pub perturbs: u64,
+    /// Heal admin operations applied.
+    pub heals: u64,
+    /// Control frames that failed to decode or named bad nodes.
+    pub bad_requests: u64,
+    /// Control-plane send failures (client gone).
+    pub send_errors: u64,
+    /// Requests still in flight when the drain budget ran out.
+    pub aborted_at_drain: u64,
+    /// Per-node worker statistics, joined at shutdown.
+    pub node_stats: Vec<NodeStats>,
+}
+
+impl DaemonReport {
+    /// One-line JSON rendering (hand-rolled, like the bench artifacts).
+    pub fn to_json(&self) -> String {
+        let forwards: u64 = self.node_stats.iter().map(|s| s.forwards).sum();
+        let stores: u64 = self.node_stats.iter().map(|s| s.stores).sum();
+        let dropped_perturbed: u64 = self.node_stats.iter().map(|s| s.dropped_perturbed).sum();
+        let dropped_at_drain: u64 = self.node_stats.iter().map(|s| s.dropped_at_drain).sum();
+        format!(
+            "{{\"uptime_s\":{:.3},\"announces\":{},\"hits\":{},\"lookup_timeouts\":{},\
+             \"announce_timeouts\":{},\"retries\":{},\"live_nodes\":{},\"parked\":{},\
+             \"joins\":{},\"perturbs\":{},\"heals\":{},\"bad_requests\":{},\
+             \"send_errors\":{},\"aborted_at_drain\":{},\"node_forwards\":{},\
+             \"node_stores\":{},\"node_dropped_perturbed\":{},\"node_dropped_at_drain\":{}}}",
+            self.uptime_s,
+            self.stats.announces,
+            self.stats.hits,
+            self.stats.lookup_timeouts,
+            self.stats.announce_timeouts,
+            self.stats.retries,
+            self.stats.live_nodes,
+            self.stats.parked,
+            self.joins,
+            self.perturbs,
+            self.heals,
+            self.bad_requests,
+            self.send_errors,
+            self.aborted_at_drain,
+            forwards,
+            stores,
+            dropped_perturbed,
+            dropped_at_drain,
+        )
+    }
+}
+
+/// A running MPIL service: cluster + control plane + request tracker.
+pub struct Daemon<C: ControlPlane> {
+    config: DaemonConfig,
+    cluster: mpil_net::LiveCluster,
+    ctrl: C,
+    clock: WallClock,
+    tracker: RequestTracker<Ticket<C::Addr>>,
+    total_nodes: usize,
+    parked: u32,
+    report: DaemonReport,
+    /// `Some(budget)` once a drain was requested.
+    draining: Option<Duration>,
+}
+
+impl<C: ControlPlane> Daemon<C> {
+    /// Generates the overlay, spawns the cluster (parking the spares),
+    /// and wires it to `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError`] when topology generation or cluster spawn fails.
+    pub fn spawn(config: DaemonConfig, ctrl: C) -> Result<Self, DaemonError> {
+        let total = config.nodes + config.spares;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let topo = generators::random_regular(total, config.degree, &mut rng)
+            .map_err(|e| DaemonError(format!("topology: {e}")))?;
+        let cluster = LiveClusterBuilder::new()
+            .config(config.mpil)
+            .transport(config.transport)
+            .seed(config.seed)
+            .spawn(&topo)
+            .map_err(|e| DaemonError(format!("spawn: {e}")))?;
+        for spare in config.nodes..total {
+            cluster.park(NodeIdx::new(spare as u32));
+        }
+        Ok(Daemon {
+            config,
+            cluster,
+            ctrl,
+            clock: WallClock::start(),
+            tracker: RequestTracker::new(config.retry),
+            total_nodes: total,
+            parked: config.spares as u32,
+            report: DaemonReport::default(),
+            draining: None,
+        })
+    }
+
+    /// The spawn-time configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    fn stats_body(&self) -> StatsBody {
+        StatsBody {
+            live_nodes: self.total_nodes as u32 - self.parked,
+            parked: self.parked,
+            uptime_ms: self.clock.elapsed().as_millis() as u64,
+            ..self.report.stats
+        }
+    }
+
+    fn respond(&mut self, addr: &C::Addr, token: u64, resp: CtrlResponse) {
+        if self.ctrl.send(addr, &resp.encode(token)).is_err() {
+            self.report.send_errors += 1;
+        }
+    }
+
+    /// Validates a data-plane entry node: must exist and be in service.
+    fn entry_error(&self, origin: u32) -> Option<u8> {
+        if origin as usize >= self.total_nodes {
+            Some(err_code::BAD_NODE)
+        } else if self.cluster.is_parked(NodeIdx::new(origin)) {
+            Some(err_code::UNAVAILABLE)
+        } else {
+            None
+        }
+    }
+
+    fn submit_tracked(
+        &mut self,
+        addr: C::Addr,
+        token: u64,
+        kind: MessageKind,
+        object: Id,
+        origin: u32,
+    ) {
+        if let Some(code) = self.entry_error(origin) {
+            self.report.bad_requests += 1;
+            self.respond(&addr, token, CtrlResponse::Err { code });
+            return;
+        }
+        let origin = NodeIdx::new(origin);
+        match self.cluster.submit(kind, origin, object) {
+            Ok(msg_id) => {
+                let ticket = Ticket {
+                    addr,
+                    token,
+                    kind,
+                    object,
+                    origin,
+                };
+                self.tracker.track(msg_id, ticket, self.clock.elapsed());
+            }
+            Err(_) => {
+                self.respond(
+                    &addr,
+                    token,
+                    CtrlResponse::Err {
+                        code: err_code::TRANSPORT,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_ctrl(&mut self, addr: C::Addr, frame: &[u8]) {
+        let (token, req) = match CtrlRequest::decode(frame) {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.report.bad_requests += 1;
+                // Token 0: the sender's framing is broken, there is no
+                // token to echo.
+                self.respond(
+                    &addr,
+                    0,
+                    CtrlResponse::Err {
+                        code: err_code::BAD_REQUEST,
+                    },
+                );
+                return;
+            }
+        };
+        // Past the drain point only stats/drain are served; data and
+        // admin requests are turned away so the in-flight set can only
+        // shrink.
+        if self.draining.is_some() && !matches!(req, CtrlRequest::Stats | CtrlRequest::Drain { .. })
+        {
+            self.respond(
+                &addr,
+                token,
+                CtrlResponse::Err {
+                    code: err_code::UNAVAILABLE,
+                },
+            );
+            return;
+        }
+        match req {
+            CtrlRequest::Announce { object, origin } => {
+                self.submit_tracked(addr, token, MessageKind::Insert, object, origin);
+            }
+            CtrlRequest::Lookup { object, origin } => {
+                self.submit_tracked(addr, token, MessageKind::Lookup, object, origin);
+            }
+            CtrlRequest::Join { node } => {
+                let idx = NodeIdx::new(node);
+                if (node as usize) < self.total_nodes && self.cluster.is_parked(idx) {
+                    self.cluster.unpark(idx);
+                    self.parked = self.parked.saturating_sub(1);
+                    self.report.joins += 1;
+                    self.respond(&addr, token, CtrlResponse::Ok);
+                } else {
+                    self.report.bad_requests += 1;
+                    self.respond(
+                        &addr,
+                        token,
+                        CtrlResponse::Err {
+                            code: err_code::BAD_NODE,
+                        },
+                    );
+                }
+            }
+            CtrlRequest::Perturb { node, millis } => {
+                if (node as usize) < self.total_nodes {
+                    self.cluster
+                        .perturb(NodeIdx::new(node), Duration::from_millis(u64::from(millis)));
+                    self.report.perturbs += 1;
+                    self.respond(&addr, token, CtrlResponse::Ok);
+                } else {
+                    self.report.bad_requests += 1;
+                    self.respond(
+                        &addr,
+                        token,
+                        CtrlResponse::Err {
+                            code: err_code::BAD_NODE,
+                        },
+                    );
+                }
+            }
+            CtrlRequest::Heal { node } => {
+                if (node as usize) < self.total_nodes {
+                    self.cluster.heal(NodeIdx::new(node));
+                    self.report.heals += 1;
+                    self.respond(&addr, token, CtrlResponse::Ok);
+                } else {
+                    self.report.bad_requests += 1;
+                    self.respond(
+                        &addr,
+                        token,
+                        CtrlResponse::Err {
+                            code: err_code::BAD_NODE,
+                        },
+                    );
+                }
+            }
+            CtrlRequest::Stats => {
+                let body = self.stats_body();
+                self.respond(&addr, token, CtrlResponse::Stats(body));
+            }
+            CtrlRequest::Drain { millis } => {
+                self.draining = Some(Duration::from_millis(u64::from(millis)));
+                self.respond(&addr, token, CtrlResponse::Ok);
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: ClientEvent) {
+        match event {
+            ClientEvent::Reply {
+                msg_id,
+                holder,
+                hops,
+                ..
+            } => {
+                // Later flows of the same lookup produce more replies;
+                // only the first resolves the ticket.
+                if let Some(p) = self.tracker.complete(msg_id) {
+                    self.report.stats.hits += 1;
+                    let addr = p.token.addr.clone();
+                    self.respond(
+                        &addr,
+                        p.token.token,
+                        CtrlResponse::Found {
+                            holder: holder.index() as u32,
+                            hops,
+                        },
+                    );
+                }
+            }
+            ClientEvent::StoreAck { msg_id, holder, .. } => {
+                if let Some(p) = self.tracker.complete(msg_id) {
+                    self.report.stats.announces += 1;
+                    let addr = p.token.addr.clone();
+                    self.respond(
+                        &addr,
+                        p.token.token,
+                        CtrlResponse::Announced {
+                            holder: holder.index() as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_expiries(&mut self) {
+        let now = self.clock.elapsed();
+        while let Some((_, pending)) = self.tracker.pop_expired(now) {
+            if self.tracker.should_retry(&pending) && self.draining.is_none() {
+                let (kind, origin, object) = (
+                    pending.token.kind,
+                    pending.token.origin,
+                    pending.token.object,
+                );
+                match self.cluster.submit(kind, origin, object) {
+                    Ok(new_id) => {
+                        self.tracker.retry(new_id, pending, now);
+                        continue;
+                    }
+                    Err(_) => {
+                        let addr = pending.token.addr.clone();
+                        self.respond(
+                            &addr,
+                            pending.token.token,
+                            CtrlResponse::Err {
+                                code: err_code::TRANSPORT,
+                            },
+                        );
+                        continue;
+                    }
+                }
+            }
+            self.fail_ticket(&pending.token);
+        }
+        self.report.stats.retries = self.tracker.retried();
+    }
+
+    /// Answers a request whose retry budget (or drain budget) ran out.
+    fn fail_ticket(&mut self, t: &Ticket<C::Addr>) {
+        let addr = t.addr.clone();
+        match t.kind {
+            MessageKind::Lookup => {
+                self.report.stats.lookup_timeouts += 1;
+                self.respond(&addr, t.token, CtrlResponse::NotFound);
+            }
+            MessageKind::Insert => {
+                self.report.stats.announce_timeouts += 1;
+                self.respond(
+                    &addr,
+                    t.token,
+                    CtrlResponse::Err {
+                        code: err_code::TIMEOUT,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Serves until a `Drain` request (or control-plane death), drains,
+    /// and returns the final account.
+    pub fn run(mut self) -> DaemonReport {
+        let drain_budget = loop {
+            // 1. Admit control requests (bounded batch).
+            let mut ctrl_dead = false;
+            for _ in 0..CTRL_BATCH {
+                match self.ctrl.recv(POLL) {
+                    Ok(Some((addr, frame))) => self.handle_ctrl(addr, &frame),
+                    Ok(None) => break,
+                    Err(_) => {
+                        ctrl_dead = true;
+                        break;
+                    }
+                }
+            }
+            if ctrl_dead {
+                break self.draining.unwrap_or(self.config.fallback_drain);
+            }
+            // 2. Pump cluster events (bounded batch).
+            for _ in 0..EVENT_BATCH {
+                match self.cluster.poll_event(POLL) {
+                    Ok(Some(event)) => self.handle_event(event),
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            // 3. Expire and retry.
+            self.handle_expiries();
+            // 4. A requested drain ends admission once in-flight work
+            //    is resolved (the loop above keeps serving replies).
+            if let Some(budget) = self.draining {
+                break budget;
+            }
+        };
+        self.drain(drain_budget)
+    }
+
+    /// Runs the drain protocol: pump events until the in-flight set is
+    /// empty or `budget` elapses, fail the stragglers, then drain the
+    /// node threads.
+    fn drain(mut self, budget: Duration) -> DaemonReport {
+        let deadline = self.clock.elapsed() + budget;
+        while !self.tracker.is_idle() && self.clock.elapsed() < deadline {
+            for _ in 0..EVENT_BATCH {
+                match self.cluster.poll_event(POLL) {
+                    Ok(Some(event)) => self.handle_event(event),
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            self.handle_expiries();
+        }
+        for pending in self.tracker.abort_all() {
+            self.report.aborted_at_drain += 1;
+            let t = pending.token;
+            let resp = match t.kind {
+                MessageKind::Lookup => CtrlResponse::NotFound,
+                MessageKind::Insert => CtrlResponse::Err {
+                    code: err_code::TIMEOUT,
+                },
+            };
+            self.respond(&t.addr.clone(), t.token, resp);
+        }
+        self.report.stats = self.stats_body();
+        self.report.uptime_s = self.clock.elapsed_s();
+        let remaining = deadline.saturating_sub(self.clock.elapsed()).max(POLL);
+        self.report.node_stats = self.cluster.shutdown_drain(remaining);
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(req: CtrlRequest, token: u64) -> Vec<u8> {
+        req.encode(token)
+    }
+
+    fn expect_resp(client: &mut ChannelCtrlClient, want_token: u64) -> CtrlResponse {
+        let clock = WallClock::start();
+        while clock.elapsed() < Duration::from_secs(5) {
+            if let Ok(Some(raw)) = client.recv(Duration::from_millis(20)) {
+                let (token, resp) = CtrlResponse::decode(&raw).expect("decode response");
+                assert_eq!(token, want_token, "token echo");
+                return resp;
+            }
+        }
+        panic!("no response for token {want_token} within 5s");
+    }
+
+    fn spawn_daemon(
+        config: DaemonConfig,
+    ) -> (std::thread::JoinHandle<DaemonReport>, ChannelCtrlClient) {
+        let (server, client) = ChannelControl::pair();
+        let handle =
+            std::thread::spawn(move || Daemon::spawn(config, server).expect("daemon spawn").run());
+        (handle, client)
+    }
+
+    #[test]
+    fn announce_then_lookup_round_trips_through_the_daemon() {
+        let (handle, mut client) = spawn_daemon(DaemonConfig {
+            nodes: 24,
+            degree: 6,
+            seed: 5,
+            ..DaemonConfig::default()
+        });
+        let object = Id::from_low_u64(0x5eed);
+        client
+            .send(&frame(CtrlRequest::Announce { object, origin: 0 }, 1))
+            .expect("send");
+        assert!(matches!(
+            expect_resp(&mut client, 1),
+            CtrlResponse::Announced { .. }
+        ));
+        client
+            .send(&frame(CtrlRequest::Lookup { object, origin: 9 }, 2))
+            .expect("send");
+        assert!(matches!(
+            expect_resp(&mut client, 2),
+            CtrlResponse::Found { .. }
+        ));
+        client
+            .send(&frame(CtrlRequest::Drain { millis: 500 }, 3))
+            .expect("send");
+        assert!(matches!(expect_resp(&mut client, 3), CtrlResponse::Ok));
+        let report = handle.join().expect("daemon thread");
+        assert_eq!(report.stats.announces, 1);
+        assert_eq!(report.stats.hits, 1);
+        assert_eq!(report.node_stats.len(), 24);
+    }
+
+    #[test]
+    fn lookup_of_absent_object_times_out_with_not_found() {
+        let (handle, mut client) = spawn_daemon(DaemonConfig {
+            nodes: 16,
+            degree: 4,
+            seed: 6,
+            retry: RetryPolicy {
+                timeout: Duration::from_millis(60),
+                retries: 1,
+            },
+            ..DaemonConfig::default()
+        });
+        client
+            .send(&frame(
+                CtrlRequest::Lookup {
+                    object: Id::from_low_u64(0xdead),
+                    origin: 2,
+                },
+                7,
+            ))
+            .expect("send");
+        assert!(matches!(
+            expect_resp(&mut client, 7),
+            CtrlResponse::NotFound
+        ));
+        client
+            .send(&frame(CtrlRequest::Drain { millis: 300 }, 8))
+            .expect("send");
+        let _ = expect_resp(&mut client, 8);
+        let report = handle.join().expect("daemon thread");
+        assert_eq!(report.stats.lookup_timeouts, 1);
+        assert!(report.stats.retries >= 1, "the retry budget must be spent");
+    }
+
+    #[test]
+    fn join_unparks_a_spare_and_admin_ops_answer() {
+        let (handle, mut client) = spawn_daemon(DaemonConfig {
+            nodes: 16,
+            degree: 4,
+            spares: 2,
+            seed: 7,
+            ..DaemonConfig::default()
+        });
+        // A parked spare is not a valid entry node...
+        client
+            .send(&frame(
+                CtrlRequest::Lookup {
+                    object: Id::from_low_u64(1),
+                    origin: 16,
+                },
+                1,
+            ))
+            .expect("send");
+        assert_eq!(
+            expect_resp(&mut client, 1),
+            CtrlResponse::Err {
+                code: err_code::UNAVAILABLE
+            }
+        );
+        // ...until it joins.
+        client
+            .send(&frame(CtrlRequest::Join { node: 16 }, 2))
+            .expect("send");
+        assert_eq!(expect_resp(&mut client, 2), CtrlResponse::Ok);
+        // Stats reflect the join.
+        client.send(&frame(CtrlRequest::Stats, 3)).expect("send");
+        match expect_resp(&mut client, 3) {
+            CtrlResponse::Stats(s) => {
+                assert_eq!(s.live_nodes, 17);
+                assert_eq!(s.parked, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Perturb/heal on a bad index is rejected; on a good one it is Ok.
+        client
+            .send(&frame(
+                CtrlRequest::Perturb {
+                    node: 99,
+                    millis: 10,
+                },
+                4,
+            ))
+            .expect("send");
+        assert_eq!(
+            expect_resp(&mut client, 4),
+            CtrlResponse::Err {
+                code: err_code::BAD_NODE
+            }
+        );
+        client
+            .send(&frame(
+                CtrlRequest::Perturb {
+                    node: 3,
+                    millis: 10,
+                },
+                5,
+            ))
+            .expect("send");
+        assert_eq!(expect_resp(&mut client, 5), CtrlResponse::Ok);
+        client
+            .send(&frame(CtrlRequest::Heal { node: 3 }, 6))
+            .expect("send");
+        assert_eq!(expect_resp(&mut client, 6), CtrlResponse::Ok);
+        client
+            .send(&frame(CtrlRequest::Drain { millis: 200 }, 9))
+            .expect("send");
+        let _ = expect_resp(&mut client, 9);
+        let report = handle.join().expect("daemon thread");
+        assert_eq!(report.joins, 1);
+        assert_eq!(report.perturbs, 1);
+        assert_eq!(report.heals, 1);
+        assert_eq!(report.bad_requests, 2);
+    }
+
+    #[test]
+    fn dropping_the_client_is_a_graceful_shutdown() {
+        let (handle, client) = spawn_daemon(DaemonConfig {
+            nodes: 12,
+            degree: 4,
+            seed: 8,
+            fallback_drain: Duration::from_millis(100),
+            ..DaemonConfig::default()
+        });
+        drop(client);
+        let report = handle.join().expect("daemon thread");
+        assert_eq!(report.node_stats.len(), 12, "cluster joined cleanly");
+    }
+}

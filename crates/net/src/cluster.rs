@@ -11,7 +11,7 @@ use mpil_overlay::{NodeIdx, Topology};
 
 use crate::codec::WireMessage;
 use crate::node::{run_node, NodeControl, NodeSetup, NodeStats};
-use crate::transport::{ChannelMesh, Transport, UdpMesh};
+use crate::transport::{ChannelMesh, Transport, TransportError, UdpMesh};
 
 /// Which mesh the cluster runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,6 +32,33 @@ pub struct LiveLookup {
     pub hops: u32,
     /// Wall-clock time from issue to first reply.
     pub elapsed: Duration,
+}
+
+/// A client-bound frame surfaced by [`LiveCluster::poll_event`]: the
+/// asynchronous half of the pipelined submit/poll API the daemon builds
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A replica holder answered a lookup.
+    Reply {
+        /// The lookup this answers ([`LiveCluster::submit`]'s return).
+        msg_id: MessageId,
+        /// The object that was found.
+        object: Id,
+        /// The node holding the replica.
+        holder: NodeIdx,
+        /// Forward-path hops the lookup traveled.
+        hops: u32,
+    },
+    /// A node confirmed a replica deposit.
+    StoreAck {
+        /// The insert this confirms.
+        msg_id: MessageId,
+        /// The inserted object.
+        object: Id,
+        /// The node that stored the replica.
+        holder: NodeIdx,
+    },
 }
 
 /// Why [`LiveClusterBuilder::spawn`] could not bring the cluster up.
@@ -230,6 +257,102 @@ impl LiveCluster {
         id
     }
 
+    /// Injects an operation without waiting for its outcome: the
+    /// pipelined half of the client API. The returned [`MessageId`]
+    /// matches the `msg_id` of the [`ClientEvent`]s the operation
+    /// produces; pump them with [`LiveCluster::poll_event`]. Many
+    /// operations can be in flight at once — this is what the `mpild`
+    /// daemon serves load with.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] if the entry node's endpoint refuses the
+    /// frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range.
+    pub fn submit(
+        &mut self,
+        kind: MessageKind,
+        origin: NodeIdx,
+        object: Id,
+    ) -> Result<MessageId, TransportError> {
+        assert!(origin.index() < self.n, "origin out of range");
+        let msg_id = self.fresh_msg_id();
+        let initial = Message::initial(
+            msg_id,
+            kind,
+            object,
+            origin,
+            self.config.max_flows,
+            self.config.num_replicas,
+        );
+        let frame = match WireMessage::Forward(initial).encode() {
+            Ok(frame) => frame,
+            // Fresh messages carry no route; encoding cannot hit the
+            // route-length limit. Treat a regression as a dropped frame
+            // rather than panicking in service-path code.
+            Err(_) => return Ok(msg_id),
+        };
+        self.client.send(origin.index(), frame)?;
+        Ok(msg_id)
+    }
+
+    /// Receives the next client-bound event (a lookup reply or a
+    /// store-ack), waiting at most `timeout`. Returns `Ok(None)` on
+    /// timeout; frames that fail to decode are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] when the mesh is torn down.
+    pub fn poll_event(&mut self, timeout: Duration) -> Result<Option<ClientEvent>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let Some((_, payload)) = self
+                .client
+                .recv_timeout(remaining.max(Duration::from_millis(1)))?
+            else {
+                return Ok(None);
+            };
+            match WireMessage::decode(&payload) {
+                Ok(WireMessage::Reply {
+                    msg_id,
+                    object,
+                    holder,
+                    hops,
+                }) => {
+                    return Ok(Some(ClientEvent::Reply {
+                        msg_id,
+                        object,
+                        holder,
+                        hops,
+                    }))
+                }
+                Ok(WireMessage::StoreAck {
+                    msg_id,
+                    object,
+                    holder,
+                }) => {
+                    return Ok(Some(ClientEvent::StoreAck {
+                        msg_id,
+                        object,
+                        holder,
+                    }))
+                }
+                // Forwards/shutdowns are never client-bound; garbage is
+                // counted by the nodes, not the client. Keep pumping
+                // until the deadline.
+                Ok(_) | Err(_) => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
     /// Inserts `object` through `origin`, collecting store-acks for
     /// `wait`; returns the nodes that confirmed a replica.
     ///
@@ -237,39 +360,26 @@ impl LiveCluster {
     ///
     /// Panics if `origin` is out of range.
     pub fn insert(&mut self, origin: NodeIdx, object: Id, wait: Duration) -> Vec<NodeIdx> {
-        assert!(origin.index() < self.n, "origin out of range");
-        let msg_id = self.fresh_msg_id();
-        let initial = Message::initial(
-            msg_id,
-            MessageKind::Insert,
-            object,
-            origin,
-            self.config.max_flows,
-            self.config.num_replicas,
-        );
-        let frame = WireMessage::Forward(initial)
-            .encode()
-            .expect("fresh messages have empty routes"); // mpil-lint: allow(P001, fresh messages carry no route so encoding is infallible)
-        let _ = self.client.send(origin.index(), frame);
+        let Ok(msg_id) = self.submit(MessageKind::Insert, origin, object) else {
+            return Vec::new();
+        };
         let mut holders = Vec::new();
         let deadline = Instant::now() + wait;
         while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
             if remaining.is_zero() {
                 break;
             }
-            match self.client.recv_timeout(remaining) {
-                Ok(Some((_, payload))) => {
-                    if let Ok(WireMessage::StoreAck {
-                        msg_id: got,
-                        holder,
-                        ..
-                    }) = WireMessage::decode(&payload)
-                    {
-                        if got == msg_id && !holders.contains(&holder) {
-                            holders.push(holder);
-                        }
+            match self.poll_event(remaining) {
+                Ok(Some(ClientEvent::StoreAck {
+                    msg_id: got,
+                    holder,
+                    ..
+                })) => {
+                    if got == msg_id && !holders.contains(&holder) {
+                        holders.push(holder);
                     }
                 }
+                Ok(Some(_)) => continue,
                 Ok(None) | Err(_) => break,
             }
         }
@@ -283,44 +393,29 @@ impl LiveCluster {
     ///
     /// Panics if `origin` is out of range.
     pub fn lookup(&mut self, origin: NodeIdx, object: Id, timeout: Duration) -> Option<LiveLookup> {
-        assert!(origin.index() < self.n, "origin out of range");
-        let msg_id = self.fresh_msg_id();
-        let initial = Message::initial(
-            msg_id,
-            MessageKind::Lookup,
-            object,
-            origin,
-            self.config.max_flows,
-            self.config.num_replicas,
-        );
         let started = Instant::now();
-        let frame = WireMessage::Forward(initial)
-            .encode()
-            .expect("fresh messages have empty routes"); // mpil-lint: allow(P001, fresh messages carry no route so encoding is infallible)
-        let _ = self.client.send(origin.index(), frame);
+        let msg_id = self.submit(MessageKind::Lookup, origin, object).ok()?;
         let deadline = started + timeout;
         while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
             if remaining.is_zero() {
                 break;
             }
-            match self.client.recv_timeout(remaining) {
-                Ok(Some((_, payload))) => {
-                    if let Ok(WireMessage::Reply {
-                        msg_id: got,
-                        holder,
-                        hops,
-                        ..
-                    }) = WireMessage::decode(&payload)
-                    {
-                        if got == msg_id {
-                            return Some(LiveLookup {
-                                holder,
-                                hops,
-                                elapsed: started.elapsed(),
-                            });
-                        }
+            match self.poll_event(remaining) {
+                Ok(Some(ClientEvent::Reply {
+                    msg_id: got,
+                    holder,
+                    hops,
+                    ..
+                })) => {
+                    if got == msg_id {
+                        return Some(LiveLookup {
+                            holder,
+                            hops,
+                            elapsed: started.elapsed(),
+                        });
                     }
                 }
+                Ok(Some(_)) => continue,
                 Ok(None) | Err(_) => break,
             }
         }
@@ -346,10 +441,53 @@ impl LiveCluster {
         self.controls[node.index()].heal();
     }
 
-    /// Stops every node and returns their counters.
+    /// Parks `node`: provisioned (thread running, mesh endpoint bound)
+    /// but not serving — it drops every frame until
+    /// [`LiveCluster::unpark`]. The daemon uses this for spare capacity
+    /// that `join` later brings into service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn park(&self, node: NodeIdx) {
+        self.controls[node.index()].park();
+    }
+
+    /// Brings a parked node into service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn unpark(&self, node: NodeIdx) {
+        self.controls[node.index()].unpark();
+    }
+
+    /// Whether `node` is currently parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_parked(&self, node: NodeIdx) -> bool {
+        self.controls[node.index()].is_parked()
+    }
+
+    /// The default drain deadline of [`LiveCluster::shutdown`].
+    pub const DEFAULT_DRAIN: Duration = Duration::from_millis(500);
+
+    /// Stops every node and returns their counters, draining in-flight
+    /// traffic first (bounded by [`LiveCluster::DEFAULT_DRAIN`]).
     pub fn shutdown(self) -> Vec<NodeStats> {
+        self.shutdown_drain(Self::DEFAULT_DRAIN)
+    }
+
+    /// Stops every node, letting each keep serving until its queue has
+    /// drained or `drain` has elapsed, and returns their counters.
+    /// Frames still queued when the deadline passes are counted into
+    /// [`NodeStats::dropped_at_drain`]. `Duration::ZERO` is an
+    /// immediate shutdown that still accounts for what it drops.
+    pub fn shutdown_drain(self, drain: Duration) -> Vec<NodeStats> {
         for c in &self.controls {
-            c.request_shutdown();
+            c.request_drain(drain);
         }
         self.handles
             .into_iter()

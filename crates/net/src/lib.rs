@@ -15,7 +15,9 @@
 //!   duplicate suppression);
 //! * [`cluster`] — [`LiveCluster`]: spawn a topology as one thread per
 //!   node, insert/lookup through any entry node, perturb nodes at will,
-//!   and shut down cleanly.
+//!   and shut down cleanly (draining in-flight traffic first);
+//! * [`request`] — [`RequestTracker`]: per-request timeout/retry
+//!   bookkeeping for pipelined clients such as the `mpild` daemon.
 //!
 //! ```
 //! use mpil_net::{LiveClusterBuilder, TransportKind};
@@ -50,11 +52,15 @@
 pub mod cluster;
 pub mod codec;
 pub mod node;
+pub mod request;
 pub mod transport;
 
-pub use cluster::{LiveCluster, LiveClusterBuilder, LiveLookup, SpawnError, TransportKind};
+pub use cluster::{
+    ClientEvent, LiveCluster, LiveClusterBuilder, LiveLookup, SpawnError, TransportKind,
+};
 pub use codec::{DecodeError, EncodeError, WireMessage, WIRE_VERSION};
 pub use node::{NodeControl, NodeStats};
+pub use request::{Pending, RequestTracker, RetryPolicy};
 pub use transport::{
     ChannelMesh, ChannelTransport, Transport, TransportError, UdpMesh, UdpTransport,
 };

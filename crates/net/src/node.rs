@@ -30,13 +30,24 @@ use crate::transport::Transport;
 #[derive(Debug, Default)]
 pub struct NodeControl {
     shutdown: AtomicBool,
+    parked: AtomicBool,
     perturbed_until: Mutex<Option<Instant>>,
+    drain_until: Mutex<Option<Instant>>,
 }
 
 impl NodeControl {
-    /// Asks the node to exit its loop.
+    /// Asks the node to exit its loop immediately (no drain; frames
+    /// still queued are counted as dropped).
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Asks the node to exit once its inbound queue is empty, or at the
+    /// latest `drain` from now: in-flight traffic keeps being served,
+    /// new frames arriving after the deadline are counted into
+    /// [`NodeStats::dropped_at_drain`].
+    pub fn request_drain(&self, drain: Duration) {
+        *self.drain_until.lock() = Some(Instant::now() + drain);
     }
 
     /// Makes the node unresponsive (drop every frame) for `duration`.
@@ -49,11 +60,32 @@ impl NodeControl {
         *self.perturbed_until.lock() = None;
     }
 
+    /// Parks the node: provisioned but not yet part of the service
+    /// (drops every frame until [`NodeControl::unpark`] — the live
+    /// analogue of a node that has not joined yet).
+    pub fn park(&self) {
+        self.parked.store(true, Ordering::SeqCst);
+    }
+
+    /// Brings a parked node into service.
+    pub fn unpark(&self) {
+        self.parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the node is currently parked.
+    pub fn is_parked(&self) -> bool {
+        self.parked.load(Ordering::SeqCst)
+    }
+
     fn is_perturbed(&self) -> bool {
         match *self.perturbed_until.lock() {
             Some(t) => Instant::now() < t,
             None => false,
         }
+    }
+
+    fn drain_deadline(&self) -> Option<Instant> {
+        *self.drain_until.lock()
     }
 
     fn shutdown_requested(&self) -> bool {
@@ -80,6 +112,12 @@ pub struct NodeStats {
     pub duplicates_suppressed: u64,
     /// Frames discarded while perturbed.
     pub dropped_perturbed: u64,
+    /// Frames discarded while parked (provisioned, not yet joined).
+    pub dropped_parked: u64,
+    /// Frames left unserved when the drain deadline expired at
+    /// shutdown: requests the service accepted but dropped on the
+    /// floor. Zero on a clean drain.
+    pub dropped_at_drain: u64,
     /// Frames that failed to decode.
     pub decode_errors: u64,
     /// Outbound frames that failed to encode (route beyond the wire
@@ -106,10 +144,21 @@ pub struct NodeSetup {
     pub seed: u64,
 }
 
+/// How long a draining node's queue must stay empty before it
+/// concludes the in-flight traffic has run dry. Two consecutive empty
+/// polls of this length are required, so a peer that still holds a
+/// frame for us gets a scheduling window to deliver it.
+const DRAIN_IDLE_POLL: Duration = Duration::from_millis(25);
+
 /// Runs one node until shutdown; returns its counters.
 ///
 /// The loop wakes at least every 25 ms to observe
-/// [`NodeControl::request_shutdown`].
+/// [`NodeControl::request_shutdown`] and [`NodeControl::request_drain`].
+/// A drain request keeps the node serving until its queue has been
+/// empty for two consecutive idle polls (in-flight multi-hop traffic
+/// drains through) or the drain deadline passes; frames still queued at
+/// the deadline are swept up and counted as
+/// [`NodeStats::dropped_at_drain`].
 pub fn run_node(
     transport: Box<dyn Transport>,
     setup: NodeSetup,
@@ -119,13 +168,49 @@ pub fn run_node(
     let mut store: FxHashMap<Id, NodeIdx> = FxHashMap::default();
     let mut seen: FxHashSet<MessageId> = FxHashSet::default();
     let mut rng = SmallRng::seed_from_u64(setup.seed);
+    let mut idle_polls = 0u32;
+    let mut drain_seen = false;
 
     while !control.shutdown_requested() {
-        let frame = match transport.recv_timeout(Duration::from_millis(25)) {
-            Ok(Some(f)) => f,
-            Ok(None) => continue,
+        let draining = control.drain_deadline();
+        if let Some(deadline) = draining {
+            if !drain_seen {
+                // Idle polls from before the drain request don't prove
+                // the queue is empty *now*; confirm afresh.
+                drain_seen = true;
+                idle_polls = 0;
+            }
+            if Instant::now() >= deadline {
+                stats.dropped_at_drain += sweep_queue(transport.as_ref());
+                break;
+            }
+            if idle_polls >= 2 {
+                break; // queue stayed empty: drained clean
+            }
+        }
+        let poll = match draining {
+            // While draining, poll fast so the empty-queue exit is
+            // prompt, but never sleep past the deadline.
+            Some(deadline) => {
+                DRAIN_IDLE_POLL.min(deadline.saturating_duration_since(Instant::now()))
+            }
+            None => Duration::from_millis(25),
+        };
+        let frame = match transport.recv_timeout(poll.max(Duration::from_millis(1))) {
+            Ok(Some(f)) => {
+                idle_polls = 0;
+                f
+            }
+            Ok(None) => {
+                idle_polls = idle_polls.saturating_add(1);
+                continue;
+            }
             Err(_) => break, // mesh torn down
         };
+        if control.is_parked() {
+            stats.dropped_parked += 1;
+            continue;
+        }
         if control.is_perturbed() {
             stats.dropped_perturbed += 1;
             continue;
@@ -158,6 +243,16 @@ pub fn run_node(
         }
     }
     stats
+}
+
+/// Empties whatever is still queued on `transport`, returning the count
+/// (the frames a drain deadline left unserved).
+fn sweep_queue(transport: &dyn Transport) -> u64 {
+    let mut dropped = 0;
+    while let Ok(Some(_)) = transport.recv_timeout(Duration::from_millis(1)) {
+        dropped += 1;
+    }
+    dropped
 }
 
 /// One MPIL step at this node — the live twin of the simulators' message
@@ -294,5 +389,25 @@ mod tests {
         c.perturb_for(Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(10));
         assert!(!c.is_perturbed());
+    }
+
+    #[test]
+    fn park_toggles_independently_of_perturbation() {
+        let c = NodeControl::default();
+        assert!(!c.is_parked());
+        c.park();
+        assert!(c.is_parked());
+        assert!(!c.is_perturbed(), "park is not perturbation");
+        c.unpark();
+        assert!(!c.is_parked());
+    }
+
+    #[test]
+    fn drain_sets_a_deadline() {
+        let c = NodeControl::default();
+        assert!(c.drain_deadline().is_none());
+        c.request_drain(Duration::from_secs(5));
+        let d = c.drain_deadline().expect("deadline set");
+        assert!(d > Instant::now());
     }
 }

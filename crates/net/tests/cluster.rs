@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use mpil::MpilConfig;
+use mpil::{MessageKind, MpilConfig};
 use mpil_id::Id;
 use mpil_net::{LiveClusterBuilder, TransportKind};
 use mpil_overlay::{generators, NodeIdx};
@@ -138,6 +138,65 @@ fn udp_cluster_end_to_end() {
     let hit = cluster.lookup(NodeIdx::new(7), object, Duration::from_secs(3));
     assert!(hit.is_some(), "UDP lookup must succeed");
     cluster.shutdown();
+}
+
+/// Shutting down mid-lookup must *drain*: in-flight requests submitted
+/// through the pipelined API are still answered before the node threads
+/// exit, and nothing is counted as dropped at the drain deadline.
+#[test]
+fn shutdown_drains_in_flight_lookups() {
+    let topo = topo(32, 6, 12);
+    let mut cluster = LiveClusterBuilder::new()
+        .config(MpilConfig::default().with_max_flows(8).with_num_replicas(3))
+        .spawn(&topo)
+        .expect("spawn");
+    let object = Id::from_low_u64(0xfee1);
+    let holders = cluster.insert(NodeIdx::new(0), object, Duration::from_millis(400));
+    assert!(!holders.is_empty());
+
+    // Pipeline a batch of lookups and shut down while they are in
+    // flight — do NOT wait for the replies.
+    const LOOKUPS: u64 = 5;
+    for i in 0..LOOKUPS {
+        cluster
+            .submit(MessageKind::Lookup, NodeIdx::new((i % 32) as u32), object)
+            .expect("submit");
+    }
+    let stats = cluster.shutdown_drain(Duration::from_secs(5));
+
+    let replies: u64 = stats.iter().map(|s| s.replies).sum();
+    let dropped: u64 = stats.iter().map(|s| s.dropped_at_drain).sum();
+    assert!(
+        replies >= LOOKUPS,
+        "drain must let in-flight lookups finish (got {replies} replies for {LOOKUPS} lookups)"
+    );
+    assert_eq!(dropped, 0, "a generous drain deadline must not drop frames");
+}
+
+/// The other side of the drain contract: a zero deadline sweeps what is
+/// still queued and reports it, instead of hanging or losing frames
+/// silently.
+#[test]
+fn zero_drain_shutdown_reports_dropped_frames() {
+    let topo = topo(32, 6, 13);
+    let mut cluster = LiveClusterBuilder::new()
+        .config(MpilConfig::default().with_max_flows(8).with_num_replicas(3))
+        .spawn(&topo)
+        .expect("spawn");
+    // Flood one entry node's queue, then shut down with no drain
+    // budget at all: the sweep must account for the backlog.
+    let object = Id::from_low_u64(0xfee2);
+    for _ in 0..300 {
+        cluster
+            .submit(MessageKind::Lookup, NodeIdx::new(0), object)
+            .expect("submit");
+    }
+    let stats = cluster.shutdown_drain(Duration::ZERO);
+    let dropped: u64 = stats.iter().map(|s| s.dropped_at_drain).sum();
+    assert!(
+        dropped > 0,
+        "zero-deadline drain must count the swept backlog"
+    );
 }
 
 #[test]

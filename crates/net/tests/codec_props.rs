@@ -5,6 +5,7 @@ use mpil::{Message, MessageId, MessageKind};
 use mpil_id::Id;
 use mpil_net::{DecodeError, WireMessage};
 use mpil_overlay::NodeIdx;
+use mpil_sim::{PayloadBuf, PayloadPool, PAYLOAD_INLINE};
 use proptest::prelude::*;
 
 fn arb_id() -> impl Strategy<Value = Id> {
@@ -95,5 +96,50 @@ proptest! {
         let mut enc = wire.encode().expect("bounded routes encode").to_vec();
         enc[0] = v;
         prop_assert_eq!(WireMessage::decode(&enc), Err(DecodeError::BadVersion(v)));
+    }
+
+    /// Routes that cross the simulation kernel's inline/pooled payload
+    /// boundary round-trip bit-exactly. The sim kernel stores routes in
+    /// `PayloadBuf` (inline up to [`PAYLOAD_INLINE`] entries, pooled heap
+    /// beyond); the wire codec must be representation-agnostic, so this
+    /// pushes each route through a real `PayloadBuf`/`PayloadPool` pair,
+    /// checks the spill predicate, and encodes from the buffer's slice.
+    #[test]
+    fn payload_boundary_round_trips(
+        route_len in 0usize..=2 * PAYLOAD_INLINE + 2,
+        seed in any::<u32>(),
+        cut in 0usize..400,
+    ) {
+        let mut pool: PayloadPool<u32> = PayloadPool::new();
+        let mut buf: PayloadBuf<u32> = PayloadBuf::new();
+        for i in 0..route_len {
+            buf.push(seed.wrapping_add(i as u32) % 100_000, &mut pool);
+        }
+        prop_assert_eq!(buf.spilled(), route_len > PAYLOAD_INLINE);
+        prop_assert_eq!(buf.len(), route_len);
+
+        let msg = Message {
+            msg_id: MessageId(u64::from(seed)),
+            kind: MessageKind::Lookup,
+            object: Id::from_low_u64(u64::from(seed) | 1),
+            origin: NodeIdx::new(seed % 4096),
+            quota: 4,
+            replicas_left: 0,
+            hops: route_len as u32,
+            route: buf.as_slice().iter().copied().map(NodeIdx::new).collect(),
+        };
+        let wire = WireMessage::Forward(msg);
+        let encoded = wire.encode().expect("boundary-length routes encode");
+        prop_assert_eq!(WireMessage::decode(&encoded).expect("well-formed frame"), wire);
+
+        // Every strict prefix of the frame is a clean Truncated error —
+        // in particular the cuts that land inside the route section,
+        // where the header's claimed length exceeds the bytes present.
+        let cut = cut.min(encoded.len().saturating_sub(1));
+        prop_assert_eq!(
+            WireMessage::decode(&encoded[..cut]),
+            Err(DecodeError::Truncated)
+        );
+        buf.recycle(&mut pool);
     }
 }

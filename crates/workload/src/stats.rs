@@ -178,6 +178,18 @@ impl Percentiles {
     pub fn median(&mut self) -> Option<f64> {
         self.percentile(50.0)
     }
+
+    /// Merges another sample set into this one (cross-worker / cross-
+    /// phase aggregation: the percentile of the merged set is computed
+    /// over the union of samples, which no summary-statistic merge can
+    /// reproduce).
+    pub fn merge(&mut self, other: &Percentiles) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
 }
 
 impl Extend<f64> for Percentiles {
@@ -241,6 +253,28 @@ mod tests {
         assert_eq!(p.percentile(100.0), Some(10.0));
         assert_eq!(p.percentile(0.0), Some(1.0));
         assert_eq!(p.median(), Some(5.0));
+    }
+
+    #[test]
+    fn percentiles_merge_equals_union() {
+        let mut a = Percentiles::new();
+        a.extend((1..=50).map(f64::from));
+        let mut b = Percentiles::new();
+        b.extend((51..=100).map(f64::from));
+        // Sorting `a` first must not poison the merge: the union is
+        // re-sorted lazily.
+        assert_eq!(a.percentile(100.0), Some(50.0));
+        a.merge(&b);
+        assert_eq!(a.len(), 100);
+        let mut union = Percentiles::new();
+        union.extend((1..=100).map(f64::from));
+        for p in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a.percentile(p), union.percentile(p), "p{p}");
+        }
+        // Merging an empty set is the identity.
+        let before = a.clone();
+        a.merge(&Percentiles::new());
+        assert_eq!(a, before);
     }
 
     #[test]

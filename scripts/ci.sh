@@ -14,6 +14,9 @@
 #   traffic: a 20k-node plumtree point under --max-msgs-per-lookup —
 #            catches the dissemination layer regressing to flood-scale
 #            lookup traffic
+#   service: an embedded mpild + mpil-load smoke with live churn —
+#            catches the daemon/load-generator path (request tracking,
+#            retries, drain) failing under perturbation
 #
 # Everything resolves from vendor/ path entries (see vendor/README.md),
 # so this must pass from a clean checkout with no network access.
@@ -59,5 +62,19 @@ timeout 150 ./target/release/scale_run --engine gossip --nodes 20000 --seed 1 \
 timeout 150 ./target/release/scale_run --engine plumtree --nodes 20000 --seed 1 \
     --budget-s 120 --max-rss-mib 400 --max-msgs-per-lookup 25 \
     || { echo "ci: 20k-node plumtree smoke exceeded a budget or failed" >&2; exit 1; }
+
+# Service-plane smoke (satellite of the mpild subsystem): an embedded
+# daemon on the channel transport, driven open-loop at 400/s with a
+# perturbation volley flapping two nodes every 150 ms. MPIL's replicas
+# and the daemon's retry policy are supposed to hide exactly this kind
+# of churn, so the gate demands >=99% lookup success; the p99 ceiling
+# is generous (daemon timeout+retries tops out near 450 ms) and trips
+# only if the request tracker stops retrying or the drain path stalls.
+# The whole run finishes in ~2s; --budget-s 60 is the hang tripwire.
+./target/release/mpil-load --embedded --nodes 48 --degree 8 --seed 1 \
+    --objects 60 --lookups 400 --rate 400 --window 64 \
+    --churn-period-ms 150 --churn-count 2 --churn-length-ms 200 \
+    --min-success 99 --max-p99-ms 500 --budget-s 60 \
+    || { echo "ci: mpild service smoke failed a gate" >&2; exit 1; }
 
 echo "ci: OK"
